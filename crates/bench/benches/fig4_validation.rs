@@ -1,0 +1,43 @@
+//! Figure 4 benchmark: the sparse R-Mesh solve vs the dense golden solve
+//! on the 2D DDR3 design — the speedup the paper reports as 517x against
+//! Cadence EPS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_layout::{Benchmark, DieState, MemoryState, StackDesign};
+use pi3d_mesh::{MeshOptions, StackMesh};
+use pi3d_solver::{CgSolver, DenseMatrix, Preconditioner};
+
+fn bench(c: &mut Criterion) {
+    let design = StackDesign::builder(Benchmark::StackedDdr3OffChip)
+        .dram_dies(1)
+        .build()
+        .expect("2D design builds");
+    let state = MemoryState::new(vec![DieState::active(2)]);
+    let mesh = StackMesh::new(&design, MeshOptions::coarse()).expect("mesh builds");
+    let loads = mesh.load_vector(&state, 1.0);
+    let dense = DenseMatrix::from_csr(mesh.matrix());
+    let solver = CgSolver::new().with_tolerance(1e-9);
+
+    let mut group = c.benchmark_group("fig4_validation");
+    group.sample_size(20);
+    group.bench_function("rmesh_sparse_cg", |b| {
+        b.iter(|| {
+            solver
+                .solve(mesh.matrix(), &loads, Preconditioner::IncompleteCholesky)
+                .expect("solves")
+        })
+    });
+    group.bench_function("golden_dense_cholesky", |b| {
+        b.iter(|| {
+            dense
+                .cholesky()
+                .expect("SPD")
+                .solve(&loads)
+                .expect("solves")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 5 benchmark: full TSV-count/alignment sweep time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::bench_mesh_options;
+use pi3d_core::experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let options = bench_mesh_options();
+    let mut group = c.benchmark_group("fig5_tsv");
+    group.sample_size(10);
+    group.bench_function("count_alignment_sweep", |b| {
+        b.iter(|| fig5::run_counts(&options, &[15, 60, 240]).expect("sweep runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

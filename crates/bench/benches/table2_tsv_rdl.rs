@@ -1,0 +1,18 @@
+//! Table 2 benchmark: the four TSV-location/RDL option evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::bench_mesh_options;
+use pi3d_core::experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    let options = bench_mesh_options();
+    let mut group = c.benchmark_group("table2_tsv_rdl");
+    group.sample_size(10);
+    group.bench_function("four_options", |b| {
+        b.iter(|| table2::run(&options).expect("options evaluate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 3 benchmark: dedicated-TSV × wire-bonding evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::bench_mesh_options;
+use pi3d_core::experiments::table3;
+
+fn bench(c: &mut Criterion) {
+    let options = bench_mesh_options();
+    let mut group = c.benchmark_group("table3_packaging");
+    group.sample_size(10);
+    group.bench_function("six_designs", |b| {
+        b.iter(|| table3::run(&options).expect("designs evaluate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 4 benchmark: the seven overlap-state solves under both bondings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::bench_mesh_options;
+use pi3d_core::experiments::table4;
+
+fn bench(c: &mut Criterion) {
+    let options = bench_mesh_options();
+    let mut group = c.benchmark_group("table4_overlap");
+    group.sample_size(10);
+    group.bench_function("seven_states_two_bondings", |b| {
+        b.iter(|| table4::run(&options).expect("states evaluate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

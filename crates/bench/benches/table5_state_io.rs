@@ -1,0 +1,19 @@
+//! Table 5 benchmark: the six memory-state/activity combinations under
+//! both bondings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::bench_mesh_options;
+use pi3d_core::experiments::table5;
+
+fn bench(c: &mut Criterion) {
+    let options = bench_mesh_options();
+    let mut group = c.benchmark_group("table5_state_io");
+    group.sample_size(10);
+    group.bench_function("six_cases_two_bondings", |b| {
+        b.iter(|| table5::run(&options).expect("cases evaluate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

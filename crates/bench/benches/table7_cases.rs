@@ -1,0 +1,18 @@
+//! Table 7 benchmark: evaluating the six case-study designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::bench_mesh_options;
+use pi3d_core::experiments::table7;
+
+fn bench(c: &mut Criterion) {
+    let options = bench_mesh_options();
+    let mut group = c.benchmark_group("table7_cases");
+    group.sample_size(10);
+    group.bench_function("six_cases", |b| {
+        b.iter(|| table7::run(&options).expect("cases evaluate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

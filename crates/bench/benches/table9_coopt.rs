@@ -1,0 +1,29 @@
+//! Table 9 benchmark: design-space characterization (one combo's sample
+//! sweep + regression) and the model-driven grid search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::bench_mesh_options;
+use pi3d_core::{characterize, Platform};
+use pi3d_layout::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let platform = Platform::new(bench_mesh_options());
+
+    let mut group = c.benchmark_group("table9_coopt");
+    group.sample_size(10);
+
+    // The optimizer's grid search over a prebuilt characterization.
+    let characterization =
+        characterize(&platform, Benchmark::StackedDdr3OffChip, 8).expect("characterizes");
+    group.bench_function("grid_search_alpha_0_3", |b| {
+        b.iter(|| {
+            characterization
+                .optimize(0.3, &platform)
+                .expect("optimizes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

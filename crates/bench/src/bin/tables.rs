@@ -1,0 +1,178 @@
+//! Regenerates every table and figure of the paper from the `pi3d`
+//! platform and prints them in the paper's shape.
+//!
+//! Usage:
+//!
+//! ```text
+//! tables [--quick] [NAME ...]
+//! ```
+//!
+//! With no names, all experiments run (Table 9 co-optimization last — it
+//! is by far the most expensive). `--quick` switches to the coarse mesh
+//! and reduced workloads. Valid names: `calibration fig4 metal mounting
+//! fig5 table2 table3 table4 table5 table6 table7 fig9 table9`, plus the
+//! extension studies `convergence ablation ac`.
+
+use pi3d_core::experiments;
+use pi3d_layout::units::MilliVolts;
+use pi3d_memsim::WorkloadSpec;
+use pi3d_mesh::MeshOptions;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = names.is_empty();
+    let options = if quick {
+        MeshOptions::coarse()
+    } else {
+        MeshOptions::default()
+    };
+
+    let wants = |n: &str| all || names.contains(&n);
+    let mut failures = 0usize;
+
+    let mut section = |name: &str, run: &mut dyn FnMut() -> Result<String, String>| {
+        if !wants(name) {
+            return;
+        }
+        println!("================================================================");
+        println!("[{name}]");
+        let t0 = Instant::now();
+        match run() {
+            Ok(text) => {
+                println!("{text}");
+                println!("({name} finished in {:.1?})\n", t0.elapsed());
+            }
+            Err(e) => {
+                println!("{name} FAILED: {e}\n");
+                failures += 1;
+            }
+        }
+    };
+
+    section("calibration", &mut || {
+        experiments::calibration::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("fig4", &mut || {
+        experiments::fig4::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("metal", &mut || {
+        experiments::metal_usage::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("mounting", &mut || {
+        experiments::mounting::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("fig5", &mut || {
+        experiments::fig5::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("table2", &mut || {
+        experiments::table2::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("table3", &mut || {
+        experiments::table3::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("table4", &mut || {
+        experiments::table4::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("table5", &mut || {
+        experiments::table5::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("table6", &mut || {
+        let workload = if quick {
+            let mut w = WorkloadSpec::paper_ddr3();
+            w.count = 3_000;
+            w
+        } else {
+            WorkloadSpec::paper_ddr3()
+        };
+        experiments::table6::run_with(&options, workload, MilliVolts(24.0))
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("table7", &mut || {
+        experiments::table7::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("fig9", &mut || {
+        let workload = if quick {
+            let mut w = WorkloadSpec::paper_ddr3();
+            w.count = 2_000;
+            w
+        } else {
+            WorkloadSpec::paper_ddr3()
+        };
+        let constraints: Vec<f64> = (7..=17).map(|c| 2.0 * c as f64).collect();
+        experiments::fig9::run_with(&options, workload, &constraints)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("convergence", &mut || {
+        let grids: &[usize] = if quick {
+            &[10, 16, 24]
+        } else {
+            &[10, 16, 24, 32, 40]
+        };
+        experiments::convergence::run(grids)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("ablation", &mut || {
+        experiments::ablation::run(&options)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("policies-x", &mut || {
+        let reads = if quick { 2_000 } else { 5_000 };
+        experiments::policy_cross::run(&MeshOptions::coarse(), reads)
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("ac", &mut || {
+        experiments::ac::run(&MeshOptions::coarse())
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+    section("table9", &mut || {
+        // Co-optimization characterizes thousands of meshes; always use the
+        // coarse mesh here (the regression averages out discretization).
+        experiments::table9::run(&MeshOptions::coarse(), threads())
+            .map(|r| r.to_string())
+            .map_err(|e| e.to_string())
+    });
+
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}

@@ -1,0 +1,348 @@
+//! The `pi3d` design-configuration file format.
+//!
+//! A design is described by a plain `key = value` file (comments start with
+//! `#`); every key is optional and defaults to the selected benchmark's
+//! baseline:
+//!
+//! ```text
+//! # stacked DDR3 with F2F bonding and wire bonds
+//! benchmark     = ddr3-off      # ddr3-off | ddr3-on | wideio | hmc
+//! m2_usage      = 0.10
+//! m3_usage      = 0.20
+//! tsv_count     = 33
+//! tsv_placement = edge          # center | edge | distributed
+//! tsv_aligned   = false
+//! bonding       = f2f           # f2b | f2f
+//! mounting      = shared        # off-chip | shared | dedicated
+//! rdl           = none          # none | bottom | all
+//! wire_bond     = true
+//! dram_dies     = 4
+//! ```
+
+use pi3d_layout::{
+    Benchmark, BondingStyle, Mounting, PdnSpec, RdlConfig, RdlScope, StackDesign, TsvConfig,
+    TsvPlacement,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a design-configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the problem, if line-specific.
+    pub line: Option<usize>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "config line {line}: {}", self.message),
+            None => write!(f, "config: {}", self.message),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+fn err(line: Option<usize>, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the `key = value` format into a map, validating syntax and
+/// rejecting duplicate keys.
+fn parse_pairs(text: &str) -> Result<HashMap<String, (usize, String)>, ConfigError> {
+    let mut pairs = HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(
+                Some(line_no),
+                format!("expected `key = value`, got {line:?}"),
+            ));
+        };
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim().to_ascii_lowercase();
+        if value.is_empty() {
+            return Err(err(Some(line_no), format!("empty value for {key:?}")));
+        }
+        if pairs.insert(key.clone(), (line_no, value)).is_some() {
+            return Err(err(Some(line_no), format!("duplicate key {key:?}")));
+        }
+    }
+    Ok(pairs)
+}
+
+/// Parses a benchmark name (also used for CLI arguments).
+pub fn parse_benchmark(text: &str) -> Result<Benchmark, ConfigError> {
+    match text {
+        "ddr3-off" | "ddr3_off" | "ddr3" => Ok(Benchmark::StackedDdr3OffChip),
+        "ddr3-on" | "ddr3_on" => Ok(Benchmark::StackedDdr3OnChip),
+        "wideio" | "wide-io" | "wide_io" => Ok(Benchmark::WideIo),
+        "hmc" => Ok(Benchmark::Hmc),
+        other => Err(err(
+            None,
+            format!("unknown benchmark {other:?} (use ddr3-off, ddr3-on, wideio, or hmc)"),
+        )),
+    }
+}
+
+/// Parses a full design-configuration file into a [`StackDesign`].
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] describing the first syntax or semantic
+/// problem, including design-rule violations reported by the layout
+/// builder.
+pub fn parse_design(text: &str) -> Result<StackDesign, ConfigError> {
+    let mut pairs = parse_pairs(text)?;
+    let mut take = |key: &str| pairs.remove(key);
+
+    let benchmark = match take("benchmark") {
+        Some((line, v)) => parse_benchmark(&v).map_err(|e| err(Some(line), e.message))?,
+        None => Benchmark::StackedDdr3OffChip,
+    };
+    let baseline = StackDesign::baseline(benchmark);
+    let mut builder = StackDesign::builder(benchmark);
+
+    let parse_f64 = |line: usize, key: &str, v: &str| -> Result<f64, ConfigError> {
+        v.parse()
+            .map_err(|_| err(Some(line), format!("{key} must be a number, got {v:?}")))
+    };
+    let parse_bool = |line: usize, key: &str, v: &str| -> Result<bool, ConfigError> {
+        match v {
+            "true" | "yes" | "y" | "1" => Ok(true),
+            "false" | "no" | "n" | "0" => Ok(false),
+            _ => Err(err(
+                Some(line),
+                format!("{key} must be true/false, got {v:?}"),
+            )),
+        }
+    };
+
+    let m2 = match take("m2_usage") {
+        Some((line, v)) => parse_f64(line, "m2_usage", &v)?,
+        None => baseline.pdn().m2_usage(),
+    };
+    let m3 = match take("m3_usage") {
+        Some((line, v)) => parse_f64(line, "m3_usage", &v)?,
+        None => baseline.pdn().m3_usage(),
+    };
+    builder = builder.pdn(PdnSpec::new(m2, m3).map_err(|e| err(None, e.to_string()))?);
+
+    let count = match take("tsv_count") {
+        Some((line, v)) => v.parse::<usize>().map_err(|_| {
+            err(
+                Some(line),
+                format!("tsv_count must be an integer, got {v:?}"),
+            )
+        })?,
+        None => baseline.tsv().count(),
+    };
+    let placement = match take("tsv_placement") {
+        Some((line, v)) => match v.as_str() {
+            "center" | "centre" => TsvPlacement::Center,
+            "edge" => TsvPlacement::Edge,
+            "distributed" => TsvPlacement::Distributed,
+            _ => return Err(err(Some(line), format!("unknown tsv_placement {v:?}"))),
+        },
+        None => baseline.tsv().placement(),
+    };
+    let mut tsv = TsvConfig::new(count, placement).map_err(|e| err(None, e.to_string()))?;
+    if let Some((line, v)) = take("tsv_aligned") {
+        tsv = tsv.with_alignment(parse_bool(line, "tsv_aligned", &v)?);
+    }
+    builder = builder.tsv(tsv);
+
+    if let Some((line, v)) = take("bonding") {
+        builder = builder.bonding(match v.as_str() {
+            "f2b" => BondingStyle::F2B,
+            "f2f" => BondingStyle::F2F,
+            _ => {
+                return Err(err(
+                    Some(line),
+                    format!("bonding must be f2b or f2f, got {v:?}"),
+                ))
+            }
+        });
+    }
+
+    if let Some((line, v)) = take("mounting") {
+        builder = builder.mounting(match v.as_str() {
+            "off-chip" | "off_chip" | "offchip" => Mounting::OffChip,
+            "shared" | "on-chip" | "on_chip" => Mounting::OnChip {
+                dedicated_tsvs: false,
+            },
+            "dedicated" | "on-chip-dedicated" => Mounting::OnChip {
+                dedicated_tsvs: true,
+            },
+            _ => {
+                return Err(err(
+                    Some(line),
+                    format!("mounting must be off-chip, shared, or dedicated, got {v:?}"),
+                ))
+            }
+        });
+    }
+
+    if let Some((line, v)) = take("rdl") {
+        builder = builder.rdl(match v.as_str() {
+            "none" | "no" => RdlConfig::none(),
+            "bottom" => RdlConfig::enabled(RdlScope::BottomOnly),
+            "all" => RdlConfig::enabled(RdlScope::AllDies),
+            _ => {
+                return Err(err(
+                    Some(line),
+                    format!("rdl must be none, bottom, or all, got {v:?}"),
+                ))
+            }
+        });
+    }
+
+    if let Some((line, v)) = take("wire_bond") {
+        builder = builder.wire_bond(parse_bool(line, "wire_bond", &v)?);
+    }
+
+    if let Some((line, v)) = take("dram_dies") {
+        let dies: usize = v.parse().map_err(|_| {
+            err(
+                Some(line),
+                format!("dram_dies must be an integer, got {v:?}"),
+            )
+        })?;
+        if dies == 0 {
+            return Err(err(Some(line), "dram_dies must be at least 1"));
+        }
+        builder = builder.dram_dies(dies);
+    }
+
+    if let Some(key) = pairs.keys().next() {
+        let (line, _) = pairs[key];
+        return Err(err(Some(line), format!("unknown key {key:?}")));
+    }
+
+    builder.build().map_err(|e| err(None, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_config_is_the_baseline() {
+        let design = parse_design("").unwrap();
+        assert_eq!(design, StackDesign::baseline(Benchmark::StackedDdr3OffChip));
+    }
+
+    #[test]
+    fn full_config_round_trips() {
+        let design = parse_design(
+            "# comment\n\
+             benchmark = ddr3-on\n\
+             m2_usage = 0.15\n\
+             m3_usage = 0.30   # inline comment\n\
+             tsv_count = 60\n\
+             tsv_placement = center\n\
+             tsv_aligned = yes\n\
+             bonding = f2f\n\
+             mounting = shared\n\
+             rdl = bottom\n\
+             wire_bond = true\n",
+        )
+        .unwrap();
+        assert_eq!(design.benchmark(), Benchmark::StackedDdr3OnChip);
+        assert_eq!(design.pdn().m2_usage(), 0.15);
+        assert_eq!(design.tsv().count(), 60);
+        assert!(design.tsv().is_aligned());
+        assert!(design.bonding().is_f2f());
+        assert!(!design.mounting().has_dedicated_tsvs());
+        assert!(design.rdl().is_enabled());
+        assert!(design.has_wire_bond());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = parse_design("benchmark = ddr3-off\nnot a pair\n").unwrap_err();
+        assert_eq!(e.line, Some(2));
+
+        let e = parse_design("m2_usage = abc\n").unwrap_err();
+        assert_eq!(e.line, Some(1));
+        assert!(e.to_string().contains("m2_usage"));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_keys_are_rejected() {
+        let e = parse_design("m2_usage = 0.1\nm2_usage = 0.2\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+
+        let e = parse_design("m2_frobnicate = 0.1\n").unwrap_err();
+        assert!(e.to_string().contains("unknown key"));
+    }
+
+    #[test]
+    fn design_rule_violations_surface() {
+        // Wide I/O fixes TC at 160.
+        let e = parse_design("benchmark = wideio\ntsv_count = 33\n").unwrap_err();
+        assert!(e.to_string().contains("160"), "{e}");
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text() {
+        // A cheap deterministic fuzz: byte soup, truncated unicode, huge
+        // numbers, and pathological key/value shapes must all produce
+        // Ok or a clean ConfigError — never a panic.
+        let cases = [
+            "=",
+            "= =",
+            "benchmark =",
+            "\u{0}\u{1}\u{2}",
+            "m2_usage = 1e308\nm3_usage = -1e308",
+            "tsv_count = 99999999999999999999",
+            "benchmark = ddr3-off\nbenchmark = hmc",
+            "🦀 = 🦀",
+            "key==value",
+            "a = b = c",
+            "dram_dies = 0",
+            "m2_usage = nan",
+            "wire_bond = maybe",
+        ];
+        for case in cases {
+            let _ = parse_design(case);
+        }
+        // And a pseudo-random soup.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..200 {
+            let mut text = String::new();
+            for _ in 0..(x % 17) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let c = char::from_u32((x % 0x250) as u32).unwrap_or('?');
+                text.push(c);
+                if x.is_multiple_of(7) {
+                    text.push('=');
+                }
+                if x.is_multiple_of(11) {
+                    text.push('\n');
+                }
+            }
+            let _ = parse_design(&text);
+        }
+    }
+
+    #[test]
+    fn benchmark_aliases() {
+        assert_eq!(parse_benchmark("wide-io").unwrap(), Benchmark::WideIo);
+        assert_eq!(parse_benchmark("hmc").unwrap(), Benchmark::Hmc);
+        assert!(parse_benchmark("dram9000").is_err());
+    }
+}

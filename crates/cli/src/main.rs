@@ -1,0 +1,457 @@
+//! `pi3d` — command-line front end for the 3D DRAM power-integrity
+//! platform.
+//!
+//! ```text
+//! pi3d analyze  <design.cfg> [--state 0-0-0-2] [--activity 1.0] [--both-nets] [--grid N]
+//! pi3d currents <design.cfg> [--state 0-0-0-2] [--activity 1.0]
+//! pi3d lut      <design.cfg> --out lut.txt
+//! pi3d simulate <design.cfg> [--policy standard|fcfs|distr] [--constraint 24]
+//!                            [--reads 10000] [--lut lut.txt] [--trace trace.txt]
+//! pi3d optimize <benchmark>  [--alpha 0.3] [--threads N]
+//! pi3d export   <design.cfg> [--svg out.svg] [--spice out.sp] [--state 0-0-0-2]
+//! ```
+
+mod config;
+
+use pi3d_core::{build_ir_lut, characterize, Platform};
+use pi3d_layout::units::MilliVolts;
+use pi3d_layout::{render_design_svg, MemoryState, StackDesign};
+use pi3d_memsim::{
+    parse_trace, IrDropLut, MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec,
+};
+use pi3d_mesh::{
+    decompose_ir, export_spice, run_transient, CurrentReport, MeshOptions, StackMesh,
+    SupplyNoiseAnalysis, TransientOptions,
+};
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Minimal flag parser: positional arguments plus `--flag [value]` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        Args::from_iter(std::env::args().skip(1))
+    }
+
+    fn from_iter(source: impl IntoIterator<Item = String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = source.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let Some(command) = args.positional.first().map(String::as_str) else {
+        print_usage();
+        return Err("no command given".into());
+    };
+
+    match command {
+        "analyze" => analyze(&args),
+        "currents" => currents(&args),
+        "lut" => lut_command(&args),
+        "transient" => transient(&args),
+        "simulate" => simulate(&args),
+        "optimize" => optimize(&args),
+        "export" => export(&args),
+        "help" | "--help" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown command {other:?}").into())
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         pi3d analyze  <design.cfg> [--state S] [--activity A] [--both-nets] [--grid N]\n  \
+         pi3d currents <design.cfg> [--state S] [--activity A]\n  \
+         pi3d lut      <design.cfg> --out FILE [--grid N]\n  \
+         pi3d transient <design.cfg> [--state S] [--steps N]\n  \
+         pi3d simulate <design.cfg> [--policy standard|fcfs|distr] [--constraint MV]\n  \
+                       [--reads N] [--lut FILE] [--trace FILE]\n  \
+         pi3d optimize <benchmark>  [--alpha A] [--threads N]\n  \
+         pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]"
+    );
+}
+
+fn load_design(args: &Args) -> Result<StackDesign, Box<dyn std::error::Error>> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing design-configuration file argument")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(config::parse_design(&text)?)
+}
+
+fn state_of(args: &Args, design: &StackDesign) -> Result<MemoryState, Box<dyn std::error::Error>> {
+    match args.flag("state") {
+        Some(s) => Ok(s.parse()?),
+        None => {
+            let dies = design.dram_die_count();
+            Ok(MemoryState::idle(dies).with_die(dies - 1, pi3d_layout::DieState::active(2)))
+        }
+    }
+}
+
+fn mesh_options(args: &Args) -> Result<MeshOptions, Box<dyn std::error::Error>> {
+    let mut options = MeshOptions::default();
+    if let Some(grid) = args.flag("grid") {
+        let n: usize = grid
+            .parse()
+            .map_err(|_| format!("--grid must be an integer, got {grid}"))?;
+        if !(4..=128).contains(&n) {
+            return Err("--grid must be between 4 and 128".into());
+        }
+        options.dram_nx = n;
+        options.dram_ny = n;
+        options.logic_nx = n + 2;
+        options.logic_ny = n;
+    }
+    Ok(options)
+}
+
+fn activity_of(args: &Args) -> Result<f64, Box<dyn std::error::Error>> {
+    match args.flag("activity") {
+        Some(a) => {
+            let v: f64 = a
+                .parse()
+                .map_err(|_| format!("--activity must be a number, got {a}"))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err("--activity must be in [0, 1]".into());
+            }
+            Ok(v)
+        }
+        None => Ok(1.0),
+    }
+}
+
+fn analyze(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let design = load_design(args)?;
+    let state = state_of(args, &design)?;
+    let activity = activity_of(args)?;
+    let options = mesh_options(args)?;
+
+    println!("design   : {} ({})", design.benchmark(), design.cost());
+    println!(
+        "state    : {state} at {:.0}% I/O activity",
+        activity * 100.0
+    );
+
+    if args.has("decompose") {
+        let platform = Platform::new(options);
+        let mut eval = platform.evaluate(&design)?;
+        let report = eval.run(&state, activity)?;
+        println!("max IR   : {:.2}", report.max_dram());
+        println!("per-die vertical (supply path) vs horizontal (in-die) split:");
+        for part in decompose_ir(&report) {
+            println!(
+                "  DRAM{}: max {:.2}, vertical {:.2} ({:.0}%), horizontal {:.2}",
+                part.die + 1,
+                part.max,
+                part.vertical,
+                part.vertical_share() * 100.0,
+                part.horizontal
+            );
+        }
+    } else if args.has("both-nets") {
+        let mut analysis = SupplyNoiseAnalysis::new(&design, options)?;
+        let report = analysis.run(&state, activity)?;
+        println!("VDD drop : {:.2}", report.vdd.max_dram());
+        println!("VSS bounce: {:.2}", report.vss.max_dram());
+        println!("total    : {:.2}", report.max_total());
+    } else {
+        let platform = Platform::new(options);
+        let mut eval = platform.evaluate(&design)?;
+        let report = eval.run(&state, activity)?;
+        println!("max IR   : {:.2}", report.max_dram());
+        for die in 0..design.dram_die_count() {
+            println!("  DRAM{}  : {:.2}", die + 1, report.max_die(die));
+        }
+        if report.max_logic().value() > 0.0 {
+            println!("  logic  : {:.2}", report.max_logic());
+        }
+    }
+    Ok(())
+}
+
+fn currents(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let design = load_design(args)?;
+    let state = state_of(args, &design)?;
+    let activity = activity_of(args)?;
+    let mut mesh = StackMesh::new(&design, mesh_options(args)?)?;
+    let drops = mesh.solve(&state, activity)?;
+    let report = CurrentReport::compute(&mesh, &drops);
+
+    if let Some(entries) = &report.supply_entries {
+        println!(
+            "supply entries : {} contacts, max {:.2} mA, crowding {:.2}x",
+            entries.count,
+            entries.max_a * 1e3,
+            entries.crowding()
+        );
+    }
+    for (i, tsv) in report.tsv_interfaces.iter().enumerate() {
+        println!(
+            "TSV interface {}: {} sites, max {:.2} mA, crowding {:.2}x",
+            i + 1,
+            tsv.count,
+            tsv.max_a * 1e3,
+            tsv.crowding()
+        );
+    }
+    if let Some(wb) = &report.wire_bonds {
+        println!(
+            "bond wires     : {} wires, max {:.2} mA, crowding {:.2}x",
+            wb.count,
+            wb.max_a * 1e3,
+            wb.crowding()
+        );
+    }
+    Ok(())
+}
+
+/// Runs the RC transient extension on a design.
+fn transient(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let design = load_design(args)?;
+    let state = state_of(args, &design)?;
+    let mut options = TransientOptions::default();
+    if let Some(steps) = args.flag("steps") {
+        options.steps = steps.parse()?;
+    }
+    let result = run_transient(&design, mesh_options(args)?, options, &state)?;
+    println!("DC drop        : {:.2} mV", result.dc_mv);
+    println!(
+        "transient peak : {:.2} mV ({:.3}x DC)",
+        result.peak_mv,
+        result.overshoot()
+    );
+    Ok(())
+}
+
+/// Builds a design's IR-drop LUT and writes it as text.
+fn lut_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let design = load_design(args)?;
+    let out = args.flag("out").ok_or("lut needs --out FILE")?;
+    let platform = Platform::new(mesh_options(args)?);
+    let mut eval = platform.evaluate(&design)?;
+    eprintln!("building IR-drop lookup table ...");
+    let lut = build_ir_lut(&mut eval, SimConfig::paper_ddr3().max_powered_per_die)?;
+    fs::write(out, lut.to_text())?;
+    println!("wrote {out} ({} states)", lut.state_count());
+    Ok(())
+}
+
+fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let design = load_design(args)?;
+    let constraint = MilliVolts(match args.flag("constraint") {
+        Some(c) => c.parse()?,
+        None => 24.0,
+    });
+    let policy = match args.flag("policy").unwrap_or("distr") {
+        "standard" => ReadPolicy::standard(),
+        "fcfs" => ReadPolicy::ir_aware_fcfs(constraint),
+        "distr" => ReadPolicy::ir_aware_distr(constraint),
+        other => return Err(format!("unknown policy {other:?}").into()),
+    };
+    let reads: usize = match args.flag("reads") {
+        Some(r) => r.parse()?,
+        None => 10_000,
+    };
+
+    // A pre-built LUT (from `pi3d lut`) skips the R-Mesh sweep.
+    let lut = match args.flag("lut") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let lut = IrDropLut::from_text(&text)?;
+            if lut.dies() != design.dram_die_count() {
+                return Err(format!(
+                    "LUT covers {} dies but the design has {}",
+                    lut.dies(),
+                    design.dram_die_count()
+                )
+                .into());
+            }
+            lut
+        }
+        None => {
+            let platform = Platform::new(MeshOptions::default());
+            let mut eval = platform.evaluate(&design)?;
+            eprintln!("building IR-drop lookup table ...");
+            build_ir_lut(&mut eval, SimConfig::paper_ddr3().max_powered_per_die)?
+        }
+    };
+
+    // Timing and channel structure follow the benchmark.
+    let spec = design.benchmark().spec();
+    let timing = match design.benchmark() {
+        pi3d_layout::Benchmark::WideIo => TimingParams::wide_io_200(),
+        pi3d_layout::Benchmark::Hmc => TimingParams::hmc_2500(),
+        _ => TimingParams::ddr3_1600(),
+    };
+    let requests = match args.flag("trace") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_trace(&text)?
+        }
+        None => {
+            let mut workload = WorkloadSpec::paper_ddr3();
+            workload.count = reads;
+            workload.dies = design.dram_die_count();
+            workload.banks_per_die = design.banks_per_die();
+            workload.channels = spec.channels;
+            workload.generate()
+        }
+    };
+    let mut sim_config = SimConfig::paper_ddr3();
+    sim_config.dies = design.dram_die_count();
+    sim_config.banks_per_die = design.banks_per_die();
+    sim_config.channels = spec.channels;
+
+    let sim = MemorySimulator::new(timing, sim_config, policy, lut);
+    let stats = sim.run(&requests)?;
+    println!("policy    : {}", policy.name());
+    println!("runtime   : {:.2} us", stats.runtime_us);
+    println!("bandwidth : {:.3} reads/clk", stats.bandwidth_reads_per_clk);
+    println!("max IR    : {:.2}", stats.max_ir);
+    println!("row hits  : {:.1}%", stats.row_hit_rate() * 100.0);
+    Ok(())
+}
+
+fn optimize(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark =
+        config::parse_benchmark(args.positional.get(1).ok_or("missing benchmark argument")?)?;
+    let alpha: f64 = match args.flag("alpha") {
+        Some(a) => a.parse()?,
+        None => 0.3,
+    };
+    let threads: usize = match args.flag("threads") {
+        Some(t) => t.parse()?,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    };
+
+    let platform = Platform::new(MeshOptions::coarse());
+    eprintln!("characterizing {benchmark} ({threads} threads) ...");
+    let characterization = characterize(&platform, benchmark, threads)?;
+    let best = characterization.optimize(alpha, &platform)?;
+    println!(
+        "best at alpha={alpha}: M2={:.0}% M3={:.0}% TC={} {}",
+        best.point.m2 * 100.0,
+        best.point.m3 * 100.0,
+        best.point.tc,
+        best.point.combo.label()
+    );
+    println!("predicted IR : {:.2} mV", best.predicted_ir_mv);
+    println!("verified IR  : {:.2} mV", best.measured_ir_mv);
+    println!("cost         : {:.3}", best.cost);
+    Ok(())
+}
+
+fn export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let design = load_design(args)?;
+    let mut wrote = false;
+    if let Some(path) = args.flag("svg") {
+        let svg = render_design_svg(&design, &design.benchmark().to_string());
+        fs::write(path, svg)?;
+        println!("wrote {path}");
+        wrote = true;
+    }
+    if let Some(path) = args.flag("spice") {
+        let state = state_of(args, &design)?;
+        let mesh = StackMesh::new(&design, mesh_options(args)?)?;
+        let loads = mesh.load_vector(&state, activity_of(args)?);
+        let mut deck = Vec::new();
+        export_spice(
+            &mesh,
+            &loads,
+            &format!("{} state {state}", design.benchmark()),
+            &mut deck,
+        )?;
+        fs::write(path, deck)?;
+        println!("wrote {path}");
+        wrote = true;
+    }
+    if !wrote {
+        return Err("export needs --svg and/or --spice".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::from_iter(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positionals_and_flags_separate() {
+        let a = args(&[
+            "analyze",
+            "d.cfg",
+            "--state",
+            "0-0-0-2",
+            "--both-nets",
+            "--grid",
+            "16",
+        ]);
+        assert_eq!(a.positional, vec!["analyze", "d.cfg"]);
+        assert_eq!(a.flag("state"), Some("0-0-0-2"));
+        assert_eq!(a.flag("grid"), Some("16"));
+        assert!(a.has("both-nets"));
+        assert_eq!(a.flag("both-nets"), None);
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_takes_no_value() {
+        let a = args(&["export", "d.cfg", "--svg", "--spice", "out.sp"]);
+        assert_eq!(a.flag("svg"), None);
+        assert_eq!(a.flag("spice"), Some("out.sp"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests driving the compiled `pi3d` binary end to end.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn pi3d(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pi3d"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_config(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pi3d-cli-tests");
+    fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    fs::write(&path, body).expect("config written");
+    path
+}
+
+#[test]
+fn analyze_reports_ir_drop() {
+    let cfg = write_config("analyze.cfg", "benchmark = ddr3-off\n");
+    let out = pi3d(&["analyze", cfg.to_str().unwrap(), "--grid", "10"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("max IR"), "{stdout}");
+    assert!(stdout.contains("DRAM4"), "{stdout}");
+}
+
+#[test]
+fn analyze_both_nets_reports_total() {
+    let cfg = write_config("nets.cfg", "benchmark = ddr3-off\n");
+    let out = pi3d(&[
+        "analyze",
+        cfg.to_str().unwrap(),
+        "--grid",
+        "10",
+        "--both-nets",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VSS bounce"), "{stdout}");
+    assert!(stdout.contains("total"), "{stdout}");
+}
+
+#[test]
+fn export_writes_svg_and_spice() {
+    let cfg = write_config("export.cfg", "benchmark = ddr3-off\nwire_bond = true\n");
+    let dir = std::env::temp_dir().join("pi3d-cli-tests");
+    let svg = dir.join("out.svg");
+    let sp = dir.join("out.sp");
+    let out = pi3d(&[
+        "export",
+        cfg.to_str().unwrap(),
+        "--svg",
+        svg.to_str().unwrap(),
+        "--spice",
+        sp.to_str().unwrap(),
+        "--grid",
+        "8",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let svg_text = fs::read_to_string(&svg).expect("svg exists");
+    assert!(svg_text.starts_with("<svg"));
+    let sp_text = fs::read_to_string(&sp).expect("deck exists");
+    assert!(sp_text.trim_end().ends_with(".end"));
+}
+
+#[test]
+fn bad_config_fails_with_line_number() {
+    let cfg = write_config("bad.cfg", "benchmark = ddr3-off\nm2_usage = lots\n");
+    let out = pi3d(&["analyze", cfg.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let out = pi3d(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = pi3d(&["analyze", "/nonexistent/design.cfg"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn lut_roundtrip_feeds_simulate() {
+    let cfg = write_config("lut.cfg", "benchmark = ddr3-off\n");
+    let dir = std::env::temp_dir().join("pi3d-cli-tests");
+    let lut_path = dir.join("baseline.lut");
+    let out = pi3d(&[
+        "lut",
+        cfg.to_str().unwrap(),
+        "--out",
+        lut_path.to_str().unwrap(),
+        "--grid",
+        "8",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = fs::read_to_string(&lut_path).expect("LUT written");
+    assert!(text.starts_with("pi3d-ir-lut v1 dies=4"));
+
+    // A tiny trace served through the prebuilt LUT.
+    let trace = dir.join("trace.txt");
+    let mut body = String::new();
+    for i in 0..40u64 {
+        body += &format!("{} {} {} {}\n", i * 6, i % 4, i % 8, i % 32);
+    }
+    fs::write(&trace, body).expect("trace written");
+
+    let out = pi3d(&[
+        "simulate",
+        cfg.to_str().unwrap(),
+        "--lut",
+        lut_path.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--policy",
+        "fcfs",
+        "--constraint",
+        "40",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("runtime"), "{stdout}");
+    assert!(stdout.contains("max IR"), "{stdout}");
+}

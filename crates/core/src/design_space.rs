@@ -1,0 +1,293 @@
+use pi3d_layout::{
+    Benchmark, BondingStyle, LayoutError, MemoryState, Mounting, PdnSpec, RdlConfig, RdlScope,
+    StackDesign, TsvConfig, TsvPlacement,
+};
+
+/// One categorical option combination of the Table 8 design space:
+/// everything except the three continuous knobs (M2, M3, TC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CategoricalCombo {
+    /// TSV location (TL).
+    pub placement: TsvPlacement,
+    /// Dedicated TSVs (TD). Only meaningful for on-chip benchmarks.
+    pub dedicated: bool,
+    /// Bonding style (BD).
+    pub bonding: BondingStyle,
+    /// RDL layer (RL).
+    pub rdl: bool,
+    /// Wire bonding (WB).
+    pub wire_bond: bool,
+}
+
+impl CategoricalCombo {
+    /// Compact display like the paper's Table 9 option columns.
+    pub fn label(&self) -> String {
+        format!(
+            "TL={} TD={} BD={} RL={} WB={}",
+            self.placement.abbreviation(),
+            if self.dedicated { 'Y' } else { 'N' },
+            self.bonding.abbreviation(),
+            if self.rdl { 'Y' } else { 'N' },
+            if self.wire_bond { 'Y' } else { 'N' },
+        )
+    }
+}
+
+/// One fully specified point of the design space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// M2 VDD usage fraction.
+    pub m2: f64,
+    /// M3 VDD usage fraction.
+    pub m3: f64,
+    /// Power-TSV count.
+    pub tc: usize,
+    /// Categorical options.
+    pub combo: CategoricalCombo,
+}
+
+impl DesignPoint {
+    /// Materializes the point as a [`StackDesign`] for a benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayoutError`] if the point violates a benchmark
+    /// constraint (the enumerators below only produce valid points, but
+    /// hand-built points may not be).
+    pub fn to_design(&self, benchmark: Benchmark) -> Result<StackDesign, LayoutError> {
+        let mounting = match benchmark {
+            Benchmark::StackedDdr3OffChip => Mounting::OffChip,
+            _ => Mounting::OnChip {
+                dedicated_tsvs: self.combo.dedicated,
+            },
+        };
+        let rdl = if self.combo.rdl {
+            RdlConfig::enabled(RdlScope::AllDies)
+        } else {
+            RdlConfig::none()
+        };
+        StackDesign::builder(benchmark)
+            .mounting(mounting)
+            .pdn(PdnSpec::new(self.m2, self.m3)?)
+            .tsv(TsvConfig::new(self.tc, self.combo.placement)?)
+            .bonding(self.combo.bonding)
+            .rdl(rdl)
+            .wire_bond(self.combo.wire_bond)
+            .build()
+    }
+}
+
+/// The per-benchmark design space of Section 6.1, with the validity rules
+/// the paper states: Wide I/O fixes TC at 160 and requires an RDL with edge
+/// TSVs; distributed TSVs exist only for HMC; HMC needs TC ≥ 160.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignSpace {
+    benchmark: Benchmark,
+}
+
+impl DesignSpace {
+    /// The design space for one benchmark.
+    pub fn new(benchmark: Benchmark) -> Self {
+        DesignSpace { benchmark }
+    }
+
+    /// The benchmark this space describes.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// M2 usage values sampled for regression.
+    pub fn m2_samples(&self) -> Vec<f64> {
+        vec![0.10, 0.15, 0.20]
+    }
+
+    /// M3 usage values sampled for regression.
+    pub fn m3_samples(&self) -> Vec<f64> {
+        vec![0.10, 0.20, 0.30, 0.40]
+    }
+
+    /// TSV counts sampled for regression.
+    pub fn tc_samples(&self) -> Vec<usize> {
+        match self.benchmark {
+            Benchmark::WideIo => vec![160],
+            Benchmark::Hmc => vec![160, 300, 480],
+            _ => vec![15, 60, 180, 480],
+        }
+    }
+
+    /// Fine M2 grid searched by the optimizer.
+    pub fn m2_grid(&self) -> Vec<f64> {
+        (0..=10).map(|i| 0.10 + 0.01 * i as f64).collect()
+    }
+
+    /// Fine M3 grid searched by the optimizer.
+    pub fn m3_grid(&self) -> Vec<f64> {
+        (0..=30).map(|i| 0.10 + 0.01 * i as f64).collect()
+    }
+
+    /// Fine TSV-count grid searched by the optimizer.
+    pub fn tc_grid(&self) -> Vec<usize> {
+        match self.benchmark {
+            Benchmark::WideIo => vec![160],
+            Benchmark::Hmc => vec![160, 200, 240, 300, 360, 420, 480],
+            _ => vec![
+                15, 21, 24, 33, 45, 60, 90, 120, 180, 240, 300, 360, 420, 480,
+            ],
+        }
+    }
+
+    /// All valid categorical combinations for the benchmark.
+    pub fn categorical_combos(&self) -> Vec<CategoricalCombo> {
+        let placements: &[TsvPlacement] = match self.benchmark {
+            Benchmark::Hmc => &[
+                TsvPlacement::Center,
+                TsvPlacement::Edge,
+                TsvPlacement::Distributed,
+            ],
+            _ => &[TsvPlacement::Center, TsvPlacement::Edge],
+        };
+        let dedicated_options: &[bool] = match self.benchmark {
+            Benchmark::StackedDdr3OffChip => &[false],
+            _ => &[false, true],
+        };
+        let mut combos = Vec::new();
+        for &placement in placements {
+            for &dedicated in dedicated_options {
+                for bonding in [BondingStyle::F2B, BondingStyle::F2F] {
+                    for rdl in [false, true] {
+                        // JEDEC Wide I/O requires PG pumps at the centre;
+                        // edge TSVs are only reachable through an RDL.
+                        if self.benchmark == Benchmark::WideIo
+                            && placement == TsvPlacement::Edge
+                            && !rdl
+                        {
+                            continue;
+                        }
+                        for wire_bond in [false, true] {
+                            combos.push(CategoricalCombo {
+                                placement,
+                                dedicated,
+                                bonding,
+                                rdl,
+                                wire_bond,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        combos
+    }
+
+    /// Every regression-sample design point (categorical combos × sampled
+    /// continuous values).
+    pub fn sample_points(&self) -> Vec<DesignPoint> {
+        let mut points = Vec::new();
+        for combo in self.categorical_combos() {
+            for &m2 in &self.m2_samples() {
+                for &m3 in &self.m3_samples() {
+                    for &tc in &self.tc_samples() {
+                        points.push(DesignPoint { m2, m3, tc, combo });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// The default (worst-case) memory state used to score designs, per
+    /// benchmark: the paper's `0-0-0-2` for stacked DDR3, scaled by channel
+    /// parallelism for Wide I/O and HMC.
+    pub fn default_state(&self) -> MemoryState {
+        let top_banks = match self.benchmark {
+            Benchmark::StackedDdr3OffChip | Benchmark::StackedDdr3OnChip => 2,
+            // Wide I/O interleaves two banks per rank like DDR3; HMC's 16
+            // channels keep more banks in flight even in the default state.
+            Benchmark::WideIo => 2,
+            Benchmark::Hmc => 4,
+        };
+        let dies = self.benchmark.spec().dram_dies;
+        let mut state = MemoryState::idle(dies);
+        state = state.with_die(dies - 1, pi3d_layout::DieState::active(top_banks));
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sample_point_builds_a_valid_design() {
+        for benchmark in Benchmark::ALL {
+            let space = DesignSpace::new(benchmark);
+            let points = space.sample_points();
+            assert!(!points.is_empty(), "{benchmark}: empty space");
+            for p in points {
+                let design = p.to_design(benchmark);
+                assert!(design.is_ok(), "{benchmark}: {p:?} -> {design:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_io_fixes_tsv_count() {
+        let space = DesignSpace::new(Benchmark::WideIo);
+        assert_eq!(space.tc_samples(), vec![160]);
+        assert_eq!(space.tc_grid(), vec![160]);
+    }
+
+    #[test]
+    fn wide_io_edge_requires_rdl() {
+        let space = DesignSpace::new(Benchmark::WideIo);
+        for combo in space.categorical_combos() {
+            if combo.placement == TsvPlacement::Edge {
+                assert!(combo.rdl, "edge TSVs without RDL on Wide I/O: {combo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_is_hmc_only() {
+        for benchmark in Benchmark::ALL {
+            let space = DesignSpace::new(benchmark);
+            let has_distributed = space
+                .categorical_combos()
+                .iter()
+                .any(|c| c.placement == TsvPlacement::Distributed);
+            assert_eq!(has_distributed, benchmark == Benchmark::Hmc, "{benchmark}");
+        }
+    }
+
+    #[test]
+    fn off_chip_never_has_dedicated_tsvs() {
+        let space = DesignSpace::new(Benchmark::StackedDdr3OffChip);
+        assert!(space.categorical_combos().iter().all(|c| !c.dedicated));
+    }
+
+    #[test]
+    fn default_states_scale_with_parallelism() {
+        assert_eq!(
+            DesignSpace::new(Benchmark::StackedDdr3OffChip)
+                .default_state()
+                .to_string(),
+            "0-0-0-2"
+        );
+        assert_eq!(
+            DesignSpace::new(Benchmark::Hmc).default_state().to_string(),
+            "0-0-0-4"
+        );
+    }
+
+    #[test]
+    fn combo_label_is_compact() {
+        let combo = CategoricalCombo {
+            placement: TsvPlacement::Edge,
+            dedicated: true,
+            bonding: BondingStyle::F2F,
+            rdl: false,
+            wire_bond: true,
+        };
+        assert_eq!(combo.label(), "TL=E TD=Y BD=F2F RL=N WB=Y");
+    }
+}

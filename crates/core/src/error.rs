@@ -1,0 +1,95 @@
+use pi3d_layout::LayoutError;
+use pi3d_memsim::SimulateError;
+use pi3d_solver::SolverError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the co-optimization platform.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A linear-solver failure bubbled up from the R-Mesh engine.
+    Solver(SolverError),
+    /// An invalid design configuration.
+    Layout(LayoutError),
+    /// A memory-controller simulation failure.
+    Simulate(SimulateError),
+    /// A regression fit could not be computed (e.g. too few samples).
+    Regression {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The design space for a benchmark contained no valid point.
+    EmptyDesignSpace {
+        /// The benchmark searched.
+        benchmark: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Solver(e) => write!(f, "solver error: {e}"),
+            CoreError::Layout(e) => write!(f, "layout error: {e}"),
+            CoreError::Simulate(e) => write!(f, "simulation error: {e}"),
+            CoreError::Regression { reason } => write!(f, "regression failed: {reason}"),
+            CoreError::EmptyDesignSpace { benchmark } => {
+                write!(f, "no valid design point for benchmark {benchmark}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            CoreError::Layout(e) => Some(e),
+            CoreError::Simulate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for CoreError {
+    fn from(e: SolverError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<LayoutError> for CoreError {
+    fn from(e: LayoutError) -> Self {
+        CoreError::Layout(e)
+    }
+}
+
+impl From<SimulateError> for CoreError {
+    fn from(e: SimulateError) -> Self {
+        CoreError::Simulate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: CoreError = SolverError::FloatingNode { row: 3 }.into();
+        assert!(e.to_string().contains("node 3"));
+        assert!(e.source().is_some());
+
+        let e: CoreError = LayoutError::TooManyActiveBanks {
+            requested: 9,
+            available: 8,
+        }
+        .into();
+        assert!(matches!(e, CoreError::Layout(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,132 @@
+//! Ablation studies on the modeling decisions DESIGN.md §7 documents:
+//! what each mechanism contributes to the calibrated results.
+
+use crate::error::CoreError;
+use crate::platform::Platform;
+use crate::report::{mv, TextTable};
+use pi3d_layout::{Benchmark, BondingStyle, MemoryState, StackDesign};
+use pi3d_mesh::MeshOptions;
+use std::fmt;
+
+/// One ablation row: a mechanism toggled off.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// What was ablated.
+    pub label: &'static str,
+    /// Baseline (F2B) max IR with the ablation, mV.
+    pub f2b_mv: f64,
+    /// F2F max IR with the ablation, mV.
+    pub f2f_mv: f64,
+}
+
+/// Ablation-study result.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// First row is the full model; later rows remove one mechanism each.
+    pub rows: Vec<AblationRow>,
+}
+
+impl Ablation {
+    /// Finds a row by label.
+    pub fn row(&self, label: &str) -> Option<&AblationRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+impl fmt::Display for Ablation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Model ablations, off-chip DDR3, 0-0-0-2 (F2F delta shows PDN sharing)"
+        )?;
+        let mut t = TextTable::new(vec!["model", "F2B (mV)", "F2F (mV)", "F2F benefit"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.label.into(),
+                mv(r.f2b_mv),
+                mv(r.f2f_mv),
+                format!("{:+.1}%", (r.f2f_mv / r.f2b_mv - 1.0) * 100.0),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+fn max_ir(
+    design: &StackDesign,
+    options: &MeshOptions,
+    state: &MemoryState,
+) -> Result<f64, CoreError> {
+    let platform = Platform::new(options.clone());
+    Ok(platform.evaluate(design)?.max_ir(state, 1.0)?.value())
+}
+
+/// Runs the ablations at the given base resolution.
+///
+/// # Errors
+///
+/// Propagates design and solver errors.
+pub fn run(base: &MeshOptions) -> Result<Ablation, CoreError> {
+    let state: MemoryState = "0-0-0-2".parse().expect("literal state");
+    let f2b = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+    let f2f = StackDesign::builder(Benchmark::StackedDdr3OffChip)
+        .bonding(BondingStyle::F2F)
+        .build()?;
+
+    let mut rows = Vec::new();
+    for (label, options) in [
+        ("full model", base.clone()),
+        (
+            "no pad-row TSVs",
+            MeshOptions {
+                pad_row_tsvs: 0,
+                ..base.clone()
+            },
+        ),
+        (
+            "double pad-row TSVs",
+            MeshOptions {
+                pad_row_tsvs: 20,
+                ..base.clone()
+            },
+        ),
+    ] {
+        rows.push(AblationRow {
+            label,
+            f2b_mv: max_ir(&f2b, &options, &state)?,
+            f2f_mv: max_ir(&f2f, &options, &state)?,
+        });
+    }
+    Ok(Ablation { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_row_tsvs_carry_real_current() {
+        let a = run(&MeshOptions::coarse()).unwrap();
+        let full = a.row("full model").unwrap();
+        let none = a.row("no pad-row TSVs").unwrap();
+        let double = a.row("double pad-row TSVs").unwrap();
+        // Removing the pad-row supply raises the drop; doubling lowers it.
+        assert!(
+            none.f2b_mv > full.f2b_mv,
+            "{} !> {}",
+            none.f2b_mv,
+            full.f2b_mv
+        );
+        assert!(double.f2b_mv < full.f2b_mv);
+        // And the F2F sharing benefit persists in every variant.
+        for r in &a.rows {
+            assert!(
+                r.f2f_mv < r.f2b_mv,
+                "{}: F2F {} !< F2B {}",
+                r.label,
+                r.f2f_mv,
+                r.f2b_mv
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The six design cases of Table 7 / Figure 9, shared by both experiments.
+
+use pi3d_layout::{Benchmark, BondingStyle, LayoutError, Mounting, PdnSpec, StackDesign};
+
+/// One of the paper's six Table 7 case-study designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseSpec {
+    /// Case number (1-based, as in the paper).
+    pub id: usize,
+    /// Off-chip (stand-alone) or on-chip (mounted, PDN shared with logic).
+    pub on_chip: bool,
+    /// Die bonding style.
+    pub bonding: BondingStyle,
+    /// PDN metal-usage multiplier relative to the baseline (1.0 or 1.5).
+    pub pdn_scale: f64,
+    /// Backside wire bonding.
+    pub wire_bond: bool,
+}
+
+impl CaseSpec {
+    /// All six cases, in Table 7 order:
+    ///
+    /// | # | mounting | bonding | PDN | wire bond |
+    /// |---|---|---|---|---|
+    /// | 1 | off-chip | F2B | 1x   | no  |
+    /// | 2 | off-chip | F2B | 1.5x | no  |
+    /// | 3 | off-chip | F2F | 1x   | no  |
+    /// | 4 | on-chip  | F2B | 1x   | no  |
+    /// | 5 | on-chip  | F2B | 1x   | yes |
+    /// | 6 | on-chip  | F2F | 1x   | no  |
+    pub fn all() -> [CaseSpec; 6] {
+        [
+            CaseSpec {
+                id: 1,
+                on_chip: false,
+                bonding: BondingStyle::F2B,
+                pdn_scale: 1.0,
+                wire_bond: false,
+            },
+            CaseSpec {
+                id: 2,
+                on_chip: false,
+                bonding: BondingStyle::F2B,
+                pdn_scale: 1.5,
+                wire_bond: false,
+            },
+            CaseSpec {
+                id: 3,
+                on_chip: false,
+                bonding: BondingStyle::F2F,
+                pdn_scale: 1.0,
+                wire_bond: false,
+            },
+            CaseSpec {
+                id: 4,
+                on_chip: true,
+                bonding: BondingStyle::F2B,
+                pdn_scale: 1.0,
+                wire_bond: false,
+            },
+            CaseSpec {
+                id: 5,
+                on_chip: true,
+                bonding: BondingStyle::F2B,
+                pdn_scale: 1.0,
+                wire_bond: true,
+            },
+            CaseSpec {
+                id: 6,
+                on_chip: true,
+                bonding: BondingStyle::F2F,
+                pdn_scale: 1.0,
+                wire_bond: false,
+            },
+        ]
+    }
+
+    /// Materializes the case as a stacked-DDR3 design. The on-chip cases
+    /// share the logic PDN (no dedicated TSVs), matching Table 7's 64.41 mV
+    /// case 4.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in six cases; returns a [`LayoutError`]
+    /// only for hand-built invalid specs.
+    pub fn build(&self) -> Result<StackDesign, LayoutError> {
+        let benchmark = if self.on_chip {
+            Benchmark::StackedDdr3OnChip
+        } else {
+            Benchmark::StackedDdr3OffChip
+        };
+        let mut builder = StackDesign::builder(benchmark)
+            .pdn(PdnSpec::baseline().scaled(self.pdn_scale))
+            .bonding(self.bonding)
+            .wire_bond(self.wire_bond);
+        if self.on_chip {
+            builder = builder.mounting(Mounting::OnChip {
+                dedicated_tsvs: false,
+            });
+        }
+        builder.build()
+    }
+
+    /// Short label, e.g. `"on-chip F2B 1x +WB"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} {:.1}x{}",
+            if self.on_chip { "on-chip" } else { "off-chip" },
+            self.bonding,
+            self.pdn_scale,
+            if self.wire_bond { " +WB" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_cases_build() {
+        for case in CaseSpec::all() {
+            let design = case.build().expect("case builds");
+            assert_eq!(design.bonding(), case.bonding);
+            assert_eq!(design.has_wire_bond(), case.wire_bond);
+            assert_eq!(design.mounting().is_on_chip(), case.on_chip);
+            if case.on_chip {
+                assert!(!design.mounting().has_dedicated_tsvs());
+            }
+        }
+    }
+
+    #[test]
+    fn case2_scales_the_pdn() {
+        let design = CaseSpec::all()[1].build().unwrap();
+        assert!((design.pdn().m2_usage() - 0.15).abs() < 1e-12);
+        assert!((design.pdn().m3_usage() - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<String> =
+            CaseSpec::all().iter().map(CaseSpec::label).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 5: impact of TSV count and C4 alignment. More TSVs lower the IR
+//! drop with saturating returns; alignment optimization cuts the on-chip
+//! drop by up to 51.5% while barely moving the logic drop (+0.2%).
+
+use crate::error::CoreError;
+use crate::platform::Platform;
+use crate::report::{mv, TextTable};
+use pi3d_layout::{Benchmark, MemoryState, Mounting, StackDesign, TsvConfig, TsvPlacement};
+use pi3d_mesh::MeshOptions;
+use std::fmt;
+
+/// One TSV-count sample of the Figure 5 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// Power-TSV count.
+    pub tsv_count: usize,
+    /// Off-chip DRAM max IR, mV.
+    pub off_chip_mv: f64,
+    /// On-chip (shared PDN, uniform pitch) DRAM max IR, mV.
+    pub on_chip_mv: f64,
+    /// On-chip with C4-alignment-optimized TSVs, mV.
+    pub on_chip_aligned_mv: f64,
+}
+
+/// The Figure 5 sweep result.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// Rows in increasing TSV-count order.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5 {
+    /// The largest alignment benefit across the sweep (paper: 51.5%).
+    pub fn best_alignment_reduction(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| 1.0 - r.on_chip_aligned_mv / r.on_chip_mv)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TSV count and alignment, stacked DDR3, 0-0-0-2 (paper: alignment up to -51.5% on-chip)"
+        )?;
+        let mut t = TextTable::new(vec![
+            "TSV count",
+            "off-chip (mV)",
+            "on-chip (mV)",
+            "on-chip aligned (mV)",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.tsv_count.to_string(),
+                mv(r.off_chip_mv),
+                mv(r.on_chip_mv),
+                mv(r.on_chip_aligned_mv),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs the sweep over edge-TSV counts.
+///
+/// # Errors
+///
+/// Propagates design and solver errors.
+pub fn run(options: &MeshOptions) -> Result<Fig5, CoreError> {
+    run_counts(options, &[15, 33, 60, 120, 240, 480])
+}
+
+/// Runs the sweep over explicit TSV counts (used to shrink test runtimes).
+///
+/// # Errors
+///
+/// Propagates design and solver errors.
+pub fn run_counts(options: &MeshOptions, counts: &[usize]) -> Result<Fig5, CoreError> {
+    let platform = Platform::new(options.clone());
+    let state: MemoryState = "0-0-0-2".parse().expect("literal state");
+    let mut rows = Vec::new();
+    for &tsv_count in counts {
+        let tsv = TsvConfig::new(tsv_count, TsvPlacement::Edge)?;
+        let off = StackDesign::builder(Benchmark::StackedDdr3OffChip)
+            .tsv(tsv)
+            .build()?;
+        let on = StackDesign::builder(Benchmark::StackedDdr3OnChip)
+            .mounting(Mounting::OnChip {
+                dedicated_tsvs: false,
+            })
+            .tsv(tsv)
+            .build()?;
+        let on_aligned = StackDesign::builder(Benchmark::StackedDdr3OnChip)
+            .mounting(Mounting::OnChip {
+                dedicated_tsvs: false,
+            })
+            .tsv(tsv.with_alignment(true))
+            .build()?;
+
+        let off_chip_mv = platform.evaluate(&off)?.max_ir(&state, 1.0)?.value();
+        let on_chip_mv = platform.evaluate(&on)?.max_ir(&state, 1.0)?.value();
+        let on_chip_aligned_mv = platform.evaluate(&on_aligned)?.max_ir(&state, 1.0)?.value();
+        rows.push(Fig5Row {
+            tsv_count,
+            off_chip_mv,
+            on_chip_mv,
+            on_chip_aligned_mv,
+        });
+    }
+    Ok(Fig5 { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Fig5 {
+        run_counts(&MeshOptions::coarse(), &[15, 60, 240]).unwrap()
+    }
+
+    #[test]
+    fn more_tsvs_lower_off_chip_ir_with_saturation() {
+        let fig = quick();
+        let first_drop = fig.rows[0].off_chip_mv - fig.rows[1].off_chip_mv;
+        let second_drop = fig.rows[1].off_chip_mv - fig.rows[2].off_chip_mv;
+        assert!(first_drop > 0.0, "15 -> 60 TSVs should help");
+        // Saturating returns: the later increment helps less per TSV.
+        let per_tsv_first = first_drop / 45.0;
+        let per_tsv_second = second_drop / 180.0;
+        assert!(
+            per_tsv_second < per_tsv_first,
+            "{per_tsv_second} !< {per_tsv_first}"
+        );
+    }
+
+    #[test]
+    fn alignment_helps_on_chip_substantially() {
+        let fig = quick();
+        let best = fig.best_alignment_reduction();
+        assert!(best > 0.25, "best alignment reduction {best}");
+        for r in &fig.rows {
+            assert!(
+                r.on_chip_aligned_mv <= r.on_chip_mv + 1e-9,
+                "alignment hurt at {}",
+                r.tsv_count
+            );
+        }
+    }
+
+    #[test]
+    fn on_chip_is_worse_than_off_chip() {
+        for r in quick().rows {
+            assert!(r.on_chip_mv > r.off_chip_mv, "at {} TSVs", r.tsv_count);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The cross-domain co-optimization platform for DC power integrity in 3D
+//! DRAM — the paper's primary contribution.
+//!
+//! `pi3d-core` ties the other crates together:
+//!
+//! * [`Platform`] / [`DesignEvaluation`] — turn a
+//!   [`pi3d_layout::StackDesign`] into IR-drop numbers via the R-Mesh.
+//! * [`build_ir_lut`] — pre-compute the IR-drop lookup table the memory
+//!   controller schedules against (Section 5.2).
+//! * [`RegressionModel`] / [`characterize`] / [`Characterization::optimize`]
+//!   — the Section 6 regression-accelerated design-space search minimizing
+//!   `IR-drop^α × Cost^(1−α)`.
+//! * [`experiments`] — one module per table and figure of the paper,
+//!   regenerating its rows from this platform.
+//!
+//! # Examples
+//!
+//! ```
+//! use pi3d_core::{ir_cost, Platform};
+//! use pi3d_layout::{Benchmark, StackDesign};
+//! use pi3d_mesh::MeshOptions;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::new(MeshOptions::coarse());
+//! let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+//! let mut eval = platform.evaluate(&design)?;
+//! let ir = eval.max_ir(&"0-0-0-2".parse()?, 1.0)?;
+//! let objective = ir_cost(ir.value(), eval.cost().total, 0.3);
+//! assert!(objective > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod design_space;
+mod error;
+pub mod experiments;
+mod lut_builder;
+mod optimize;
+mod platform;
+mod regression;
+pub mod report;
+
+pub use design_space::{CategoricalCombo, DesignPoint, DesignSpace};
+pub use error::CoreError;
+pub use lut_builder::{build_ir_lut, LUT_ACTIVITIES};
+pub use optimize::{
+    characterize, ir_cost, BestSolution, Characterization, ComboModel, ParetoPoint,
+};
+pub use platform::{DesignEvaluation, Platform};
+pub use regression::{ir_features, LogIrModel, RegressionModel};
+
+// Memory-state types live in `pi3d-layout` (the power-map generator needs
+// them); re-export them here since they are conceptually part of the
+// platform's architecture-domain API.
+pub use pi3d_layout::{BankGroup, DieState, MemoryState, ParseMemoryStateError};

@@ -1,0 +1,113 @@
+use crate::error::CoreError;
+use crate::platform::DesignEvaluation;
+use pi3d_layout::{DieState, MemoryState};
+use pi3d_memsim::IrDropLut;
+
+/// I/O-activity levels tabulated in the lookup table. They bracket the
+/// zero-bubble implied activities of 1–4 active dies (1, 1/2, 1/3, 1/4)
+/// plus a deep-throttle level for tight IR-drop constraints.
+pub const LUT_ACTIVITIES: [f64; 5] = [0.10, 0.25, 1.0 / 3.0, 0.5, 1.0];
+
+/// Builds the IR-drop lookup table of Section 5.2: the max IR drop of
+/// every memory state with up to `max_banks_per_die` powered banks per
+/// die, at each tabulated I/O activity, using the design's R-Mesh.
+///
+/// Bank locations use the paper's default worst case (group `A`), matching
+/// the conservative table the memory controller schedules against.
+///
+/// # Errors
+///
+/// Propagates solver failures from the mesh.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pi3d_core::{build_ir_lut, Platform};
+/// use pi3d_layout::{Benchmark, StackDesign};
+/// use pi3d_mesh::MeshOptions;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::new(MeshOptions::coarse());
+/// let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+/// let mut eval = platform.evaluate(&design)?;
+/// let lut = build_ir_lut(&mut eval, 2)?;
+/// assert!(lut.lookup(&[0, 0, 0, 2], 1.0).is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_ir_lut(
+    eval: &mut DesignEvaluation,
+    max_banks_per_die: usize,
+) -> Result<IrDropLut, CoreError> {
+    let dies = eval.design().dram_die_count();
+    let mut lut = IrDropLut::new(dies);
+    for counts in enumerate_states(dies, max_banks_per_die) {
+        if counts.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let state = MemoryState::new(
+            counts
+                .iter()
+                .map(|&c| DieState::active(c as usize))
+                .collect(),
+        );
+        for &activity in &LUT_ACTIVITIES {
+            let report = eval.run(&state, activity)?;
+            lut.insert(&counts, activity, report.max_dram());
+        }
+    }
+    Ok(lut)
+}
+
+/// Enumerates every per-die bank-count vector with entries `0..=max`.
+pub(crate) fn enumerate_states(dies: usize, max: usize) -> Vec<Vec<u8>> {
+    let mut states: Vec<Vec<u8>> = vec![Vec::new()];
+    for _ in 0..dies {
+        states = states
+            .into_iter()
+            .flat_map(|s| {
+                (0..=max as u8).map(move |c| {
+                    let mut s = s.clone();
+                    s.push(c);
+                    s
+                })
+            })
+            .collect();
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use pi3d_layout::{Benchmark, StackDesign};
+    use pi3d_mesh::MeshOptions;
+
+    #[test]
+    fn enumerate_covers_the_whole_cube() {
+        let states = enumerate_states(4, 2);
+        assert_eq!(states.len(), 81);
+        assert!(states.contains(&vec![0, 0, 0, 0]));
+        assert!(states.contains(&vec![2, 2, 2, 2]));
+        assert!(states.contains(&vec![0, 1, 2, 0]));
+    }
+
+    #[test]
+    fn lut_build_covers_all_nonidle_states() {
+        let platform = Platform::new(MeshOptions::coarse());
+        let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let mut eval = platform.evaluate(&design).unwrap();
+        // Cap at 1 bank per die to keep the test fast: 2^4 - 1 states.
+        let lut = build_ir_lut(&mut eval, 1).unwrap();
+        assert_eq!(lut.state_count(), 15);
+        // Monotonic in activity for a fixed state.
+        let low = lut.lookup(&[0, 0, 0, 1], 0.25).unwrap();
+        let high = lut.lookup(&[0, 0, 0, 1], 1.0).unwrap();
+        assert!(high.value() > low.value());
+        // Top-die activity costs more than bottom-die activity.
+        let bottom = lut.lookup(&[1, 0, 0, 0], 1.0).unwrap();
+        let top = lut.lookup(&[0, 0, 0, 1], 1.0).unwrap();
+        assert!(top.value() > bottom.value());
+    }
+}

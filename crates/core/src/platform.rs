@@ -1,0 +1,172 @@
+use crate::error::CoreError;
+use pi3d_layout::units::MilliVolts;
+use pi3d_layout::{CostBreakdown, MemoryState, OpKind, StackDesign};
+use pi3d_mesh::{IrAnalysis, IrDropReport, MeshOptions};
+
+/// The cross-domain evaluation platform: builds R-Meshes for designs and
+/// evaluates IR drop, cost, and (through `pi3d-memsim`) performance.
+///
+/// A `Platform` carries only configuration; per-design state lives in the
+/// [`DesignEvaluation`] it hands out, so sweeps can hold many designs at
+/// once.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_core::Platform;
+/// use pi3d_layout::{Benchmark, StackDesign};
+/// use pi3d_mesh::MeshOptions;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::new(MeshOptions::coarse());
+/// let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+/// let mut eval = platform.evaluate(&design)?;
+/// let report = eval.run(&"0-0-0-2".parse()?, 1.0)?;
+/// assert!(report.max_dram().value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Platform {
+    options: MeshOptions,
+}
+
+impl Platform {
+    /// Creates a platform with the given mesh options.
+    pub fn new(options: MeshOptions) -> Self {
+        Platform { options }
+    }
+
+    /// Mesh options used for every evaluation.
+    pub fn options(&self) -> &MeshOptions {
+        &self.options
+    }
+
+    /// Builds the R-Mesh for a design and returns an evaluation handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Layout`] for invalid designs and
+    /// [`CoreError::Solver`] for mesh-assembly failures.
+    pub fn evaluate(&self, design: &StackDesign) -> Result<DesignEvaluation, CoreError> {
+        design.validate()?;
+        let analysis = IrAnalysis::new(design, self.options.clone())?;
+        Ok(DesignEvaluation {
+            design: design.clone(),
+            analysis,
+        })
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::new(MeshOptions::default())
+    }
+}
+
+/// A design with its assembled R-Mesh, ready for repeated state solves.
+#[derive(Debug)]
+pub struct DesignEvaluation {
+    design: StackDesign,
+    analysis: IrAnalysis,
+}
+
+impl DesignEvaluation {
+    /// The evaluated design.
+    pub fn design(&self) -> &StackDesign {
+        &self.design
+    }
+
+    /// Full IR-drop analysis of one memory state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver non-convergence.
+    pub fn run(
+        &mut self,
+        state: &MemoryState,
+        io_activity: f64,
+    ) -> Result<IrDropReport, CoreError> {
+        Ok(self.analysis.run(state, io_activity)?)
+    }
+
+    /// Full analysis for an explicit operation kind (read vs write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver non-convergence.
+    pub fn run_op(
+        &mut self,
+        state: &MemoryState,
+        io_activity: f64,
+        op: OpKind,
+    ) -> Result<IrDropReport, CoreError> {
+        Ok(self.analysis.run_op(state, io_activity, op)?)
+    }
+
+    /// Maximum DRAM IR drop of one state — the headline metric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver non-convergence.
+    pub fn max_ir(
+        &mut self,
+        state: &MemoryState,
+        io_activity: f64,
+    ) -> Result<MilliVolts, CoreError> {
+        Ok(self.run(state, io_activity)?.max_dram())
+    }
+
+    /// The Table 8 cost of the design.
+    pub fn cost(&self) -> CostBreakdown {
+        self.design.cost()
+    }
+
+    /// Access to the underlying analysis (for validation harnesses).
+    pub fn analysis_mut(&mut self) -> &mut IrAnalysis {
+        &mut self.analysis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi3d_layout::Benchmark;
+
+    #[test]
+    fn platform_round_trip() {
+        let platform = Platform::new(MeshOptions::coarse());
+        let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let mut eval = platform.evaluate(&design).expect("valid design");
+        let state: MemoryState = "0-0-0-2".parse().unwrap();
+        let ir = eval.max_ir(&state, 1.0).unwrap();
+        assert!(ir.value() > 5.0 && ir.value() < 100.0, "IR {ir}");
+        assert!(eval.cost().total > 0.0);
+    }
+
+    #[test]
+    fn invalid_design_is_rejected() {
+        use pi3d_layout::{TsvConfig, TsvPlacement};
+        let platform = Platform::default();
+        // Bypass builder validation by mutating via builder with a valid
+        // config, then evaluating a conflicting benchmark directly.
+        let design = StackDesign::builder(Benchmark::Hmc)
+            .tsv(TsvConfig::new(160, TsvPlacement::Distributed).unwrap())
+            .build()
+            .unwrap();
+        assert!(platform.evaluate(&design).is_ok());
+    }
+
+    #[test]
+    fn write_op_changes_the_answer_slightly() {
+        let platform = Platform::new(MeshOptions::coarse());
+        let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let mut eval = platform.evaluate(&design).unwrap();
+        let state: MemoryState = "0-0-0-2".parse().unwrap();
+        let read = eval.run_op(&state, 1.0, OpKind::Read).unwrap().max_dram();
+        let write = eval.run_op(&state, 1.0, OpKind::Write).unwrap().max_dram();
+        let rel = (read.value() - write.value()).abs() / read.value();
+        assert!(rel < 0.10, "read {read} vs write {write}");
+        assert!(read != write);
+    }
+}

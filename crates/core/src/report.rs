@@ -1,0 +1,131 @@
+//! Minimal text-table formatter shared by the experiment modules.
+
+use std::fmt;
+
+/// A simple aligned text table (right-aligned numeric-style columns with a
+/// left-aligned first column), used to print paper-style result tables.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_core::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["design", "IR (mV)"]);
+/// t.row(vec!["baseline".into(), "30.03".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("baseline"));
+/// assert!(s.contains("30.03"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<width$}", cell, width = widths[i])?;
+                } else {
+                    write!(f, "  {:>width$}", cell, width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a millivolt value the way the paper's tables do.
+pub fn mv(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a percent delta, e.g. `-42.8%`.
+pub fn pct(new: f64, old: f64) -> String {
+    format!("{:+.1}%", (new / old - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "bbb"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have the same width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mv(30.034), "30.03");
+        assert_eq!(pct(17.18, 30.03), "-42.8%");
+        assert_eq!(pct(30.03, 30.03), "+0.0%");
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = TextTable::new(vec!["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

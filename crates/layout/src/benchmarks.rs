@@ -1,0 +1,217 @@
+use crate::powermap::PowerModel;
+use crate::units::{MilliWatts, Mm, Volts};
+use std::fmt;
+
+/// The four 3D DRAM benchmark designs of the paper (Figure 1, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Stacked DDR3 as a stand-alone chip on package balls.
+    StackedDdr3OffChip,
+    /// Stacked DDR3 mounted on an OpenSPARC T2 host logic die.
+    StackedDdr3OnChip,
+    /// JEDEC Wide I/O mounted on the T2 die (centre micro-bumps, 4
+    /// channels, 200 Mbps/pin).
+    WideIo,
+    /// Hybrid Memory Cube on its own control logic die (16 channels,
+    /// 2500 Mbps/pin).
+    Hmc,
+}
+
+impl Benchmark {
+    /// All four benchmarks, in the paper's Table 9 order.
+    pub const ALL: [Benchmark; 4] = [
+        Benchmark::StackedDdr3OffChip,
+        Benchmark::StackedDdr3OnChip,
+        Benchmark::WideIo,
+        Benchmark::Hmc,
+    ];
+
+    /// The Table 1 specification of this benchmark.
+    pub fn spec(self) -> BenchmarkSpec {
+        match self {
+            Benchmark::StackedDdr3OffChip => BenchmarkSpec {
+                benchmark: self,
+                name: "Stacked DDR3 (off-chip)",
+                dram_width: Mm(6.8),
+                dram_height: Mm(6.7),
+                logic_size: None,
+                dram_dies: 4,
+                banks_per_die: 8,
+                channels: 1,
+                speed_mbps_per_pin: 1600,
+                data_width: 8,
+                vdd: Volts(1.5),
+                logic_power: MilliWatts(0.0),
+            },
+            Benchmark::StackedDdr3OnChip => BenchmarkSpec {
+                benchmark: self,
+                name: "Stacked DDR3 (on-chip)",
+                dram_width: Mm(6.8),
+                dram_height: Mm(6.7),
+                logic_size: Some((Mm(9.0), Mm(8.0))),
+                dram_dies: 4,
+                banks_per_die: 8,
+                channels: 1,
+                speed_mbps_per_pin: 1600,
+                data_width: 8,
+                vdd: Volts(1.5),
+                logic_power: MilliWatts(3000.0),
+            },
+            Benchmark::WideIo => BenchmarkSpec {
+                benchmark: self,
+                name: "Wide I/O",
+                dram_width: Mm(7.2),
+                dram_height: Mm(7.2),
+                logic_size: Some((Mm(9.0), Mm(8.0))),
+                dram_dies: 4,
+                banks_per_die: 16,
+                channels: 4,
+                speed_mbps_per_pin: 200,
+                data_width: 512,
+                vdd: Volts(1.2),
+                logic_power: MilliWatts(3000.0),
+            },
+            Benchmark::Hmc => BenchmarkSpec {
+                benchmark: self,
+                name: "HMC",
+                dram_width: Mm(7.2),
+                dram_height: Mm(6.4),
+                logic_size: Some((Mm(8.8), Mm(6.4))),
+                dram_dies: 4,
+                banks_per_die: 32,
+                channels: 16,
+                speed_mbps_per_pin: 2500,
+                data_width: 512,
+                vdd: Volts(1.5),
+                logic_power: MilliWatts(2200.0),
+            },
+        }
+    }
+
+    /// The per-die power model appropriate to this benchmark.
+    pub fn power_model(self) -> PowerModel {
+        match self {
+            Benchmark::StackedDdr3OffChip | Benchmark::StackedDdr3OnChip => PowerModel::ddr3(),
+            Benchmark::WideIo => PowerModel::wide_io(),
+            Benchmark::Hmc => PowerModel::hmc(),
+        }
+    }
+
+    /// Whether the DRAM stack sits on a host/controller logic die.
+    pub fn is_mounted_on_logic(self) -> bool {
+        !matches!(self, Benchmark::StackedDdr3OffChip)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+/// Table 1 design specification of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Which benchmark this describes.
+    pub benchmark: Benchmark,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// DRAM die width.
+    pub dram_width: Mm,
+    /// DRAM die height.
+    pub dram_height: Mm,
+    /// Logic die size, if the stack is mounted on one.
+    pub logic_size: Option<(Mm, Mm)>,
+    /// Number of stacked DRAM dies.
+    pub dram_dies: usize,
+    /// Banks per DRAM die.
+    pub banks_per_die: usize,
+    /// Independent memory channels.
+    pub channels: usize,
+    /// Interface speed, Mbps per pin.
+    pub speed_mbps_per_pin: u32,
+    /// Data bus width in bits.
+    pub data_width: u32,
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Total power of the host/controller logic die.
+    pub logic_power: MilliWatts,
+}
+
+impl BenchmarkSpec {
+    /// Peak interface bandwidth in GB/s (`speed × width / 8`).
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.speed_mbps_per_pin as f64 * self.data_width as f64 * self.channels as f64
+            / 8.0
+            / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_dimensions() {
+        let ddr3 = Benchmark::StackedDdr3OffChip.spec();
+        assert_eq!((ddr3.dram_width, ddr3.dram_height), (Mm(6.8), Mm(6.7)));
+        assert_eq!(ddr3.banks_per_die, 8);
+        assert_eq!(ddr3.channels, 1);
+        assert!(ddr3.logic_size.is_none());
+
+        let wio = Benchmark::WideIo.spec();
+        assert_eq!(wio.banks_per_die, 16);
+        assert_eq!(wio.channels, 4);
+        assert_eq!(wio.vdd, Volts(1.2));
+
+        let hmc = Benchmark::Hmc.spec();
+        assert_eq!(hmc.banks_per_die, 32);
+        assert_eq!(hmc.channels, 16);
+        assert_eq!(hmc.logic_size, Some((Mm(8.8), Mm(6.4))));
+    }
+
+    #[test]
+    fn all_benchmarks_have_four_dies() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.spec().dram_dies, 4);
+        }
+    }
+
+    #[test]
+    fn mounted_benchmarks_have_logic_power() {
+        for b in Benchmark::ALL {
+            let spec = b.spec();
+            assert_eq!(b.is_mounted_on_logic(), spec.logic_size.is_some());
+            if b.is_mounted_on_logic() {
+                assert!(spec.logic_power.value() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hmc_is_the_bandwidth_leader() {
+        let bw: Vec<f64> = Benchmark::ALL
+            .iter()
+            .map(|b| b.spec().peak_bandwidth_gbps())
+            .collect();
+        let hmc = Benchmark::Hmc.spec().peak_bandwidth_gbps();
+        for (i, &v) in bw.iter().enumerate() {
+            assert!(v <= hmc, "benchmark {i} beats HMC: {v} vs {hmc}");
+        }
+        // 2500 Mbps × 512 bits × 16 channels / 8 = 2560 GB/s.
+        assert!((hmc - 2560.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn hmc_power_model_is_the_hottest() {
+        let hot = Benchmark::Hmc.power_model().die_power(4, 1.0);
+        let cool = Benchmark::WideIo.power_model().die_power(4, 1.0);
+        assert!(hot.value() > 2.0 * cool.value());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Benchmark::WideIo.to_string(), "Wide I/O");
+        assert_eq!(Benchmark::Hmc.to_string(), "HMC");
+    }
+}

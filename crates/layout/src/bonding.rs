@@ -1,0 +1,130 @@
+use std::fmt;
+
+/// Die-to-die bonding style of the DRAM stack (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BondingStyle {
+    /// Face-to-back: every die faces up, TSVs connect each die's top metal
+    /// to the next die's backside. The industry default.
+    #[default]
+    F2B,
+    /// Face-to-face + back-to-back: dies 1–2 and 3–4 are bonded face to
+    /// face through dense micro-via arrays (sharing their PDNs), and the
+    /// pairs connect back-to-back through PG TSVs.
+    F2F,
+}
+
+impl BondingStyle {
+    /// Whether the style pairs dies face-to-face (enabling PDN sharing).
+    pub fn is_f2f(self) -> bool {
+        matches!(self, BondingStyle::F2F)
+    }
+
+    /// Abbreviation used in the paper's tables.
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            BondingStyle::F2B => "F2B",
+            BondingStyle::F2F => "F2F",
+        }
+    }
+}
+
+impl fmt::Display for BondingStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+/// How the DRAM stack connects to the power supply (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mounting {
+    /// Stand-alone chip: the bottom DRAM die sits directly on package
+    /// balls. The DRAM PDN sees only its own noise.
+    #[default]
+    OffChip,
+    /// Mounted on a host logic die (OpenSPARC T2): supply current flows
+    /// through the logic die's PDN, coupling its noise into the DRAM —
+    /// unless `dedicated_tsvs` punch a private via-last supply path
+    /// through the logic die (Section 4.1).
+    OnChip {
+        /// Whether dedicated power TSVs decouple the DRAM supply from the
+        /// logic PDN.
+        dedicated_tsvs: bool,
+    },
+}
+
+impl Mounting {
+    /// Whether the stack is mounted on a logic die.
+    pub fn is_on_chip(self) -> bool {
+        matches!(self, Mounting::OnChip { .. })
+    }
+
+    /// Whether dedicated power TSVs are present (always `false` off-chip;
+    /// the paper's off-chip rows with "dedicated TSV = yes" refer to the
+    /// supply being inherently direct).
+    pub fn has_dedicated_tsvs(self) -> bool {
+        matches!(
+            self,
+            Mounting::OnChip {
+                dedicated_tsvs: true
+            }
+        )
+    }
+}
+
+impl fmt::Display for Mounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mounting::OffChip => f.write_str("off-chip"),
+            Mounting::OnChip {
+                dedicated_tsvs: true,
+            } => f.write_str("on-chip (dedicated TSVs)"),
+            Mounting::OnChip {
+                dedicated_tsvs: false,
+            } => f.write_str("on-chip"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2f_detection() {
+        assert!(!BondingStyle::F2B.is_f2f());
+        assert!(BondingStyle::F2F.is_f2f());
+    }
+
+    #[test]
+    fn defaults_match_industry_baseline() {
+        assert_eq!(BondingStyle::default(), BondingStyle::F2B);
+        assert_eq!(Mounting::default(), Mounting::OffChip);
+    }
+
+    #[test]
+    fn mounting_flags() {
+        assert!(!Mounting::OffChip.is_on_chip());
+        assert!(!Mounting::OffChip.has_dedicated_tsvs());
+        assert!(Mounting::OnChip {
+            dedicated_tsvs: false
+        }
+        .is_on_chip());
+        assert!(Mounting::OnChip {
+            dedicated_tsvs: true
+        }
+        .has_dedicated_tsvs());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BondingStyle::F2F.to_string(), "F2F");
+        assert_eq!(Mounting::OffChip.to_string(), "off-chip");
+        assert_eq!(
+            Mounting::OnChip {
+                dedicated_tsvs: true
+            }
+            .to_string(),
+            "on-chip (dedicated TSVs)"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+use crate::bonding::BondingStyle;
+use crate::stack::StackDesign;
+use crate::tsv::TsvPlacement;
+use std::fmt;
+
+/// The normalized cost model of the paper's Table 8.
+///
+/// Each technology option contributes a normalized cost term; all terms are
+/// proportional to their inputs except the TSV count, which follows a
+/// square-root law (adding TSVs has diminishing manufacturing cost).
+///
+/// | Term | Input range | Cost range |
+/// |------|-------------|------------|
+/// | M2 VDD usage | 10–20% | 0.025–0.05 |
+/// | M3 VDD usage | 10–40% | 0.025–0.10 |
+/// | Power TSV count | 15–480 | 0.078–0.44 |
+/// | Dedicated TSVs | yes/no | 0.06 / 0 |
+/// | Bonding style | F2B/F2F | 0.045 / 0.06 |
+/// | RDL layer | yes/no | 0.05 / 0 |
+/// | Wire bonding | yes/no | 0.03 / 0 |
+/// | TSV location | C / E / D | 0 / 0.5×TC / 1×TC |
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::{Benchmark, StackDesign};
+///
+/// let baseline = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+/// let cost = baseline.cost();
+/// assert!((cost.total - 0.29).abs() < 0.07); // paper reports 0.35
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Linear coefficient for metal usage (cost = coeff × usage).
+    pub metal_coeff: f64,
+    /// Square-root coefficient for the TSV count (cost = coeff × √TC).
+    pub tsv_coeff: f64,
+    /// Cost of dedicated via-last TSVs.
+    pub dedicated_cost: f64,
+    /// Cost of F2B bonding.
+    pub f2b_cost: f64,
+    /// Cost of F2F (+B2B) bonding.
+    pub f2f_cost: f64,
+    /// Cost of adding an RDL.
+    pub rdl_cost: f64,
+    /// Cost of backside wire bonding.
+    pub wire_bond_cost: f64,
+}
+
+impl CostModel {
+    /// The paper's Table 8 cost model.
+    ///
+    /// The metal coefficient 0.25 reproduces both metal rows exactly
+    /// (0.25 × 10% = 0.025, 0.25 × 40% = 0.10); the TSV coefficient is
+    /// fitted to the stated range endpoints (0.078 at 15, 0.44 at 480).
+    pub fn table8() -> Self {
+        CostModel {
+            metal_coeff: 0.25,
+            tsv_coeff: 0.078 / (15.0_f64).sqrt(),
+            dedicated_cost: 0.06,
+            f2b_cost: 0.045,
+            f2f_cost: 0.06,
+            rdl_cost: 0.05,
+            wire_bond_cost: 0.03,
+        }
+    }
+
+    /// Evaluates the model on a design.
+    pub fn evaluate(&self, design: &StackDesign) -> CostBreakdown {
+        let m2 = self.metal_coeff * design.pdn().m2_usage();
+        let m3 = self.metal_coeff * design.pdn().m3_usage();
+        let tsv_count = self.tsv_coeff * (design.tsv().count() as f64).sqrt();
+        let tsv_location = match design.tsv().placement() {
+            TsvPlacement::Center => 0.0,
+            TsvPlacement::Edge => 0.5 * tsv_count,
+            TsvPlacement::Distributed => tsv_count,
+        };
+        let dedicated = if design.mounting().has_dedicated_tsvs() {
+            self.dedicated_cost
+        } else {
+            0.0
+        };
+        let bonding = match design.bonding() {
+            BondingStyle::F2B => self.f2b_cost,
+            BondingStyle::F2F => self.f2f_cost,
+        };
+        let rdl = if design.rdl().is_enabled() {
+            self.rdl_cost
+        } else {
+            0.0
+        };
+        let wire_bond = if design.has_wire_bond() {
+            self.wire_bond_cost
+        } else {
+            0.0
+        };
+        CostBreakdown {
+            m2,
+            m3,
+            tsv_count,
+            tsv_location,
+            dedicated,
+            bonding,
+            rdl,
+            wire_bond,
+            total: m2 + m3 + tsv_count + tsv_location + dedicated + bonding + rdl + wire_bond,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::table8()
+    }
+}
+
+/// Per-term normalized cost of a design (Table 8 terms).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// M2 VDD usage term.
+    pub m2: f64,
+    /// M3 VDD usage term.
+    pub m3: f64,
+    /// Power-TSV count term (√TC law).
+    pub tsv_count: f64,
+    /// TSV location term (0 / 0.5×TC / 1×TC for C/E/D).
+    pub tsv_location: f64,
+    /// Dedicated-TSV term.
+    pub dedicated: f64,
+    /// Bonding-style term.
+    pub bonding: f64,
+    /// RDL term.
+    pub rdl: f64,
+    /// Wire-bonding term.
+    pub wire_bond: f64,
+    /// Sum of all terms.
+    pub total: f64,
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cost {:.3} (M2 {:.3}, M3 {:.3}, TSV {:.3}+{:.3}, TD {:.3}, BD {:.3}, RDL {:.3}, WB {:.3})",
+            self.total,
+            self.m2,
+            self.m3,
+            self.tsv_count,
+            self.tsv_location,
+            self.dedicated,
+            self.bonding,
+            self.rdl,
+            self.wire_bond
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use crate::pdn::PdnSpec;
+    use crate::rdl::{RdlConfig, RdlScope};
+    use crate::tsv::TsvConfig;
+
+    #[test]
+    fn metal_cost_endpoints_match_table8() {
+        let m = CostModel::table8();
+        assert!((m.metal_coeff * 0.10 - 0.025).abs() < 1e-12);
+        assert!((m.metal_coeff * 0.20 - 0.05).abs() < 1e-12);
+        assert!((m.metal_coeff * 0.40 - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_cost_endpoints_match_table8() {
+        let m = CostModel::table8();
+        let low = m.tsv_coeff * 15.0_f64.sqrt();
+        let high = m.tsv_coeff * 480.0_f64.sqrt();
+        assert!((low - 0.078).abs() < 1e-3, "low {low}");
+        assert!((high - 0.44).abs() < 5e-3, "high {high}");
+    }
+
+    #[test]
+    fn tsv_cost_is_sublinear() {
+        let m = CostModel::table8();
+        let c100 = m.tsv_coeff * 100.0_f64.sqrt();
+        let c400 = m.tsv_coeff * 400.0_f64.sqrt();
+        assert!(c400 < 4.0 * c100);
+        assert!((c400 - 2.0 * c100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f2f_costs_more_than_f2b() {
+        let off = Benchmark::StackedDdr3OffChip;
+        let f2b = StackDesign::baseline(off).cost().total;
+        let f2f = StackDesign::builder(off)
+            .bonding(BondingStyle::F2F)
+            .build()
+            .unwrap()
+            .cost()
+            .total;
+        assert!(f2f > f2b);
+        assert!((f2f - f2b - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_option_adds_cost() {
+        let off = Benchmark::StackedDdr3OffChip;
+        let base = StackDesign::baseline(off).cost().total;
+        let more = StackDesign::builder(off)
+            .pdn(PdnSpec::new(0.2, 0.4).unwrap())
+            .tsv(TsvConfig::new(360, crate::tsv::TsvPlacement::Edge).unwrap())
+            .bonding(BondingStyle::F2F)
+            .rdl(RdlConfig::enabled(RdlScope::AllDies))
+            .wire_bond(true)
+            .build()
+            .unwrap()
+            .cost();
+        assert!(more.total > base);
+        assert!(more.rdl > 0.0 && more.wire_bond > 0.0);
+    }
+
+    #[test]
+    fn center_tsvs_have_no_location_cost() {
+        let d = StackDesign::builder(Benchmark::StackedDdr3OffChip)
+            .tsv(TsvConfig::new(33, crate::tsv::TsvPlacement::Center).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(d.cost().tsv_location, 0.0);
+    }
+
+    #[test]
+    fn distributed_tsvs_double_the_edge_location_cost() {
+        let edge = StackDesign::builder(Benchmark::Hmc)
+            .tsv(TsvConfig::new(160, crate::tsv::TsvPlacement::Edge).unwrap())
+            .build()
+            .unwrap()
+            .cost();
+        let dist = StackDesign::builder(Benchmark::Hmc)
+            .tsv(TsvConfig::new(160, crate::tsv::TsvPlacement::Distributed).unwrap())
+            .build()
+            .unwrap()
+            .cost();
+        assert!((dist.tsv_location - 2.0 * edge.tsv_location).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_terms() {
+        let c = StackDesign::baseline(Benchmark::Hmc).cost();
+        let sum = c.m2
+            + c.m3
+            + c.tsv_count
+            + c.tsv_location
+            + c.dedicated
+            + c.bonding
+            + c.rdl
+            + c.wire_bond;
+        assert!((c.total - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let c = StackDesign::baseline(Benchmark::StackedDdr3OffChip).cost();
+        assert!(c.to_string().starts_with("cost "));
+    }
+}

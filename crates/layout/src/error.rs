@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating 3D DRAM designs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// A continuous design parameter fell outside its allowed range
+    /// (the "Input Range" column of the paper's Table 8).
+    ParameterOutOfRange {
+        /// Name of the parameter (e.g. `"m2_usage"`).
+        parameter: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// A combination of options is invalid for the selected benchmark
+    /// (e.g. distributed TSVs on stacked DDR3, or a non-160 TSV count on
+    /// Wide I/O).
+    InvalidCombination {
+        /// Human-readable description of the conflict.
+        reason: String,
+    },
+    /// A memory state referenced a die outside the stack.
+    DieIndexOutOfRange {
+        /// Offending die index.
+        die: usize,
+        /// Number of DRAM dies in the stack.
+        dies: usize,
+    },
+    /// A memory state requested more active banks than the die has.
+    TooManyActiveBanks {
+        /// Requested active-bank count.
+        requested: usize,
+        /// Banks available per die.
+        available: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::ParameterOutOfRange {
+                parameter,
+                value,
+                min,
+                max,
+            } => {
+                write!(
+                    f,
+                    "{parameter} = {value} outside allowed range [{min}, {max}]"
+                )
+            }
+            LayoutError::InvalidCombination { reason } => {
+                write!(f, "invalid design combination: {reason}")
+            }
+            LayoutError::DieIndexOutOfRange { die, dies } => {
+                write!(f, "die index {die} out of range for a {dies}-die stack")
+            }
+            LayoutError::TooManyActiveBanks {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{requested} active banks requested but die has only {available}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parameter() {
+        let e = LayoutError::ParameterOutOfRange {
+            parameter: "m2_usage",
+            value: 0.5,
+            min: 0.1,
+            max: 0.2,
+        };
+        assert!(e.to_string().contains("m2_usage"));
+        assert!(e.to_string().contains("[0.1, 0.2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync_std_error() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<LayoutError>();
+    }
+}

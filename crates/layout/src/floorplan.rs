@@ -1,0 +1,429 @@
+use crate::units::Mm;
+use std::fmt;
+
+/// An axis-aligned rectangle in die coordinates (millimetres, origin at the
+/// lower-left die corner).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is inverted (`x1 < x0` or `y1 < y0`).
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x1 >= x0 && y1 >= y0, "inverted rectangle");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in mm².
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point `(x, y)`.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Whether the point lies inside (boundary inclusive).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Area of the intersection with another rectangle (zero if disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.x1.min(other.x1) - self.x0.max(other.x0)).max(0.0);
+        let h = (self.y1.min(other.y1) - self.y0.max(other.y0)).max(0.0);
+        w * h
+    }
+}
+
+/// The functional role of a floorplan block, which determines its share of
+/// the die's power and therefore its current density in the power map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BlockKind {
+    /// DRAM cell array (the bulk of a bank).
+    Array,
+    /// Row decoder / wordline driver strip.
+    RowDecoder,
+    /// Column decoder / sense-amplifier strip.
+    ColumnDecoder,
+    /// Shared periphery: I/O pads, DLL, charge pumps (the centre stripe).
+    Periphery,
+    /// Logic-die compute core.
+    Core,
+    /// Logic-die cache / crossbar.
+    Uncore,
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BlockKind::Array => "array",
+            BlockKind::RowDecoder => "row-decoder",
+            BlockKind::ColumnDecoder => "column-decoder",
+            BlockKind::Periphery => "periphery",
+            BlockKind::Core => "core",
+            BlockKind::Uncore => "uncore",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One placed floorplan block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Block name, e.g. `"bank3.array"`.
+    pub name: String,
+    /// Functional role.
+    pub kind: BlockKind,
+    /// Placement.
+    pub rect: Rect,
+    /// Bank index this block belongs to, if any.
+    pub bank: Option<usize>,
+}
+
+/// A block-level die floorplan.
+///
+/// Generated parametrically: DRAM dies place `bank_count` banks in two
+/// half-die rows separated by a centre periphery stripe (the pad row of a
+/// DDR3-style die, where supply current enters); logic dies place a core
+/// grid around a central uncore block.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::Floorplan;
+/// use pi3d_layout::units::Mm;
+///
+/// let fp = Floorplan::dram(Mm(6.8), Mm(6.7), 8);
+/// assert_eq!(fp.bank_count(), 8);
+/// assert!(fp.blocks().len() > 8); // banks split into array/decoders
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    width: Mm,
+    height: Mm,
+    bank_count: usize,
+    blocks: Vec<Block>,
+}
+
+/// Fraction of the die height taken by the centre periphery stripe.
+const PERIPHERY_FRACTION: f64 = 0.10;
+/// Fraction of a bank's width taken by the row-decoder strip.
+const ROW_DECODER_FRACTION: f64 = 0.12;
+/// Fraction of a bank's height taken by the column-decoder strip.
+const COL_DECODER_FRACTION: f64 = 0.10;
+
+impl Floorplan {
+    /// Generates a DRAM-die floorplan with `bank_count` banks.
+    ///
+    /// Banks are placed in two horizontal halves (top and bottom) separated
+    /// by the centre periphery stripe; each half holds `bank_count / 2`
+    /// banks in a row-major grid of at most 8 columns. Each bank is split
+    /// into array, row-decoder, and column-decoder blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_count` is zero or odd, or if dimensions are not
+    /// positive.
+    pub fn dram(width: Mm, height: Mm, bank_count: usize) -> Self {
+        assert!(
+            bank_count > 0 && bank_count.is_multiple_of(2),
+            "bank count must be even and nonzero"
+        );
+        assert!(
+            width.value() > 0.0 && height.value() > 0.0,
+            "die dimensions must be positive"
+        );
+        let (w, h) = (width.value(), height.value());
+        let stripe_h = h * PERIPHERY_FRACTION;
+        let half_h = (h - stripe_h) / 2.0;
+        let per_half = bank_count / 2;
+        let cols = per_half.min(8);
+        let rows = per_half.div_ceil(cols);
+
+        let mut blocks = Vec::new();
+        blocks.push(Block {
+            name: "periphery".to_owned(),
+            kind: BlockKind::Periphery,
+            rect: Rect::new(0.0, half_h, w, half_h + stripe_h),
+            bank: None,
+        });
+
+        let bank_w = w / cols as f64;
+        let bank_h = half_h / rows as f64;
+        let mut bank_idx = 0;
+        for half in 0..2 {
+            for r in 0..rows {
+                for c in 0..cols {
+                    if bank_idx >= bank_count {
+                        break;
+                    }
+                    let y_base = if half == 0 {
+                        r as f64 * bank_h
+                    } else {
+                        half_h + stripe_h + r as f64 * bank_h
+                    };
+                    let rect = Rect::new(
+                        c as f64 * bank_w,
+                        y_base,
+                        (c + 1) as f64 * bank_w,
+                        y_base + bank_h,
+                    );
+                    Self::push_bank_blocks(&mut blocks, bank_idx, rect);
+                    bank_idx += 1;
+                }
+            }
+        }
+
+        Floorplan {
+            width,
+            height,
+            bank_count,
+            blocks,
+        }
+    }
+
+    fn push_bank_blocks(blocks: &mut Vec<Block>, bank: usize, rect: Rect) {
+        let rd_w = rect.width() * ROW_DECODER_FRACTION;
+        let cd_h = rect.height() * COL_DECODER_FRACTION;
+        blocks.push(Block {
+            name: format!("bank{bank}.rowdec"),
+            kind: BlockKind::RowDecoder,
+            rect: Rect::new(rect.x0, rect.y0 + cd_h, rect.x0 + rd_w, rect.y1),
+            bank: Some(bank),
+        });
+        blocks.push(Block {
+            name: format!("bank{bank}.coldec"),
+            kind: BlockKind::ColumnDecoder,
+            rect: Rect::new(rect.x0, rect.y0, rect.x1, rect.y0 + cd_h),
+            bank: Some(bank),
+        });
+        blocks.push(Block {
+            name: format!("bank{bank}.array"),
+            kind: BlockKind::Array,
+            rect: Rect::new(rect.x0 + rd_w, rect.y0 + cd_h, rect.x1, rect.y1),
+            bank: Some(bank),
+        });
+    }
+
+    /// Generates the host-logic (OpenSPARC T2 style) floorplan: an 8-core
+    /// grid (two rows of four) around a central uncore stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are not positive.
+    pub fn logic_t2(width: Mm, height: Mm) -> Self {
+        assert!(
+            width.value() > 0.0 && height.value() > 0.0,
+            "die dimensions must be positive"
+        );
+        let (w, h) = (width.value(), height.value());
+        let stripe_h = h * 0.22;
+        let half_h = (h - stripe_h) / 2.0;
+        let mut blocks = Vec::new();
+        blocks.push(Block {
+            name: "crossbar".to_owned(),
+            kind: BlockKind::Uncore,
+            rect: Rect::new(0.0, half_h, w, half_h + stripe_h),
+            bank: None,
+        });
+        let core_w = w / 4.0;
+        for i in 0..8 {
+            let (r, c) = (i / 4, i % 4);
+            let y0 = if r == 0 { 0.0 } else { half_h + stripe_h };
+            blocks.push(Block {
+                name: format!("core{i}"),
+                kind: BlockKind::Core,
+                rect: Rect::new(c as f64 * core_w, y0, (c + 1) as f64 * core_w, y0 + half_h),
+                bank: None,
+            });
+        }
+        Floorplan {
+            width,
+            height,
+            bank_count: 0,
+            blocks,
+        }
+    }
+
+    /// Die width.
+    pub fn width(&self) -> Mm {
+        self.width
+    }
+
+    /// Die height.
+    pub fn height(&self) -> Mm {
+        self.height
+    }
+
+    /// Number of DRAM banks (zero for logic dies).
+    pub fn bank_count(&self) -> usize {
+        self.bank_count
+    }
+
+    /// All placed blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Blocks belonging to one bank.
+    pub fn bank_blocks(&self, bank: usize) -> impl Iterator<Item = &Block> {
+        self.blocks.iter().filter(move |b| b.bank == Some(bank))
+    }
+
+    /// Bounding rectangle of one bank, if it exists.
+    pub fn bank_rect(&self, bank: usize) -> Option<Rect> {
+        let mut it = self.bank_blocks(bank);
+        let first = it.next()?.rect;
+        Some(it.fold(first, |acc, b| Rect {
+            x0: acc.x0.min(b.rect.x0),
+            y0: acc.y0.min(b.rect.y0),
+            x1: acc.x1.max(b.rect.x1),
+            y1: acc.y1.max(b.rect.y1),
+        }))
+    }
+
+    /// Number of bank columns per half (used to map interleave bank groups).
+    pub fn bank_columns(&self) -> usize {
+        (self.bank_count / 2).clamp(1, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(1.0, 2.0, 4.0, 6.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+        assert!(r.contains(1.0, 2.0));
+        assert!(!r.contains(0.9, 2.0));
+    }
+
+    #[test]
+    fn rect_overlap() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.overlap_area(&b), 1.0);
+        let c = Rect::new(5.0, 5.0, 6.0, 6.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted rectangle")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn ddr3_floorplan_has_eight_banks() {
+        let fp = Floorplan::dram(Mm(6.8), Mm(6.7), 8);
+        assert_eq!(fp.bank_count(), 8);
+        for b in 0..8 {
+            assert!(fp.bank_rect(b).is_some(), "bank {b} missing");
+            assert_eq!(fp.bank_blocks(b).count(), 3);
+        }
+        assert!(fp.bank_rect(8).is_none());
+    }
+
+    #[test]
+    fn banks_tile_the_non_periphery_area() {
+        let fp = Floorplan::dram(Mm(6.8), Mm(6.7), 8);
+        let total: f64 = fp.blocks().iter().map(|b| b.rect.area()).sum();
+        let die = 6.8 * 6.7;
+        assert!(
+            (total - die).abs() < 1e-9,
+            "blocks cover {total} of {die} mm²"
+        );
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        for nb in [8usize, 16, 32] {
+            let fp = Floorplan::dram(Mm(7.2), Mm(6.4), nb);
+            let blocks = fp.blocks();
+            for i in 0..blocks.len() {
+                for j in i + 1..blocks.len() {
+                    assert!(
+                        blocks[i].rect.overlap_area(&blocks[j].rect) < 1e-9,
+                        "{} overlaps {}",
+                        blocks[i].name,
+                        blocks[j].name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hmc_floorplan_has_32_banks() {
+        let fp = Floorplan::dram(Mm(7.2), Mm(6.4), 32);
+        assert_eq!(fp.bank_count(), 32);
+        // 16 per half, max 8 columns -> 2 rows per half.
+        assert_eq!(fp.bank_columns(), 8);
+    }
+
+    #[test]
+    fn periphery_stripe_is_in_the_middle() {
+        let fp = Floorplan::dram(Mm(6.0), Mm(6.0), 8);
+        let stripe = fp
+            .blocks()
+            .iter()
+            .find(|b| b.kind == BlockKind::Periphery)
+            .expect("periphery exists");
+        let (_, cy) = stripe.rect.center();
+        assert!((cy - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logic_floorplan_has_cores_and_uncore() {
+        let fp = Floorplan::logic_t2(Mm(9.0), Mm(8.0));
+        let cores = fp
+            .blocks()
+            .iter()
+            .filter(|b| b.kind == BlockKind::Core)
+            .count();
+        let uncore = fp
+            .blocks()
+            .iter()
+            .filter(|b| b.kind == BlockKind::Uncore)
+            .count();
+        assert_eq!(cores, 8);
+        assert_eq!(uncore, 1);
+        assert_eq!(fp.bank_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank count must be even")]
+    fn odd_bank_count_panics() {
+        let _ = Floorplan::dram(Mm(6.0), Mm(6.0), 7);
+    }
+}

@@ -1,0 +1,55 @@
+//! 3D DRAM design descriptions: floorplans, power maps, PDN/TSV/RDL/bonding
+//! specifications, the four DAC'15 benchmark configurations, and the
+//! packaging cost model.
+//!
+//! This crate is the "design, packaging, and architecture input" half of the
+//! platform: it owns every knob the paper optimizes (Table 8) and turns a
+//! configuration into the geometric and electrical data the R-Mesh engine
+//! (`pi3d-mesh`) needs — block-level floorplans, rasterized power maps, TSV
+//! and bump coordinates, and per-layer PDN usage.
+//!
+//! # Examples
+//!
+//! Build the baseline off-chip stacked-DDR3 design and inspect it:
+//!
+//! ```
+//! use pi3d_layout::{Benchmark, StackDesign};
+//!
+//! let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+//! assert_eq!(design.dram_die_count(), 4);
+//! assert!(!design.mounting().is_on_chip());
+//! let cost = design.cost();
+//! assert!(cost.total > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benchmarks;
+mod bonding;
+mod cost;
+mod error;
+mod floorplan;
+mod pdn;
+mod powermap;
+mod rdl;
+mod stack;
+mod state;
+mod svg;
+mod tech;
+mod tsv;
+pub mod units;
+
+pub use benchmarks::{Benchmark, BenchmarkSpec};
+pub use bonding::{BondingStyle, Mounting};
+pub use cost::{CostBreakdown, CostModel};
+pub use error::LayoutError;
+pub use floorplan::{Block, BlockKind, Floorplan, Rect};
+pub use pdn::{PdnSpec, PowerNet};
+pub use powermap::{OpKind, PowerMap, PowerModel};
+pub use rdl::{RdlConfig, RdlScope};
+pub use stack::{StackDesign, StackDesignBuilder};
+pub use state::{BankGroup, DieState, MemoryState, ParseMemoryStateError};
+pub use svg::{render_design_svg, render_floorplan_svg};
+pub use tech::{MetalLayer, RouteDirection, Technology};
+pub use tsv::{bump_grid, TsvConfig, TsvPlacement, C4_PITCH_MM};

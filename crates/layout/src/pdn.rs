@@ -1,0 +1,257 @@
+use crate::LayoutError;
+use std::fmt;
+
+/// Table 8 input ranges for the continuous PDN knobs.
+const M2_RANGE: (f64, f64) = (0.10, 0.20);
+const M3_RANGE: (f64, f64) = (0.10, 0.40);
+
+/// Which supply net a power-delivery analysis targets.
+///
+/// The paper's R-Mesh is built for VDD; Section 2.2 notes the ground net
+/// "can be analyzed in complementary fashion as well". DRAM PDNs are laid
+/// out symmetrically, so by default the VSS net mirrors the VDD usages;
+/// [`PdnSpec::with_vss_usage`] overrides that for asymmetric grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PowerNet {
+    /// The VDD supply net (the paper's focus).
+    #[default]
+    Vdd,
+    /// The VSS/ground return net.
+    Vss,
+}
+
+impl fmt::Display for PowerNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PowerNet::Vdd => "VDD",
+            PowerNet::Vss => "VSS",
+        })
+    }
+}
+
+/// Power-delivery-network wire sizing: the fraction of each metal layer's
+/// area devoted to the VDD net.
+///
+/// The paper's baseline is 10% on M2 and 20% on M3; Table 8 allows
+/// 10–20% (M2) and 10–40% (M3). [`PdnSpec::scaled`] supports the Table 7
+/// "1.5x PDN metal usage" style experiments, which intentionally step
+/// outside the Table 8 optimization range.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::PdnSpec;
+///
+/// let pdn = PdnSpec::baseline();
+/// assert_eq!(pdn.m2_usage(), 0.10);
+/// assert_eq!(pdn.m3_usage(), 0.20);
+/// let doubled = pdn.scaled(2.0);
+/// assert_eq!(doubled.m2_usage(), 0.20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdnSpec {
+    m2_usage: f64,
+    m3_usage: f64,
+    /// VSS usages when they differ from the VDD usages.
+    vss_usage: Option<(f64, f64)>,
+}
+
+impl PdnSpec {
+    /// Creates a PDN spec with explicit usages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::ParameterOutOfRange`] if a usage is outside
+    /// the physically meaningful interval `(0, 1]`.
+    pub fn new(m2_usage: f64, m3_usage: f64) -> Result<Self, LayoutError> {
+        for (name, v) in [("m2_usage", m2_usage), ("m3_usage", m3_usage)] {
+            if !(v > 0.0 && v <= 1.0 && v.is_finite()) {
+                return Err(LayoutError::ParameterOutOfRange {
+                    parameter: name,
+                    value: v,
+                    min: f64::EPSILON,
+                    max: 1.0,
+                });
+            }
+        }
+        Ok(PdnSpec {
+            m2_usage,
+            m3_usage,
+            vss_usage: None,
+        })
+    }
+
+    /// The industry-standard baseline: 10% M2, 20% M3.
+    pub fn baseline() -> Self {
+        PdnSpec {
+            m2_usage: 0.10,
+            m3_usage: 0.20,
+            vss_usage: None,
+        }
+    }
+
+    /// Overrides the VSS (ground) net usages; by default the symmetric
+    /// DRAM layout gives VSS the same usages as VDD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::ParameterOutOfRange`] for usages outside
+    /// `(0, 1]`.
+    pub fn with_vss_usage(mut self, m2: f64, m3: f64) -> Result<Self, LayoutError> {
+        for (name, v) in [("vss_m2_usage", m2), ("vss_m3_usage", m3)] {
+            if !(v > 0.0 && v <= 1.0 && v.is_finite()) {
+                return Err(LayoutError::ParameterOutOfRange {
+                    parameter: name,
+                    value: v,
+                    min: f64::EPSILON,
+                    max: 1.0,
+                });
+            }
+        }
+        self.vss_usage = Some((m2, m3));
+        Ok(self)
+    }
+
+    /// Usage fraction of the given net on M2.
+    pub fn m2_usage_of(&self, net: PowerNet) -> f64 {
+        match (net, self.vss_usage) {
+            (PowerNet::Vss, Some((m2, _))) => m2,
+            _ => self.m2_usage,
+        }
+    }
+
+    /// Usage fraction of the given net on M3.
+    pub fn m3_usage_of(&self, net: PowerNet) -> f64 {
+        match (net, self.vss_usage) {
+            (PowerNet::Vss, Some((_, m3))) => m3,
+            _ => self.m3_usage,
+        }
+    }
+
+    /// VDD usage fraction on the mixed signal/power layer (M2).
+    pub fn m2_usage(&self) -> f64 {
+        self.m2_usage
+    }
+
+    /// VDD usage fraction on the power layer (M3).
+    pub fn m3_usage(&self) -> f64 {
+        self.m3_usage
+    }
+
+    /// Returns a spec with both usages multiplied by `factor`, clamped to
+    /// the physical maximum of 1.0 (used for the Table 7 "1.5x"/"2x"
+    /// metal-usage cases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive"
+        );
+        PdnSpec {
+            m2_usage: (self.m2_usage * factor).min(1.0),
+            m3_usage: (self.m3_usage * factor).min(1.0),
+            vss_usage: self
+                .vss_usage
+                .map(|(a, b)| ((a * factor).min(1.0), (b * factor).min(1.0))),
+        }
+    }
+
+    /// Whether both usages lie inside the Table 8 optimization ranges
+    /// (10–20% for M2, 10–40% for M3).
+    pub fn is_in_table8_range(&self) -> bool {
+        self.m2_usage >= M2_RANGE.0 - 1e-12
+            && self.m2_usage <= M2_RANGE.1 + 1e-12
+            && self.m3_usage >= M3_RANGE.0 - 1e-12
+            && self.m3_usage <= M3_RANGE.1 + 1e-12
+    }
+
+    /// The Table 8 M2 usage range `(min, max)`.
+    pub fn m2_range() -> (f64, f64) {
+        M2_RANGE
+    }
+
+    /// The Table 8 M3 usage range `(min, max)`.
+    pub fn m3_range() -> (f64, f64) {
+        M3_RANGE
+    }
+}
+
+impl Default for PdnSpec {
+    fn default() -> Self {
+        PdnSpec::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let p = PdnSpec::baseline();
+        assert_eq!((p.m2_usage(), p.m3_usage()), (0.10, 0.20));
+        assert!(p.is_in_table8_range());
+    }
+
+    #[test]
+    fn new_rejects_out_of_physical_range() {
+        assert!(PdnSpec::new(0.0, 0.2).is_err());
+        assert!(PdnSpec::new(0.1, 1.5).is_err());
+        assert!(PdnSpec::new(-0.1, 0.2).is_err());
+        assert!(PdnSpec::new(f64::NAN, 0.2).is_err());
+    }
+
+    #[test]
+    fn scaled_clamps_at_unity() {
+        let p = PdnSpec::new(0.6, 0.8).unwrap().scaled(2.0);
+        assert_eq!(p.m2_usage(), 1.0);
+        assert_eq!(p.m3_usage(), 1.0);
+    }
+
+    #[test]
+    fn scaling_leaves_table8_range_when_too_large() {
+        let p = PdnSpec::baseline().scaled(2.0); // 20% / 40%: still in range
+        assert!(p.is_in_table8_range());
+        let p = PdnSpec::baseline().scaled(3.0); // 30% M2: out of range
+        assert!(!p.is_in_table8_range());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn scaled_rejects_nonpositive() {
+        let _ = PdnSpec::baseline().scaled(0.0);
+    }
+
+    #[test]
+    fn vss_mirrors_vdd_by_default() {
+        let p = PdnSpec::baseline();
+        assert_eq!(p.m2_usage_of(PowerNet::Vss), p.m2_usage_of(PowerNet::Vdd));
+        assert_eq!(p.m3_usage_of(PowerNet::Vss), p.m3_usage_of(PowerNet::Vdd));
+    }
+
+    #[test]
+    fn vss_override_applies_only_to_vss() {
+        let p = PdnSpec::baseline().with_vss_usage(0.12, 0.25).unwrap();
+        assert_eq!(p.m2_usage_of(PowerNet::Vdd), 0.10);
+        assert_eq!(p.m2_usage_of(PowerNet::Vss), 0.12);
+        assert_eq!(p.m3_usage_of(PowerNet::Vss), 0.25);
+        // Scaling preserves the override.
+        let scaled = p.scaled(2.0);
+        assert_eq!(scaled.m2_usage_of(PowerNet::Vss), 0.24);
+    }
+
+    #[test]
+    fn vss_override_validates_range() {
+        assert!(PdnSpec::baseline().with_vss_usage(0.0, 0.2).is_err());
+        assert!(PdnSpec::baseline().with_vss_usage(0.1, 1.2).is_err());
+    }
+
+    #[test]
+    fn power_net_display() {
+        assert_eq!(PowerNet::Vdd.to_string(), "VDD");
+        assert_eq!(PowerNet::Vss.to_string(), "VSS");
+    }
+}

@@ -1,0 +1,603 @@
+use crate::floorplan::{Block, BlockKind, Floorplan, Rect};
+use crate::state::{BankGroup, DieState};
+use crate::units::MilliWatts;
+
+/// Share of an active bank's power dissipated in the cell array.
+const ARRAY_SHARE: f64 = 0.55;
+/// Share dissipated in the row-decoder / wordline drivers.
+const ROW_DEC_SHARE: f64 = 0.20;
+/// Share dissipated in the column decoder / sense amplifiers.
+const COL_DEC_SHARE: f64 = 0.25;
+
+/// The DRAM operation a power map models.
+///
+/// The paper observes nearly identical read and write IR drops (22.5 vs
+/// 22.4 mV on the 2D design); the difference comes from where the current
+/// is drawn: writes burn more power in the array (write drivers) and less
+/// in the I/O output stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OpKind {
+    /// Burst read (the paper's focus; every experiment defaults to this).
+    #[default]
+    Read,
+    /// Burst write (row write-back).
+    Write,
+}
+
+impl OpKind {
+    /// `(array, row-decoder, column-decoder)` shares of bank power.
+    fn bank_shares(self) -> (f64, f64, f64) {
+        match self {
+            OpKind::Read => (ARRAY_SHARE, ROW_DEC_SHARE, COL_DEC_SHARE),
+            OpKind::Write => (0.64, 0.18, 0.18),
+        }
+    }
+
+    /// Fraction of I/O power drawn in the pad stripe (the rest distributes
+    /// across the die).
+    fn io_stripe_share(self) -> f64 {
+        match self {
+            OpKind::Read => 0.5,
+            OpKind::Write => 0.35,
+        }
+    }
+}
+
+/// Per-die power model of a DRAM die.
+///
+/// The paper uses proprietary Samsung/Micron power measurements scaled to a
+/// 20nm-class process; this model is the synthetic equivalent (DESIGN.md
+/// §2), calibrated against Table 5 of the paper:
+///
+/// ```text
+/// die power = standby + n_active × (bank_static + bank_dynamic × activity)
+///                     + io × activity
+/// ```
+///
+/// With the DDR3 defaults, two active banks at 100% I/O activity dissipate
+/// ≈220 mW and an idle die 30 mW, matching the paper's 220.5/30 mW split.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::PowerModel;
+///
+/// let model = PowerModel::ddr3();
+/// let p = model.die_power(2, 1.0);
+/// assert!((p.value() - 220.0).abs() < 1.0);
+/// assert_eq!(model.die_power(0, 1.0).value(), 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Standby (idle) power of a die, mW.
+    pub standby_mw: f64,
+    /// Activity-independent power of one active bank, mW.
+    pub bank_static_mw: f64,
+    /// Activity-proportional power of one active bank, mW.
+    pub bank_dynamic_mw: f64,
+    /// I/O interface power at 100% activity, mW.
+    pub io_mw: f64,
+}
+
+impl PowerModel {
+    /// Power model for 20nm-class stacked DDR3 (calibrated to Table 5).
+    pub fn ddr3() -> Self {
+        PowerModel {
+            standby_mw: 30.0,
+            bank_static_mw: 30.0,
+            bank_dynamic_mw: 20.0,
+            io_mw: 90.0,
+        }
+    }
+
+    /// Power model for Wide I/O: slow 200 Mbps/pin interface, low I/O
+    /// power — the mobile low-power benchmark.
+    pub fn wide_io() -> Self {
+        PowerModel {
+            standby_mw: 15.0,
+            bank_static_mw: 10.0,
+            bank_dynamic_mw: 6.0,
+            io_mw: 24.0,
+        }
+    }
+
+    /// Power model for HMC: 2500 Mbps/pin across 16 channels, the
+    /// highest-power benchmark.
+    pub fn hmc() -> Self {
+        PowerModel {
+            standby_mw: 45.0,
+            bank_static_mw: 22.0,
+            bank_dynamic_mw: 13.0,
+            io_mw: 190.0,
+        }
+    }
+
+    /// Total power of a die with `active_banks` banks reading at the given
+    /// I/O activity (`0.0..=1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_activity` is outside `[0, 1]`.
+    pub fn die_power(&self, active_banks: usize, io_activity: f64) -> MilliWatts {
+        assert!(
+            (0.0..=1.0).contains(&io_activity),
+            "io_activity must be in [0, 1], got {io_activity}"
+        );
+        let bank = active_banks as f64 * (self.bank_static_mw + self.bank_dynamic_mw * io_activity);
+        let io = if active_banks > 0 {
+            self.io_mw * io_activity
+        } else {
+            0.0
+        };
+        MilliWatts(self.standby_mw + bank + io)
+    }
+
+    /// Rasterizes the power of one die into an `nx × ny` [`PowerMap`]:
+    /// standby power spreads uniformly, active-bank power lands in the
+    /// bank's array/decoder blocks, and I/O power lands in the centre
+    /// periphery stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_activity` is outside `[0, 1]` or the state requests
+    /// more active banks than the floorplan provides columns for.
+    pub fn power_map(
+        &self,
+        floorplan: &Floorplan,
+        die: DieState,
+        io_activity: f64,
+        nx: usize,
+        ny: usize,
+    ) -> PowerMap {
+        self.power_map_op(floorplan, die, io_activity, OpKind::Read, nx, ny)
+    }
+
+    /// As [`power_map`](Self::power_map), for an explicit operation kind
+    /// (read vs write current distribution).
+    ///
+    /// # Panics
+    ///
+    /// As for [`power_map`](Self::power_map).
+    pub fn power_map_op(
+        &self,
+        floorplan: &Floorplan,
+        die: DieState,
+        io_activity: f64,
+        op: OpKind,
+        nx: usize,
+        ny: usize,
+    ) -> PowerMap {
+        assert!(
+            (0.0..=1.0).contains(&io_activity),
+            "io_activity must be in [0, 1]"
+        );
+        let mut map = PowerMap::zeros(
+            nx,
+            ny,
+            floorplan.width().value(),
+            floorplan.height().value(),
+        );
+
+        // Standby: uniform across the die.
+        map.add_uniform(self.standby_mw);
+
+        if die.is_active() {
+            let (array_share, row_share, col_share) = op.bank_shares();
+            let per_bank = self.bank_static_mw + self.bank_dynamic_mw * io_activity;
+            for bank in active_bank_indices(floorplan, die) {
+                for block in floorplan.bank_blocks(bank) {
+                    let share = match block.kind {
+                        BlockKind::Array => array_share,
+                        BlockKind::RowDecoder => row_share,
+                        BlockKind::ColumnDecoder => col_share,
+                        _ => 0.0,
+                    };
+                    map.add_block(block, per_bank * share);
+                }
+            }
+            // I/O interface power: the DQ drivers and SSTL terminations sit
+            // in the pad stripe, but their supply current is drawn through
+            // the whole-die PDN; the remainder is a distributed background.
+            let io_power = self.io_mw * io_activity;
+            let stripe_share = op.io_stripe_share();
+            if let Some(periphery) = floorplan
+                .blocks()
+                .iter()
+                .find(|b| b.kind == BlockKind::Periphery)
+            {
+                map.add_block(periphery, io_power * stripe_share);
+                map.add_uniform(io_power * (1.0 - stripe_share));
+            } else {
+                map.add_uniform(io_power);
+            }
+        }
+
+        map
+    }
+}
+
+/// Maps a die state to concrete bank indices on the floorplan.
+///
+/// The location group encodes the Figure 8 placement *patterns* of the
+/// two-bank interleaving pair. Supply current climbs the stack at the TSV
+/// sites (die edges in the baseline), so the centre columns are the
+/// worst-supplied locations:
+///
+/// * `A` — both banks stacked in the centre column (the worst case; the
+///   paper's default when no suffix is given),
+/// * `B` — both banks in the leftmost column (adjacent to `A`, directly at
+///   the edge supply),
+/// * `C` — banks split across the leftmost and rightmost columns,
+/// * `D` — both banks in the rightmost column (maximum separation from
+///   `A`).
+///
+/// States with more than two active banks fill columns outward from the
+/// group's anchor column, alternating halves.
+pub(crate) fn active_bank_indices(floorplan: &Floorplan, die: DieState) -> Vec<usize> {
+    let nb = floorplan.bank_count();
+    let cols = floorplan.bank_columns();
+    let per_half = nb / 2;
+    let rows = per_half.div_ceil(cols);
+    assert!(
+        die.active_banks <= nb,
+        "state requests {} banks of {}",
+        die.active_banks,
+        nb
+    );
+    let bank_at = |half: usize, row: usize, col: usize| half * per_half + row * cols + col;
+
+    let anchor = (cols - 1) / 2; // centre(-left) column
+    let group = die.effective_group();
+
+    if die.active_banks <= 2 {
+        let pair: [(usize, usize); 2] = match group {
+            BankGroup::A => [(0, anchor), (1, anchor)],
+            BankGroup::B => [(0, 0), (1, 0)],
+            BankGroup::C => [(0, 0), (1, cols - 1)],
+            BankGroup::D => [(0, cols - 1), (1, cols - 1)],
+        };
+        return pair
+            .iter()
+            .take(die.active_banks)
+            .map(|&(half, col)| bank_at(half, 0, col))
+            .collect();
+    }
+
+    // More than two banks: spiral outward from the anchor column.
+    let start = match group {
+        BankGroup::A => anchor,
+        BankGroup::B => 0,
+        BankGroup::C => 0,
+        BankGroup::D => cols - 1,
+    };
+    let mut column_order = vec![start];
+    for delta in 1..cols {
+        for cand in [
+            start as isize - delta as isize,
+            start as isize + delta as isize,
+        ] {
+            if (0..cols as isize).contains(&cand) && !column_order.contains(&(cand as usize)) {
+                column_order.push(cand as usize);
+            }
+        }
+    }
+    let mut banks = Vec::with_capacity(die.active_banks);
+    'fill: for row in 0..rows {
+        for &col in &column_order {
+            for half in 0..2 {
+                let idx = bank_at(half, row, col);
+                if idx < nb && !banks.contains(&idx) {
+                    banks.push(idx);
+                    if banks.len() == die.active_banks {
+                        break 'fill;
+                    }
+                }
+            }
+        }
+    }
+    banks
+}
+
+/// A rasterized per-die power map: an `nx × ny` grid of cell powers in mW.
+///
+/// The grid covers the full die area; cell `(0, 0)` is the lower-left
+/// corner. Power maps are the current-source input to the R-Mesh engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerMap {
+    nx: usize,
+    ny: usize,
+    width: f64,
+    height: f64,
+    cells: Vec<f64>,
+}
+
+impl PowerMap {
+    /// Creates an all-zero map over a `width × height` mm die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or non-positive.
+    pub fn zeros(nx: usize, ny: usize, width: f64, height: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be nonzero");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "die dimensions must be positive"
+        );
+        PowerMap {
+            nx,
+            ny,
+            width,
+            height,
+            cells: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Rasterizes the host logic die (OpenSPARC T2): 78% of the power in
+    /// the compute cores (hotspots), 22% in the central uncore stripe.
+    pub fn logic_t2(floorplan: &Floorplan, total: MilliWatts, nx: usize, ny: usize) -> Self {
+        let mut map = PowerMap::zeros(
+            nx,
+            ny,
+            floorplan.width().value(),
+            floorplan.height().value(),
+        );
+        let cores: Vec<&Block> = floorplan
+            .blocks()
+            .iter()
+            .filter(|b| b.kind == BlockKind::Core)
+            .collect();
+        let uncore: Vec<&Block> = floorplan
+            .blocks()
+            .iter()
+            .filter(|b| b.kind == BlockKind::Uncore)
+            .collect();
+        let core_power = total.value() * 0.78;
+        let uncore_power = total.value() * 0.22;
+        for b in &cores {
+            map.add_block(b, core_power / cores.len() as f64);
+        }
+        for b in &uncore {
+            map.add_block(b, uncore_power / uncore.len() as f64);
+        }
+        map
+    }
+
+    /// Grid width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Die width in millimetres.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Die height in millimetres.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Power of cell `(ix, iy)` in mW.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn cell(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "cell out of range");
+        self.cells[iy * self.nx + ix]
+    }
+
+    /// Total power of the map.
+    pub fn total(&self) -> MilliWatts {
+        MilliWatts(self.cells.iter().sum())
+    }
+
+    /// Adds `power` mW spread uniformly over all cells.
+    pub fn add_uniform(&mut self, power: f64) {
+        let per_cell = power / self.cells.len() as f64;
+        for c in &mut self.cells {
+            *c += per_cell;
+        }
+    }
+
+    /// Adds `power` mW into the cells overlapping `block`, weighted by
+    /// overlap area.
+    pub fn add_block(&mut self, block: &Block, power: f64) {
+        self.add_rect(&block.rect, power);
+    }
+
+    /// Adds `power` mW into the cells overlapping `rect`, weighted by
+    /// overlap area. Power falling outside the die is dropped.
+    pub fn add_rect(&mut self, rect: &Rect, power: f64) {
+        let area = rect.area();
+        if area <= 0.0 || power == 0.0 {
+            return;
+        }
+        let cw = self.width / self.nx as f64;
+        let ch = self.height / self.ny as f64;
+        let ix0 = ((rect.x0 / cw).floor().max(0.0)) as usize;
+        let ix1 = ((rect.x1 / cw).ceil() as usize).min(self.nx);
+        let iy0 = ((rect.y0 / ch).floor().max(0.0)) as usize;
+        let iy1 = ((rect.y1 / ch).ceil() as usize).min(self.ny);
+        for iy in iy0..iy1 {
+            for ix in ix0..ix1 {
+                let cell = Rect::new(
+                    ix as f64 * cw,
+                    iy as f64 * ch,
+                    (ix + 1) as f64 * cw,
+                    (iy + 1) as f64 * ch,
+                );
+                let overlap = cell.overlap_area(rect);
+                if overlap > 0.0 {
+                    self.cells[iy * self.nx + ix] += power * overlap / area;
+                }
+            }
+        }
+    }
+
+    /// Iterates over `(ix, iy, mW)` for every cell.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let nx = self.nx;
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (i % nx, i / nx, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{BankGroup, DieState};
+    use crate::units::Mm;
+
+    fn fp() -> Floorplan {
+        Floorplan::dram(Mm(6.8), Mm(6.7), 8)
+    }
+
+    #[test]
+    fn ddr3_die_power_matches_table5_calibration() {
+        let m = PowerModel::ddr3();
+        // 0-0-0-2 at 100% IO: active die ~220, idle 30, total ~310.
+        let active = m.die_power(2, 1.0).value();
+        let idle = m.die_power(0, 1.0).value();
+        assert!((active - 220.0).abs() < 1.0, "active {active}");
+        assert_eq!(idle, 30.0);
+        let total = active + 3.0 * idle;
+        assert!((total - 310.0).abs() < 1.0, "total {total}");
+    }
+
+    #[test]
+    fn lower_io_activity_lowers_power() {
+        let m = PowerModel::ddr3();
+        let p100 = m.die_power(2, 1.0).value();
+        let p50 = m.die_power(2, 0.5).value();
+        let p25 = m.die_power(2, 0.25).value();
+        assert!(p100 > p50 && p50 > p25);
+        // 25% activity reduces die power by roughly the paper's 44.7%.
+        let reduction = 1.0 - p25 / p100;
+        assert!((0.35..0.55).contains(&reduction), "reduction {reduction}");
+    }
+
+    #[test]
+    fn power_map_conserves_total_power() {
+        let m = PowerModel::ddr3();
+        let die = DieState::active(2);
+        let map = m.power_map(&fp(), die, 1.0, 40, 40);
+        let expect = m.die_power(2, 1.0).value();
+        assert!(
+            (map.total().value() - expect).abs() < 1e-6,
+            "map {} vs model {}",
+            map.total().value(),
+            expect
+        );
+    }
+
+    #[test]
+    fn idle_die_map_is_uniform() {
+        let m = PowerModel::ddr3();
+        let map = m.power_map(&fp(), DieState::IDLE, 1.0, 10, 10);
+        let per_cell = 30.0 / 100.0;
+        for (_, _, p) in map.iter() {
+            assert!((p - per_cell).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn active_bank_location_shifts_with_group() {
+        let m = PowerModel::ddr3();
+        let f = fp();
+        let map_a = m.power_map(&f, DieState::active_at(2, BankGroup::A), 1.0, 40, 40);
+        let map_d = m.power_map(&f, DieState::active_at(2, BankGroup::D), 1.0, 40, 40);
+        // Group A sits in the centre-left column, D in the rightmost one.
+        let left_half = |map: &PowerMap| -> f64 {
+            map.iter()
+                .filter(|&(ix, _, _)| ix < 20)
+                .map(|(_, _, p)| p)
+                .sum()
+        };
+        assert!(
+            left_half(&map_a) > left_half(&map_d) + 20.0,
+            "A left {} vs D left {}",
+            left_half(&map_a),
+            left_half(&map_d)
+        );
+    }
+
+    #[test]
+    fn group_a_banks_stack_in_the_centre_column() {
+        let f = fp();
+        let banks = active_bank_indices(&f, DieState::active_at(2, BankGroup::A));
+        // 8 banks: 4 columns per half, anchor column (4-1)/2 = 1; the pair
+        // stacks bottom and top halves of column 1.
+        assert_eq!(banks, vec![1, 5]);
+    }
+
+    #[test]
+    fn group_b_banks_hug_the_left_edge() {
+        let f = fp();
+        let banks = active_bank_indices(&f, DieState::active_at(2, BankGroup::B));
+        assert_eq!(banks, vec![0, 4]);
+    }
+
+    #[test]
+    fn group_c_banks_split_across_the_die() {
+        let f = fp();
+        let banks = active_bank_indices(&f, DieState::active_at(2, BankGroup::C));
+        assert_eq!(banks, vec![0, 7]);
+    }
+
+    #[test]
+    fn group_d_banks_are_rightmost_column() {
+        let f = fp();
+        let banks = active_bank_indices(&f, DieState::active_at(2, BankGroup::D));
+        assert_eq!(banks, vec![3, 7]);
+    }
+
+    #[test]
+    fn many_active_banks_spill_to_adjacent_columns() {
+        let f = fp();
+        let banks = active_bank_indices(&f, DieState::active(6));
+        assert_eq!(banks.len(), 6);
+        let unique: std::collections::HashSet<_> = banks.iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn logic_map_concentrates_power_in_cores() {
+        let f = Floorplan::logic_t2(Mm(9.0), Mm(8.0));
+        let map = PowerMap::logic_t2(&f, MilliWatts(3000.0), 30, 30);
+        assert!((map.total().value() - 3000.0).abs() < 1e-6);
+        // Centre stripe (uncore) is less dense than core rows.
+        let mid_band: f64 = map
+            .iter()
+            .filter(|&(_, iy, _)| iy == 15)
+            .map(|(_, _, p)| p)
+            .sum();
+        let core_band: f64 = map
+            .iter()
+            .filter(|&(_, iy, _)| iy == 5)
+            .map(|(_, _, p)| p)
+            .sum();
+        assert!(core_band > mid_band, "core {core_band} vs mid {mid_band}");
+    }
+
+    #[test]
+    fn add_rect_outside_die_is_dropped() {
+        let mut map = PowerMap::zeros(4, 4, 2.0, 2.0);
+        map.add_rect(&Rect::new(1.0, 1.0, 3.0, 3.0), 8.0);
+        // Half of the rect is off-die; only the on-die overlap is added.
+        assert!((map.total().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "io_activity must be in [0, 1]")]
+    fn invalid_activity_panics() {
+        let _ = PowerModel::ddr3().die_power(1, 1.5);
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Which dies carry a backside redistribution layer (Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RdlScope {
+    /// RDL only between the logic die and the bottom DRAM die.
+    BottomOnly,
+    /// RDL on the backside of every DRAM die.
+    AllDies,
+}
+
+impl fmt::Display for RdlScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RdlScope::BottomOnly => "bottom die only",
+            RdlScope::AllDies => "all dies",
+        })
+    }
+}
+
+/// Backside redistribution-layer configuration.
+///
+/// The RDL is a thick, low-resistivity metal layer fabricated on a die's
+/// backside. It is cheap relative to edge TSVs (no keep-out zones on the
+/// logic die) and is used to carry supply current from centre TSV groups
+/// out to the die edge — at the price of its own series resistance
+/// (Table 2, options (c) and (d)).
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::{RdlConfig, RdlScope};
+///
+/// assert!(!RdlConfig::none().is_enabled());
+/// assert!(RdlConfig::enabled(RdlScope::AllDies).is_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RdlConfig {
+    scope: Option<RdlScope>,
+}
+
+impl RdlConfig {
+    /// No RDL (the default).
+    pub fn none() -> Self {
+        RdlConfig { scope: None }
+    }
+
+    /// RDL present with the given scope.
+    pub fn enabled(scope: RdlScope) -> Self {
+        RdlConfig { scope: Some(scope) }
+    }
+
+    /// Whether any RDL is present.
+    pub fn is_enabled(&self) -> bool {
+        self.scope.is_some()
+    }
+
+    /// The RDL scope, if enabled.
+    pub fn scope(&self) -> Option<RdlScope> {
+        self.scope
+    }
+
+    /// Whether die `index` (0 = bottom DRAM die) carries an RDL.
+    pub fn applies_to_die(&self, index: usize) -> bool {
+        match self.scope {
+            None => false,
+            Some(RdlScope::BottomOnly) => index == 0,
+            Some(RdlScope::AllDies) => true,
+        }
+    }
+}
+
+impl fmt::Display for RdlConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.scope {
+            None => f.write_str("no RDL"),
+            Some(s) => write!(f, "RDL ({s})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(RdlConfig::default(), RdlConfig::none());
+        assert!(!RdlConfig::default().is_enabled());
+    }
+
+    #[test]
+    fn scope_controls_per_die_application() {
+        let bottom = RdlConfig::enabled(RdlScope::BottomOnly);
+        assert!(bottom.applies_to_die(0));
+        assert!(!bottom.applies_to_die(1));
+
+        let all = RdlConfig::enabled(RdlScope::AllDies);
+        for die in 0..4 {
+            assert!(all.applies_to_die(die));
+        }
+
+        assert!(!RdlConfig::none().applies_to_die(0));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(RdlConfig::none().to_string(), "no RDL");
+        assert_eq!(
+            RdlConfig::enabled(RdlScope::BottomOnly).to_string(),
+            "RDL (bottom die only)"
+        );
+    }
+}

@@ -1,0 +1,434 @@
+use crate::benchmarks::Benchmark;
+use crate::bonding::{BondingStyle, Mounting};
+use crate::cost::{CostBreakdown, CostModel};
+use crate::floorplan::Floorplan;
+use crate::pdn::PdnSpec;
+use crate::powermap::PowerModel;
+use crate::rdl::RdlConfig;
+use crate::tech::Technology;
+use crate::tsv::{TsvConfig, TsvPlacement};
+use crate::LayoutError;
+
+/// A complete 3D DRAM stack design: one benchmark plus every design,
+/// packaging, and wiring option the paper co-optimizes.
+///
+/// Construct with [`StackDesign::baseline`] (the industry-standard
+/// configurations of Table 9) or through [`StackDesign::builder`] for
+/// arbitrary option combinations.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::{Benchmark, BondingStyle, StackDesign};
+///
+/// # fn main() -> Result<(), pi3d_layout::LayoutError> {
+/// let design = StackDesign::builder(Benchmark::StackedDdr3OffChip)
+///     .bonding(BondingStyle::F2F)
+///     .wire_bond(true)
+///     .build()?;
+/// assert!(design.bonding().is_f2f());
+/// assert!(design.has_wire_bond());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackDesign {
+    benchmark: Benchmark,
+    mounting: Mounting,
+    pdn: PdnSpec,
+    tsv: TsvConfig,
+    bonding: BondingStyle,
+    rdl: RdlConfig,
+    wire_bond: bool,
+    dram_dies: usize,
+    dram_tech: Technology,
+    logic_tech: Technology,
+}
+
+impl StackDesign {
+    /// Starts a builder pre-populated with the benchmark's baseline options.
+    pub fn builder(benchmark: Benchmark) -> StackDesignBuilder {
+        StackDesignBuilder::new(benchmark)
+    }
+
+    /// The industry-standard baseline design for a benchmark, matching the
+    /// "Baseline" rows of the paper's Table 9:
+    ///
+    /// * stacked DDR3 (both mountings): 10%/20% usage, 33 edge TSVs, F2B;
+    ///   the on-chip variant adds dedicated TSVs;
+    /// * Wide I/O: 160 edge TSVs (fixed by spec) with RDL, dedicated TSVs;
+    /// * HMC: 384 edge TSVs, dedicated TSVs.
+    pub fn baseline(benchmark: Benchmark) -> Self {
+        StackDesignBuilder::new(benchmark)
+            .build()
+            .expect("baselines are valid by construction")
+    }
+
+    /// The benchmark this design instantiates.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// How the stack connects to the supply.
+    pub fn mounting(&self) -> Mounting {
+        self.mounting
+    }
+
+    /// PDN wire sizing.
+    pub fn pdn(&self) -> PdnSpec {
+        self.pdn
+    }
+
+    /// Power-TSV configuration.
+    pub fn tsv(&self) -> TsvConfig {
+        self.tsv
+    }
+
+    /// Die bonding style.
+    pub fn bonding(&self) -> BondingStyle {
+        self.bonding
+    }
+
+    /// Backside RDL configuration.
+    pub fn rdl(&self) -> RdlConfig {
+        self.rdl
+    }
+
+    /// Whether backside wire bonding is present.
+    pub fn has_wire_bond(&self) -> bool {
+        self.wire_bond
+    }
+
+    /// DRAM process technology.
+    pub fn dram_tech(&self) -> &Technology {
+        &self.dram_tech
+    }
+
+    /// Logic process technology.
+    pub fn logic_tech(&self) -> &Technology {
+        &self.logic_tech
+    }
+
+    /// Number of stacked DRAM dies (the benchmark's four unless overridden
+    /// for 2D-calibration experiments).
+    pub fn dram_die_count(&self) -> usize {
+        self.dram_dies
+    }
+
+    /// Banks per DRAM die.
+    pub fn banks_per_die(&self) -> usize {
+        self.benchmark.spec().banks_per_die
+    }
+
+    /// Generates the DRAM-die floorplan for this design.
+    pub fn dram_floorplan(&self) -> Floorplan {
+        let spec = self.benchmark.spec();
+        Floorplan::dram(spec.dram_width, spec.dram_height, spec.banks_per_die)
+    }
+
+    /// Generates the logic-die floorplan, if the stack is mounted on one.
+    pub fn logic_floorplan(&self) -> Option<Floorplan> {
+        self.benchmark
+            .spec()
+            .logic_size
+            .map(|(w, h)| Floorplan::logic_t2(w, h))
+    }
+
+    /// The per-die power model for this benchmark.
+    pub fn power_model(&self) -> PowerModel {
+        self.benchmark.power_model()
+    }
+
+    /// Evaluates the Table 8 cost model on this design.
+    pub fn cost(&self) -> CostBreakdown {
+        CostModel::table8().evaluate(self)
+    }
+
+    /// Validates benchmark-specific option constraints (Section 6.1):
+    ///
+    /// * Wide I/O power-TSV count is fixed at 160 by the JEDEC spec;
+    /// * distributed TSVs are an HMC-only option; stacked DDR3 and Wide I/O
+    ///   allow centre or edge placement only;
+    /// * HMC needs at least 160 power TSVs for supply current;
+    /// * dedicated TSVs require on-chip mounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidCombination`] describing the first
+    /// violated rule.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        let invalid = |reason: String| Err(LayoutError::InvalidCombination { reason });
+        match self.benchmark {
+            Benchmark::WideIo => {
+                if self.tsv.count() != 160 {
+                    return invalid(format!(
+                        "Wide I/O fixes the power-TSV count at 160 (got {})",
+                        self.tsv.count()
+                    ));
+                }
+                if self.tsv.placement() == TsvPlacement::Distributed {
+                    return invalid("Wide I/O allows centre or edge TSVs only".into());
+                }
+                if !self.mounting.is_on_chip() {
+                    return invalid("Wide I/O is always mounted on a logic die".into());
+                }
+            }
+            Benchmark::StackedDdr3OffChip | Benchmark::StackedDdr3OnChip => {
+                if self.tsv.placement() == TsvPlacement::Distributed {
+                    return invalid("stacked DDR3 allows centre or edge TSVs only".into());
+                }
+            }
+            Benchmark::Hmc => {
+                if self.tsv.count() < 160 {
+                    return invalid(format!(
+                        "HMC needs at least 160 power TSVs for supply current (got {})",
+                        self.tsv.count()
+                    ));
+                }
+                if !self.mounting.is_on_chip() {
+                    return invalid("HMC is always mounted on its control logic die".into());
+                }
+            }
+        }
+        if self.mounting.has_dedicated_tsvs() && !self.mounting.is_on_chip() {
+            return invalid("dedicated TSVs require on-chip mounting".into());
+        }
+        if matches!(self.benchmark, Benchmark::StackedDdr3OffChip) && self.mounting.is_on_chip() {
+            return invalid("the off-chip DDR3 benchmark cannot be mounted on logic".into());
+        }
+        if matches!(self.benchmark, Benchmark::StackedDdr3OnChip) && !self.mounting.is_on_chip() {
+            return invalid("the on-chip DDR3 benchmark must be mounted on logic".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`StackDesign`], seeded with a benchmark's baseline options.
+#[derive(Debug, Clone)]
+pub struct StackDesignBuilder {
+    design: StackDesign,
+}
+
+impl StackDesignBuilder {
+    fn new(benchmark: Benchmark) -> Self {
+        let vdd = benchmark.spec().vdd;
+        let dram_tech = Technology::dram_20nm().with_vdd(vdd);
+        let logic_tech = Technology::logic_28nm().with_vdd(vdd);
+        let (mounting, tsv, rdl) = match benchmark {
+            Benchmark::StackedDdr3OffChip => (
+                Mounting::OffChip,
+                TsvConfig::baseline_ddr3(),
+                RdlConfig::none(),
+            ),
+            Benchmark::StackedDdr3OnChip => (
+                Mounting::OnChip {
+                    dedicated_tsvs: true,
+                },
+                TsvConfig::baseline_ddr3(),
+                RdlConfig::none(),
+            ),
+            Benchmark::WideIo => (
+                Mounting::OnChip {
+                    dedicated_tsvs: true,
+                },
+                TsvConfig::new(160, TsvPlacement::Edge).expect("160 in range"),
+                RdlConfig::enabled(crate::rdl::RdlScope::AllDies),
+            ),
+            Benchmark::Hmc => (
+                Mounting::OnChip {
+                    dedicated_tsvs: true,
+                },
+                TsvConfig::new(384, TsvPlacement::Edge).expect("384 in range"),
+                RdlConfig::none(),
+            ),
+        };
+        StackDesignBuilder {
+            design: StackDesign {
+                benchmark,
+                mounting,
+                pdn: PdnSpec::baseline(),
+                tsv,
+                bonding: BondingStyle::F2B,
+                rdl,
+                wire_bond: false,
+                dram_dies: benchmark.spec().dram_dies,
+                dram_tech,
+                logic_tech,
+            },
+        }
+    }
+
+    /// Overrides the DRAM die count (e.g. `1` for the 2D DDR3 calibration
+    /// design of Section 2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` is zero.
+    pub fn dram_dies(mut self, dies: usize) -> Self {
+        assert!(dies > 0, "a stack needs at least one DRAM die");
+        self.design.dram_dies = dies;
+        self
+    }
+
+    /// Overrides the mounting style.
+    pub fn mounting(mut self, mounting: Mounting) -> Self {
+        self.design.mounting = mounting;
+        self
+    }
+
+    /// Overrides the PDN wire sizing.
+    pub fn pdn(mut self, pdn: PdnSpec) -> Self {
+        self.design.pdn = pdn;
+        self
+    }
+
+    /// Overrides the TSV configuration.
+    pub fn tsv(mut self, tsv: TsvConfig) -> Self {
+        self.design.tsv = tsv;
+        self
+    }
+
+    /// Overrides the bonding style.
+    pub fn bonding(mut self, bonding: BondingStyle) -> Self {
+        self.design.bonding = bonding;
+        self
+    }
+
+    /// Overrides the RDL configuration.
+    pub fn rdl(mut self, rdl: RdlConfig) -> Self {
+        self.design.rdl = rdl;
+        self
+    }
+
+    /// Enables or disables backside wire bonding.
+    pub fn wire_bond(mut self, wire_bond: bool) -> Self {
+        self.design.wire_bond = wire_bond;
+        self
+    }
+
+    /// Overrides the DRAM technology (calibration experiments).
+    pub fn dram_tech(mut self, tech: Technology) -> Self {
+        self.design.dram_tech = tech;
+        self
+    }
+
+    /// Overrides the logic technology.
+    pub fn logic_tech(mut self, tech: Technology) -> Self {
+        self.design.logic_tech = tech;
+        self
+    }
+
+    /// Finalizes the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidCombination`] if the options violate a
+    /// benchmark constraint (see [`StackDesign::validate`]).
+    pub fn build(self) -> Result<StackDesign, LayoutError> {
+        self.design.validate()?;
+        Ok(self.design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdl::RdlScope;
+
+    #[test]
+    fn baselines_are_valid_and_match_table9() {
+        for b in Benchmark::ALL {
+            let d = StackDesign::baseline(b);
+            assert!(d.validate().is_ok(), "{b} baseline invalid");
+            assert_eq!(d.pdn(), PdnSpec::baseline());
+            assert_eq!(d.bonding(), BondingStyle::F2B);
+            assert!(!d.has_wire_bond());
+        }
+        assert_eq!(
+            StackDesign::baseline(Benchmark::StackedDdr3OffChip)
+                .tsv()
+                .count(),
+            33
+        );
+        assert_eq!(StackDesign::baseline(Benchmark::WideIo).tsv().count(), 160);
+        assert_eq!(StackDesign::baseline(Benchmark::Hmc).tsv().count(), 384);
+        assert!(StackDesign::baseline(Benchmark::WideIo).rdl().is_enabled());
+        assert!(StackDesign::baseline(Benchmark::StackedDdr3OnChip)
+            .mounting()
+            .has_dedicated_tsvs());
+    }
+
+    #[test]
+    fn wide_io_tsv_count_is_fixed() {
+        let err = StackDesign::builder(Benchmark::WideIo)
+            .tsv(TsvConfig::new(200, TsvPlacement::Center).unwrap())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("160"));
+    }
+
+    #[test]
+    fn distributed_tsvs_are_hmc_only() {
+        let err = StackDesign::builder(Benchmark::StackedDdr3OffChip)
+            .tsv(TsvConfig::new(100, TsvPlacement::Distributed).unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LayoutError::InvalidCombination { .. }));
+
+        let ok = StackDesign::builder(Benchmark::Hmc)
+            .tsv(TsvConfig::new(160, TsvPlacement::Distributed).unwrap())
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn hmc_minimum_tsv_count() {
+        let err = StackDesign::builder(Benchmark::Hmc)
+            .tsv(TsvConfig::new(100, TsvPlacement::Edge).unwrap())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("160"));
+    }
+
+    #[test]
+    fn off_chip_cannot_be_mounted() {
+        let err = StackDesign::builder(Benchmark::StackedDdr3OffChip)
+            .mounting(Mounting::OnChip {
+                dedicated_tsvs: false,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LayoutError::InvalidCombination { .. }));
+    }
+
+    #[test]
+    fn builder_overrides_options() {
+        let d = StackDesign::builder(Benchmark::StackedDdr3OffChip)
+            .pdn(PdnSpec::new(0.2, 0.4).unwrap())
+            .bonding(BondingStyle::F2F)
+            .rdl(RdlConfig::enabled(RdlScope::BottomOnly))
+            .wire_bond(true)
+            .build()
+            .unwrap();
+        assert_eq!(d.pdn().m3_usage(), 0.4);
+        assert!(d.bonding().is_f2f());
+        assert!(d.rdl().is_enabled());
+        assert!(d.has_wire_bond());
+    }
+
+    #[test]
+    fn floorplans_reflect_benchmark() {
+        let d = StackDesign::baseline(Benchmark::Hmc);
+        assert_eq!(d.dram_floorplan().bank_count(), 32);
+        assert!(d.logic_floorplan().is_some());
+
+        let d = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        assert!(d.logic_floorplan().is_none());
+    }
+
+    #[test]
+    fn wide_io_uses_low_voltage() {
+        let d = StackDesign::baseline(Benchmark::WideIo);
+        assert_eq!(d.dram_tech().vdd().value(), 1.2);
+    }
+}

@@ -1,0 +1,365 @@
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// The x-position group of an interleaved bank pair, following Figure 8 of
+/// the paper (top-down view of the two-bank interleaving read state).
+///
+/// Groups map to bank columns of the floorplan: `A` is the far-left (edge)
+/// column — the worst-supplied location and the paper's default worst case —
+/// while `B`, `C`, `D` move progressively to the right, with `B` adjacent to
+/// the well-supplied centre region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum BankGroup {
+    /// Far-left edge column (worst-case supply; the paper's default).
+    #[default]
+    A,
+    /// First column right of `A`, near the centre supply region.
+    B,
+    /// Second column right of `A`.
+    C,
+    /// Far-right column (maximum separation from `A`).
+    D,
+}
+
+impl BankGroup {
+    /// All groups in order.
+    pub const ALL: [BankGroup; 4] = [BankGroup::A, BankGroup::B, BankGroup::C, BankGroup::D];
+
+    /// Zero-based column offset of the group.
+    pub fn column_offset(self) -> usize {
+        match self {
+            BankGroup::A => 0,
+            BankGroup::B => 1,
+            BankGroup::C => 2,
+            BankGroup::D => 3,
+        }
+    }
+
+    fn from_char(c: char) -> Option<Self> {
+        match c {
+            'a' => Some(BankGroup::A),
+            'b' => Some(BankGroup::B),
+            'c' => Some(BankGroup::C),
+            'd' => Some(BankGroup::D),
+            _ => None,
+        }
+    }
+
+    fn to_char(self) -> char {
+        match self {
+            BankGroup::A => 'a',
+            BankGroup::B => 'b',
+            BankGroup::C => 'c',
+            BankGroup::D => 'd',
+        }
+    }
+}
+
+/// Activity of one DRAM die within a memory state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DieState {
+    /// Number of banks actively reading on this die.
+    pub active_banks: usize,
+    /// Location group of the active banks (`None` means the default
+    /// worst-case edge location, equivalent to [`BankGroup::A`]).
+    pub group: Option<BankGroup>,
+}
+
+impl DieState {
+    /// An idle die.
+    pub const IDLE: DieState = DieState {
+        active_banks: 0,
+        group: None,
+    };
+
+    /// Creates a die state with `active_banks` active banks at the default
+    /// (edge, worst-case) location.
+    pub fn active(active_banks: usize) -> Self {
+        DieState {
+            active_banks,
+            group: None,
+        }
+    }
+
+    /// Creates a die state with an explicit bank-location group.
+    pub fn active_at(active_banks: usize, group: BankGroup) -> Self {
+        DieState {
+            active_banks,
+            group: Some(group),
+        }
+    }
+
+    /// The effective location group (defaults to `A`).
+    pub fn effective_group(&self) -> BankGroup {
+        self.group.unwrap_or(BankGroup::A)
+    }
+
+    /// Whether any bank is active.
+    pub fn is_active(&self) -> bool {
+        self.active_banks > 0
+    }
+}
+
+/// A 3D DRAM memory state, written `R1-R2-R3-R4` in the paper, where `R1` is
+/// the bottom DRAM die (DRAM1, closest to the supply) and `R4` the top die.
+///
+/// Each element is the number of active banks, optionally suffixed by a
+/// location group letter, e.g. `"0-0-2b-2a"`.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::{BankGroup, MemoryState};
+///
+/// let state: MemoryState = "0-0-2b-2a".parse()?;
+/// assert_eq!(state.die(2).active_banks, 2);
+/// assert_eq!(state.die(2).group, Some(BankGroup::B));
+/// assert_eq!(state.to_string(), "0-0-2b-2a");
+/// assert_eq!(state.total_active_banks(), 4);
+/// # Ok::<(), pi3d_layout::ParseMemoryStateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoryState {
+    dies: Vec<DieState>,
+}
+
+impl MemoryState {
+    /// Creates a state from explicit per-die activity, bottom die first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` is empty.
+    pub fn new(dies: Vec<DieState>) -> Self {
+        assert!(!dies.is_empty(), "a memory state needs at least one die");
+        MemoryState { dies }
+    }
+
+    /// The all-idle state for a stack of `dies` DRAM dies.
+    pub fn idle(dies: usize) -> Self {
+        MemoryState::new(vec![DieState::IDLE; dies])
+    }
+
+    /// The paper's default state `0-0-0-2`: two banks interleaving on the
+    /// top die of a four-die stack.
+    pub fn default_ddr3() -> Self {
+        let mut dies = vec![DieState::IDLE; 4];
+        dies[3] = DieState::active(2);
+        MemoryState::new(dies)
+    }
+
+    /// Number of DRAM dies described.
+    pub fn die_count(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// State of die `index` (0 = bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= die_count()`.
+    pub fn die(&self, index: usize) -> DieState {
+        self.dies[index]
+    }
+
+    /// Iterates over die states, bottom die first.
+    pub fn dies(&self) -> impl Iterator<Item = DieState> + '_ {
+        self.dies.iter().copied()
+    }
+
+    /// Total number of active banks across all dies.
+    pub fn total_active_banks(&self) -> usize {
+        self.dies.iter().map(|d| d.active_banks).sum()
+    }
+
+    /// Number of dies with at least one active bank.
+    pub fn active_die_count(&self) -> usize {
+        self.dies.iter().filter(|d| d.is_active()).count()
+    }
+
+    /// Returns a copy with die `index` replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= die_count()`.
+    pub fn with_die(&self, index: usize, die: DieState) -> Self {
+        let mut dies = self.dies.clone();
+        dies[index] = die;
+        MemoryState { dies }
+    }
+
+    /// Whether the two dies of any F2F-bonded pair (dies 0–1 and dies 2–3)
+    /// are both active with banks in the same location group — the
+    /// "intra-pair overlapping" condition of Section 4.3 that defeats PDN
+    /// sharing.
+    pub fn has_intra_pair_overlap(&self) -> bool {
+        self.dies
+            .chunks(2)
+            .filter(|pair| pair.len() == 2)
+            .any(|pair| {
+                pair[0].is_active()
+                    && pair[1].is_active()
+                    && pair[0].effective_group() == pair[1].effective_group()
+            })
+    }
+}
+
+impl fmt::Display for MemoryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.dies.iter().enumerate() {
+            if i > 0 {
+                f.write_str("-")?;
+            }
+            write!(f, "{}", d.active_banks)?;
+            if let Some(g) = d.group {
+                write!(f, "{}", g.to_char())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`MemoryState`] from its `R1-R2-R3-R4`
+/// string form fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMemoryStateError {
+    token: String,
+}
+
+impl fmt::Display for ParseMemoryStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid memory-state token {:?} (expected e.g. \"2\" or \"2a\")",
+            self.token
+        )
+    }
+}
+
+impl Error for ParseMemoryStateError {}
+
+impl FromStr for MemoryState {
+    type Err = ParseMemoryStateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut dies = Vec::new();
+        for token in s.split('-') {
+            let token = token.trim();
+            let bad = || ParseMemoryStateError {
+                token: token.to_owned(),
+            };
+            if token.is_empty() {
+                return Err(bad());
+            }
+            let (digits, suffix) = token.split_at(
+                token
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(token.len()),
+            );
+            let active_banks: usize = digits.parse().map_err(|_| bad())?;
+            let group = match suffix {
+                "" => None,
+                s if s.len() == 1 => {
+                    Some(BankGroup::from_char(s.chars().next().expect("len 1")).ok_or_else(bad)?)
+                }
+                _ => return Err(bad()),
+            };
+            dies.push(DieState {
+                active_banks,
+                group,
+            });
+        }
+        if dies.is_empty() {
+            return Err(ParseMemoryStateError {
+                token: s.to_owned(),
+            });
+        }
+        Ok(MemoryState { dies })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_state() {
+        let s: MemoryState = "0-0-0-2".parse().unwrap();
+        assert_eq!(s.die_count(), 4);
+        assert_eq!(s.die(3).active_banks, 2);
+        assert_eq!(s.die(3).group, None);
+        assert_eq!(s.total_active_banks(), 2);
+        assert_eq!(s.active_die_count(), 1);
+    }
+
+    #[test]
+    fn parse_grouped_state() {
+        let s: MemoryState = "0-2a-0-2a".parse().unwrap();
+        assert_eq!(s.die(1).group, Some(BankGroup::A));
+        assert_eq!(s.die(3).group, Some(BankGroup::A));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in [
+            "0-0-0-2",
+            "2-2-2-2",
+            "0-0-2b-2a",
+            "0-0-2c-2a",
+            "1",
+            "0-0-2d-2a",
+        ] {
+            let s: MemoryState = text.parse().unwrap();
+            assert_eq!(s.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MemoryState>().is_err());
+        assert!("x-0".parse::<MemoryState>().is_err());
+        assert!("2e-0".parse::<MemoryState>().is_err());
+        assert!("2ab-0".parse::<MemoryState>().is_err());
+        assert!("2-".parse::<MemoryState>().is_err());
+    }
+
+    #[test]
+    fn intra_pair_overlap_detection() {
+        // Same group on both dies of the top pair: overlapping.
+        let s: MemoryState = "0-0-2a-2a".parse().unwrap();
+        assert!(s.has_intra_pair_overlap());
+        // Different groups: no overlap.
+        let s: MemoryState = "0-0-2b-2a".parse().unwrap();
+        assert!(!s.has_intra_pair_overlap());
+        // Active banks in *different* pairs never overlap intra-pair.
+        let s: MemoryState = "0-2a-0-2a".parse().unwrap();
+        assert!(!s.has_intra_pair_overlap());
+        // Default (no suffix) counts as group A.
+        let s: MemoryState = "0-0-2-2".parse().unwrap();
+        assert!(s.has_intra_pair_overlap());
+    }
+
+    #[test]
+    fn default_state_is_top_die_two_banks() {
+        let s = MemoryState::default_ddr3();
+        assert_eq!(s.to_string(), "0-0-0-2");
+    }
+
+    #[test]
+    fn with_die_replaces_one_entry() {
+        let s = MemoryState::idle(4).with_die(1, DieState::active_at(2, BankGroup::C));
+        assert_eq!(s.to_string(), "0-2c-0-0");
+    }
+
+    #[test]
+    fn group_column_offsets_are_distinct() {
+        let offsets: Vec<_> = BankGroup::ALL.iter().map(|g| g.column_offset()).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn empty_state_panics() {
+        let _ = MemoryState::new(vec![]);
+    }
+}

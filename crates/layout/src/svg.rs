@@ -1,0 +1,178 @@
+//! SVG rendering of floorplans and vertical-element placements — the
+//! textual stand-in for the paper's Figure 3 auto-generated layout plots.
+//!
+//! The renderer is dependency-free: it emits plain SVG 1.1 markup.
+
+use crate::floorplan::{BlockKind, Floorplan};
+use crate::stack::StackDesign;
+use std::fmt::Write as _;
+
+/// Pixels per millimetre in the rendered image.
+const SCALE: f64 = 60.0;
+/// Margin around the die, px.
+const MARGIN: f64 = 20.0;
+
+fn fill_for(kind: BlockKind) -> &'static str {
+    match kind {
+        BlockKind::Array => "#cfe2f3",
+        BlockKind::RowDecoder => "#f9cb9c",
+        BlockKind::ColumnDecoder => "#ffe599",
+        BlockKind::Periphery => "#d9d2e9",
+        BlockKind::Core => "#d9ead3",
+        BlockKind::Uncore => "#ead1dc",
+    }
+}
+
+/// Renders a floorplan (blocks with labels) to an SVG string.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::{render_floorplan_svg, Floorplan};
+/// use pi3d_layout::units::Mm;
+///
+/// let fp = Floorplan::dram(Mm(6.8), Mm(6.7), 8);
+/// let svg = render_floorplan_svg(&fp, "stacked DDR3 die");
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("bank0.array"));
+/// ```
+pub fn render_floorplan_svg(floorplan: &Floorplan, title: &str) -> String {
+    render_internal(floorplan, title, &[], &[])
+}
+
+/// Renders a design's DRAM die: floorplan blocks plus the power-TSV sites
+/// (circles) and, for on-chip designs, the C4 power-bump grid of the logic
+/// die projected into DRAM coordinates (crosses).
+pub fn render_design_svg(design: &StackDesign, title: &str) -> String {
+    let fp = design.dram_floorplan();
+    let spec = design.benchmark().spec();
+    let (w, h) = (spec.dram_width.value(), spec.dram_height.value());
+    let tsvs = design.tsv().positions(w, h);
+    let bumps = match spec.logic_size {
+        Some((lw, lh)) => crate::tsv::bump_grid(lw.value(), lh.value(), crate::tsv::C4_PITCH_MM)
+            .into_iter()
+            .map(|(x, y)| (x - (lw.value() - w) / 2.0, y - (lh.value() - h) / 2.0))
+            .filter(|&(x, y)| x >= 0.0 && x <= w && y >= 0.0 && y <= h)
+            .collect(),
+        None => Vec::new(),
+    };
+    render_internal(&fp, title, &tsvs, &bumps)
+}
+
+fn render_internal(
+    floorplan: &Floorplan,
+    title: &str,
+    tsvs: &[(f64, f64)],
+    bumps: &[(f64, f64)],
+) -> String {
+    let (w, h) = (floorplan.width().value(), floorplan.height().value());
+    let (img_w, img_h) = (w * SCALE + 2.0 * MARGIN, h * SCALE + 2.0 * MARGIN + 24.0);
+    // SVG's y axis grows downward; die coordinates grow upward.
+    let px = |x: f64| MARGIN + x * SCALE;
+    let py = |y: f64| MARGIN + (h - y) * SCALE;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{img_w:.0}\" height=\"{img_h:.0}\" \
+         viewBox=\"0 0 {img_w:.0} {img_h:.0}\">"
+    );
+    let _ = writeln!(
+        svg,
+        "<text x=\"{MARGIN}\" y=\"{:.0}\" font-family=\"monospace\" font-size=\"14\">{}</text>",
+        img_h - 6.0,
+        xml_escape(title)
+    );
+
+    for block in floorplan.blocks() {
+        let r = block.rect;
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"{}\" stroke=\"#444\" stroke-width=\"0.6\"><title>{}</title></rect>",
+            px(r.x0),
+            py(r.y1),
+            r.width() * SCALE,
+            r.height() * SCALE,
+            fill_for(block.kind),
+            xml_escape(&block.name)
+        );
+        if block.kind == BlockKind::Array || block.kind == BlockKind::Core {
+            let (cx, cy) = r.center();
+            let _ = writeln!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-family=\"monospace\" font-size=\"9\" \
+                 text-anchor=\"middle\">{}</text>",
+                px(cx),
+                py(cy),
+                xml_escape(block.name.trim_end_matches(".array"))
+            );
+        }
+    }
+
+    for &(x, y) in tsvs {
+        let _ = writeln!(
+            svg,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#cc0000\" \
+             fill-opacity=\"0.8\"><title>power TSV</title></circle>",
+            px(x),
+            py(y)
+        );
+    }
+    for &(x, y) in bumps {
+        let (cx, cy) = (px(x), py(y));
+        let _ = writeln!(
+            svg,
+            "<path d=\"M {:.1} {:.1} l 8 8 m 0 -8 l -8 8\" stroke=\"#1155cc\" \
+             stroke-width=\"1.5\"><title>power C4 bump</title></path>",
+            cx - 4.0,
+            cy - 4.0
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use crate::units::Mm;
+
+    #[test]
+    fn floorplan_svg_contains_every_block() {
+        let fp = Floorplan::dram(Mm(6.8), Mm(6.7), 8);
+        let svg = render_floorplan_svg(&fp, "die");
+        for block in fp.blocks() {
+            assert!(svg.contains(&block.name), "missing {}", block.name);
+        }
+        assert_eq!(svg.matches("<rect").count(), fp.blocks().len());
+    }
+
+    #[test]
+    fn design_svg_shows_tsvs_and_bumps() {
+        let design = StackDesign::baseline(Benchmark::StackedDdr3OnChip);
+        let svg = render_design_svg(&design, "on-chip DDR3");
+        assert_eq!(svg.matches("<circle").count(), design.tsv().count());
+        assert!(svg.contains("power C4 bump"));
+    }
+
+    #[test]
+    fn off_chip_design_has_no_bump_overlay() {
+        let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let svg = render_design_svg(&design, "off-chip DDR3");
+        assert!(!svg.contains("power C4 bump"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        assert_eq!(xml_escape("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+}

@@ -1,0 +1,261 @@
+use crate::units::{Ohms, Volts};
+
+/// Preferred routing direction of a metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteDirection {
+    /// Straps run parallel to the x axis.
+    Horizontal,
+    /// Straps run parallel to the y axis.
+    Vertical,
+}
+
+impl RouteDirection {
+    /// Returns the perpendicular direction.
+    pub fn orthogonal(self) -> Self {
+        match self {
+            RouteDirection::Horizontal => RouteDirection::Vertical,
+            RouteDirection::Vertical => RouteDirection::Horizontal,
+        }
+    }
+}
+
+/// One PDN metal layer of a die, as consumed by the R-Mesh extractor.
+///
+/// `sheet_resistance` is the bare per-square resistance of the layer;
+/// the fraction of the layer devoted to the VDD net (the paper's
+/// "metal usage") scales the effective conductance at mesh-build time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetalLayer {
+    /// Layer name, e.g. `"M2"`.
+    pub name: &'static str,
+    /// Per-square resistance of the bare metal.
+    pub sheet_resistance: Ohms,
+    /// Preferred routing direction.
+    pub direction: RouteDirection,
+}
+
+/// Process-technology description: layer resistances and the resistances of
+/// every vertical-connection element in the package.
+///
+/// Values are representative of a 20nm-class DRAM process and a 28nm logic
+/// process; the paper's absolute numbers come from proprietary Samsung
+/// data, so these are calibrated so that the 2D DDR3 single-bank
+/// interleaving read lands near the paper's 22.5 mV (see DESIGN.md §2).
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::Technology;
+///
+/// let tech = Technology::dram_20nm();
+/// assert_eq!(tech.vdd().value(), 1.5);
+/// assert!(tech.rdl_sheet_resistance().value() < tech.m3_sheet_resistance().value());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    vdd: Volts,
+    m2_sheet_r: Ohms,
+    m3_sheet_r: Ohms,
+    rdl_sheet_r: Ohms,
+    /// Effective inter-layer via resistance per mesh cell (vias in parallel).
+    via_cell_r: Ohms,
+    tsv_r: Ohms,
+    dedicated_tsv_r: Ohms,
+    f2f_via_r: Ohms,
+    b2b_pad_r: Ohms,
+    bump_r: Ohms,
+    ball_r: Ohms,
+    wirebond_r: Ohms,
+    /// Lateral series penalty per millimetre of C4-to-TSV misalignment.
+    misalign_r_per_mm: Ohms,
+}
+
+impl Technology {
+    /// Technology model for a 20nm-class DRAM die (three metal layers: M1
+    /// signal, M2 mixed, M3 power — only M2/M3 carry the VDD PDN).
+    pub fn dram_20nm() -> Self {
+        Technology {
+            vdd: Volts(1.5),
+            m2_sheet_r: Ohms(0.85),
+            m3_sheet_r: Ohms(0.26),
+            rdl_sheet_r: Ohms(0.12),
+            via_cell_r: Ohms(0.08),
+            tsv_r: Ohms(0.045),
+            dedicated_tsv_r: Ohms(0.020),
+            f2f_via_r: Ohms(0.04),
+            b2b_pad_r: Ohms(0.05),
+            bump_r: Ohms(0.010),
+            ball_r: Ohms(0.005),
+            wirebond_r: Ohms(0.030),
+            misalign_r_per_mm: Ohms(3.5),
+        }
+    }
+
+    /// Technology model for the 28nm OpenSPARC T2 host logic die (coarse
+    /// two-layer global PDN abstraction of its upper metal stack).
+    pub fn logic_28nm() -> Self {
+        Technology {
+            vdd: Volts(1.5),
+            m2_sheet_r: Ohms(0.46),
+            m3_sheet_r: Ohms(0.155),
+            rdl_sheet_r: Ohms(0.12),
+            via_cell_r: Ohms(0.08),
+            tsv_r: Ohms(0.045),
+            dedicated_tsv_r: Ohms(0.020),
+            f2f_via_r: Ohms(0.04),
+            b2b_pad_r: Ohms(0.05),
+            bump_r: Ohms(0.010),
+            ball_r: Ohms(0.005),
+            wirebond_r: Ohms(0.030),
+            misalign_r_per_mm: Ohms(3.5),
+        }
+    }
+
+    /// Supply voltage.
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+
+    /// Overrides the supply voltage (Wide I/O runs at 1.2 V).
+    pub fn with_vdd(mut self, vdd: Volts) -> Self {
+        assert!(vdd.value() > 0.0, "vdd must be positive");
+        self.vdd = vdd;
+        self
+    }
+
+    /// Sheet resistance of the mixed signal/power layer (M2).
+    pub fn m2_sheet_resistance(&self) -> Ohms {
+        self.m2_sheet_r
+    }
+
+    /// Sheet resistance of the power layer (M3).
+    pub fn m3_sheet_resistance(&self) -> Ohms {
+        self.m3_sheet_r
+    }
+
+    /// Sheet resistance of the thick backside redistribution layer.
+    pub fn rdl_sheet_resistance(&self) -> Ohms {
+        self.rdl_sheet_r
+    }
+
+    /// Effective M2–M3 via resistance per mesh cell.
+    pub fn via_cell_resistance(&self) -> Ohms {
+        self.via_cell_r
+    }
+
+    /// Resistance of one regular (via-middle) power TSV.
+    pub fn tsv_resistance(&self) -> Ohms {
+        self.tsv_r
+    }
+
+    /// Resistance of one dedicated via-last TSV through the logic die.
+    pub fn dedicated_tsv_resistance(&self) -> Ohms {
+        self.dedicated_tsv_r
+    }
+
+    /// Resistance of one face-to-face micro-via.
+    pub fn f2f_via_resistance(&self) -> Ohms {
+        self.f2f_via_r
+    }
+
+    /// Resistance of one back-to-back bonding pad connection.
+    pub fn b2b_pad_resistance(&self) -> Ohms {
+        self.b2b_pad_r
+    }
+
+    /// Resistance of one C4 bump.
+    pub fn bump_resistance(&self) -> Ohms {
+        self.bump_r
+    }
+
+    /// Resistance of one package ball (off-chip mounting).
+    pub fn ball_resistance(&self) -> Ohms {
+        self.ball_r
+    }
+
+    /// Resistance of one backside bonding wire (pad + wire).
+    pub fn wirebond_resistance(&self) -> Ohms {
+        self.wirebond_r
+    }
+
+    /// Lateral series penalty per millimetre of C4-to-TSV misalignment.
+    pub fn misalignment_resistance_per_mm(&self) -> Ohms {
+        self.misalign_r_per_mm
+    }
+
+    /// The two PDN metal layers of a DRAM die, bottom-up: M2 (vertical
+    /// straps), M3 (horizontal straps).
+    pub fn dram_pdn_layers(&self) -> [MetalLayer; 2] {
+        [
+            MetalLayer {
+                name: "M2",
+                sheet_resistance: self.m2_sheet_r,
+                direction: RouteDirection::Vertical,
+            },
+            MetalLayer {
+                name: "M3",
+                sheet_resistance: self.m3_sheet_r,
+                direction: RouteDirection::Horizontal,
+            },
+        ]
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::dram_20nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_tech_layer_ordering() {
+        let t = Technology::dram_20nm();
+        let [m2, m3] = t.dram_pdn_layers();
+        assert_eq!(m2.name, "M2");
+        assert_eq!(m3.name, "M3");
+        // Power layer (M3) is thicker, hence less resistive.
+        assert!(m3.sheet_resistance.value() < m2.sheet_resistance.value());
+        // Orthogonal routing directions form a grid.
+        assert_eq!(m2.direction.orthogonal(), m3.direction);
+    }
+
+    #[test]
+    fn rdl_is_least_resistive_layer() {
+        let t = Technology::dram_20nm();
+        assert!(t.rdl_sheet_resistance().value() < t.m3_sheet_resistance().value());
+    }
+
+    #[test]
+    fn dedicated_tsv_beats_regular_tsv() {
+        let t = Technology::dram_20nm();
+        assert!(t.dedicated_tsv_resistance().value() < t.tsv_resistance().value());
+    }
+
+    #[test]
+    fn with_vdd_overrides_supply() {
+        let t = Technology::dram_20nm().with_vdd(Volts(1.2));
+        assert_eq!(t.vdd(), Volts(1.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "vdd must be positive")]
+    fn with_nonpositive_vdd_panics() {
+        let _ = Technology::dram_20nm().with_vdd(Volts(-1.0));
+    }
+
+    #[test]
+    fn default_is_dram() {
+        assert_eq!(Technology::default(), Technology::dram_20nm());
+    }
+
+    #[test]
+    fn logic_tech_is_less_resistive_than_dram() {
+        let logic = Technology::logic_28nm();
+        let dram = Technology::dram_20nm();
+        assert!(logic.m3_sheet_resistance().value() < dram.m3_sheet_resistance().value());
+    }
+}

@@ -1,0 +1,344 @@
+use crate::LayoutError;
+use std::fmt;
+
+/// Where the power/ground TSVs sit on the die, following Section 3.3 and
+/// Table 8 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TsvPlacement {
+    /// All TSVs grouped at the die centre (lowest cost, highest IR drop —
+    /// the JEDEC Wide I/O style).
+    Center,
+    /// TSV columns along the left and right die edges (the stacked-DDR3
+    /// style of Kang et al.; shortens supply paths but needs keep-out
+    /// zones).
+    #[default]
+    Edge,
+    /// TSVs spread uniformly between banks (the HMC style; highest cost).
+    Distributed,
+}
+
+impl fmt::Display for TsvPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TsvPlacement::Center => "center",
+            TsvPlacement::Edge => "edge",
+            TsvPlacement::Distributed => "distributed",
+        })
+    }
+}
+
+impl TsvPlacement {
+    /// One-letter abbreviation used in the paper's Table 9 (`C`/`E`/`D`).
+    pub fn abbreviation(self) -> char {
+        match self {
+            TsvPlacement::Center => 'C',
+            TsvPlacement::Edge => 'E',
+            TsvPlacement::Distributed => 'D',
+        }
+    }
+}
+
+/// Table 8 range for the power-TSV count.
+const TSV_COUNT_RANGE: (usize, usize) = (15, 480);
+
+/// Power-TSV configuration: count, placement style, and whether TSV
+/// positions were optimized to sit near the logic die's C4 bumps
+/// (Section 3.2's alignment optimization).
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::{TsvConfig, TsvPlacement};
+///
+/// # fn main() -> Result<(), pi3d_layout::LayoutError> {
+/// let tsv = TsvConfig::new(33, TsvPlacement::Edge)?;
+/// let positions = tsv.positions(6.8, 6.7);
+/// assert_eq!(positions.len(), 33);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsvConfig {
+    count: usize,
+    placement: TsvPlacement,
+    aligned: bool,
+}
+
+impl TsvConfig {
+    /// Creates a TSV configuration with the default (non-optimized, uniform
+    /// pitch) alignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::ParameterOutOfRange`] if `count` is outside
+    /// the Table 8 range of 15–480.
+    pub fn new(count: usize, placement: TsvPlacement) -> Result<Self, LayoutError> {
+        if !(TSV_COUNT_RANGE.0..=TSV_COUNT_RANGE.1).contains(&count) {
+            return Err(LayoutError::ParameterOutOfRange {
+                parameter: "tsv_count",
+                value: count as f64,
+                min: TSV_COUNT_RANGE.0 as f64,
+                max: TSV_COUNT_RANGE.1 as f64,
+            });
+        }
+        Ok(TsvConfig {
+            count,
+            placement,
+            aligned: false,
+        })
+    }
+
+    /// The paper's baseline for stacked DDR3: 33 edge TSVs, uniform pitch.
+    pub fn baseline_ddr3() -> Self {
+        TsvConfig {
+            count: 33,
+            placement: TsvPlacement::Edge,
+            aligned: false,
+        }
+    }
+
+    /// Number of power TSVs per die-to-die interface.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Placement style.
+    pub fn placement(&self) -> TsvPlacement {
+        self.placement
+    }
+
+    /// Whether TSVs are placed near C4 bumps (alignment-optimized).
+    pub fn is_aligned(&self) -> bool {
+        self.aligned
+    }
+
+    /// Returns a copy with C4-alignment optimization enabled or disabled.
+    pub fn with_alignment(mut self, aligned: bool) -> Self {
+        self.aligned = aligned;
+        self
+    }
+
+    /// Returns a copy with a different count.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn with_count(self, count: usize) -> Result<Self, LayoutError> {
+        let mut cfg = TsvConfig::new(count, self.placement)?;
+        cfg.aligned = self.aligned;
+        Ok(cfg)
+    }
+
+    /// The Table 8 TSV count range `(min, max)`.
+    pub fn count_range() -> (usize, usize) {
+        TSV_COUNT_RANGE
+    }
+
+    /// Computes TSV positions on a `width × height` mm die.
+    ///
+    /// * `Edge` — two columns inset 3% from the left and right edges,
+    ///   spread uniformly in y.
+    /// * `Center` — a near-square grid inside the central 30% × 30% box.
+    /// * `Distributed` — a near-square grid over the whole die with a 5%
+    ///   margin.
+    pub fn positions(&self, width: f64, height: f64) -> Vec<(f64, f64)> {
+        match self.placement {
+            TsvPlacement::Edge => {
+                let inset = width * 0.03;
+                let per_col = self.count / 2;
+                let extra = self.count % 2;
+                let mut pts = Vec::with_capacity(self.count);
+                for (col, n) in [(inset, per_col + extra), (width - inset, per_col)] {
+                    for i in 0..n {
+                        let y = height * (i as f64 + 0.5) / n as f64;
+                        pts.push((col, y));
+                    }
+                }
+                pts
+            }
+            TsvPlacement::Center => {
+                let bx0 = width * 0.35;
+                let by0 = height * 0.35;
+                grid_points(self.count, bx0, by0, width * 0.30, height * 0.30)
+            }
+            TsvPlacement::Distributed => {
+                let mx = width * 0.05;
+                let my = height * 0.05;
+                grid_points(self.count, mx, my, width - 2.0 * mx, height - 2.0 * my)
+            }
+        }
+    }
+
+    /// Computes the average distance (mm) from each TSV to its nearest C4
+    /// bump for a given bump grid, the quantity the paper's alignment
+    /// optimization minimizes. With alignment enabled the distance
+    /// collapses to a small residual (TSVs are moved next to bumps).
+    pub fn average_bump_distance(&self, tsvs: &[(f64, f64)], bumps: &[(f64, f64)]) -> f64 {
+        if self.aligned {
+            return ALIGNED_RESIDUAL_MM;
+        }
+        if tsvs.is_empty() || bumps.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = tsvs
+            .iter()
+            .map(|&(x, y)| {
+                bumps
+                    .iter()
+                    .map(|&(bx, by)| ((x - bx).powi(2) + (y - by).powi(2)).sqrt())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        total / tsvs.len() as f64
+    }
+}
+
+/// Residual C4-to-TSV distance after alignment optimization (mm).
+const ALIGNED_RESIDUAL_MM: f64 = 0.02;
+
+impl Default for TsvConfig {
+    fn default() -> Self {
+        TsvConfig::baseline_ddr3()
+    }
+}
+
+/// Lays `count` points out in a near-square grid inside the box
+/// `(x0, y0, x0+w, y0+h)`.
+fn grid_points(count: usize, x0: f64, y0: f64, w: f64, h: f64) -> Vec<(f64, f64)> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let cols = (count as f64).sqrt().ceil() as usize;
+    let rows = count.div_ceil(cols);
+    let mut pts = Vec::with_capacity(count);
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if pts.len() == count {
+                break 'outer;
+            }
+            let x = x0 + w * (c as f64 + 0.5) / cols as f64;
+            let y = y0 + h * (r as f64 + 0.5) / rows as f64;
+            pts.push((x, y));
+        }
+    }
+    pts
+}
+
+/// Generates the C4 bump grid of a logic die (or the package-ball grid of an
+/// off-chip stack): a uniform array at the given pitch covering the die.
+///
+/// # Panics
+///
+/// Panics if any argument is not strictly positive.
+pub fn bump_grid(width: f64, height: f64, pitch_mm: f64) -> Vec<(f64, f64)> {
+    assert!(width > 0.0 && height > 0.0 && pitch_mm > 0.0);
+    let nx = ((width / pitch_mm).floor() as usize).max(1);
+    let ny = ((height / pitch_mm).floor() as usize).max(1);
+    let mut pts = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            pts.push((
+                width * (i as f64 + 0.5) / nx as f64,
+                height * (j as f64 + 0.5) / ny as f64,
+            ));
+        }
+    }
+    pts
+}
+
+/// Pitch of the power-assigned C4 bumps (only a fraction of the full C4
+/// array carries VDD), in millimetres.
+pub const C4_PITCH_MM: f64 = 2.4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_range_enforced() {
+        assert!(TsvConfig::new(14, TsvPlacement::Edge).is_err());
+        assert!(TsvConfig::new(481, TsvPlacement::Edge).is_err());
+        assert!(TsvConfig::new(15, TsvPlacement::Edge).is_ok());
+        assert!(TsvConfig::new(480, TsvPlacement::Edge).is_ok());
+    }
+
+    #[test]
+    fn edge_positions_hug_the_edges() {
+        let cfg = TsvConfig::new(20, TsvPlacement::Edge).unwrap();
+        let pts = cfg.positions(6.8, 6.7);
+        assert_eq!(pts.len(), 20);
+        for &(x, _) in &pts {
+            assert!(!(0.5..=6.3).contains(&x), "edge TSV at x={x}");
+        }
+    }
+
+    #[test]
+    fn center_positions_stay_in_central_box() {
+        let cfg = TsvConfig::new(33, TsvPlacement::Center).unwrap();
+        for (x, y) in cfg.positions(6.8, 6.7) {
+            assert!(x > 6.8 * 0.3 && x < 6.8 * 0.7, "x={x}");
+            assert!(y > 6.7 * 0.3 && y < 6.7 * 0.7, "y={y}");
+        }
+    }
+
+    #[test]
+    fn distributed_positions_cover_the_die() {
+        let cfg = TsvConfig::new(160, TsvPlacement::Distributed).unwrap();
+        let pts = cfg.positions(7.2, 6.4);
+        assert_eq!(pts.len(), 160);
+        let min_x = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let max_x = pts.iter().map(|p| p.0).fold(0.0, f64::max);
+        assert!(min_x < 1.0 && max_x > 6.0, "spread {min_x}..{max_x}");
+    }
+
+    #[test]
+    fn odd_count_edge_placement_keeps_all_tsvs() {
+        let cfg = TsvConfig::new(33, TsvPlacement::Edge).unwrap();
+        assert_eq!(cfg.positions(6.8, 6.7).len(), 33);
+    }
+
+    #[test]
+    fn alignment_reduces_average_bump_distance() {
+        let bumps = bump_grid(9.0, 8.0, C4_PITCH_MM);
+        let cfg = TsvConfig::new(33, TsvPlacement::Edge).unwrap();
+        let pts = cfg.positions(6.8, 6.7);
+        let misaligned = cfg.average_bump_distance(&pts, &bumps);
+        let aligned = cfg.with_alignment(true).average_bump_distance(&pts, &bumps);
+        assert!(
+            aligned < misaligned,
+            "aligned {aligned} !< misaligned {misaligned}"
+        );
+        assert!(
+            misaligned > 0.05,
+            "uniform pitch should misalign: {misaligned}"
+        );
+    }
+
+    #[test]
+    fn bump_grid_covers_the_die() {
+        let bumps = bump_grid(9.0, 8.0, C4_PITCH_MM);
+        // Power C4s are sparse (2.4 mm pitch on a 9x8 mm die -> 3x3).
+        assert_eq!(bumps.len(), 9, "got {} bumps", bumps.len());
+        let (min_x, max_x) = bumps
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &(x, _)| {
+                (lo.min(x), hi.max(x))
+            });
+        assert!(min_x < 2.0 && max_x > 7.0, "spread {min_x}..{max_x}");
+    }
+
+    #[test]
+    fn placement_abbreviations_match_table9() {
+        assert_eq!(TsvPlacement::Center.abbreviation(), 'C');
+        assert_eq!(TsvPlacement::Edge.abbreviation(), 'E');
+        assert_eq!(TsvPlacement::Distributed.abbreviation(), 'D');
+    }
+
+    #[test]
+    fn default_is_paper_baseline() {
+        let t = TsvConfig::default();
+        assert_eq!(t.count(), 33);
+        assert_eq!(t.placement(), TsvPlacement::Edge);
+        assert!(!t.is_aligned());
+    }
+}

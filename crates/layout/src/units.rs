@@ -1,0 +1,180 @@
+//! Typed physical quantities used throughout the workspace.
+//!
+//! Newtypes keep millimetres from being confused with microns and
+//! millivolts from being confused with volts (C-NEWTYPE). Only the
+//! operations that are physically meaningful are provided.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw numeric value in the unit named by the type.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A length in millimetres.
+    Mm,
+    "mm"
+);
+quantity!(
+    /// A resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// A voltage in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// A voltage in millivolts (the unit IR drop is reported in).
+    MilliVolts,
+    "mV"
+);
+quantity!(
+    /// A power in milliwatts.
+    MilliWatts,
+    "mW"
+);
+quantity!(
+    /// A current in amperes.
+    Amps,
+    "A"
+);
+
+impl Volts {
+    /// Converts to millivolts.
+    pub fn to_millivolts(self) -> MilliVolts {
+        MilliVolts(self.0 * 1e3)
+    }
+}
+
+impl MilliVolts {
+    /// Converts to volts.
+    pub fn to_volts(self) -> Volts {
+        Volts(self.0 * 1e-3)
+    }
+}
+
+impl MilliWatts {
+    /// Current drawn at the given supply voltage (`I = P / V`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not strictly positive.
+    pub fn current_at(self, vdd: Volts) -> Amps {
+        assert!(vdd.0 > 0.0, "supply voltage must be positive");
+        Amps(self.0 * 1e-3 / vdd.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_on_lengths() {
+        let a = Mm(2.0) + Mm(3.0);
+        assert_eq!(a, Mm(5.0));
+        assert_eq!(a - Mm(1.0), Mm(4.0));
+        assert_eq!(a * 2.0, Mm(10.0));
+        assert_eq!(a / 2.0, Mm(2.5));
+    }
+
+    #[test]
+    fn volt_millivolt_roundtrip() {
+        let v = Volts(1.5);
+        assert_eq!(v.to_millivolts(), MilliVolts(1500.0));
+        assert_eq!(v.to_millivolts().to_volts(), v);
+    }
+
+    #[test]
+    fn power_to_current() {
+        // 150 mW at 1.5 V is 100 mA.
+        let i = MilliWatts(150.0).current_at(Volts(1.5));
+        assert!((i.value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply voltage must be positive")]
+    fn current_at_zero_volts_panics() {
+        let _ = MilliWatts(1.0).current_at(Volts(0.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{:.2}", MilliVolts(30.034)), "30.03 mV");
+        assert_eq!(format!("{}", Mm(6.8)), "6.8 mm");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(MilliVolts(-3.0).abs(), MilliVolts(3.0));
+        assert_eq!(MilliVolts(1.0).max(MilliVolts(2.0)), MilliVolts(2.0));
+        assert_eq!(MilliVolts(1.0).min(MilliVolts(2.0)), MilliVolts(1.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests over the full design space: every cost term stays within
+//! its Table 8 range, and the cost model is monotone in each knob.
+
+use pi3d_layout::{
+    Benchmark, BondingStyle, Mounting, PdnSpec, RdlConfig, RdlScope, StackDesign, TsvConfig,
+    TsvPlacement,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = (f64, f64, usize, bool, bool, bool, bool)> {
+    (
+        0.10f64..=0.20,
+        0.10f64..=0.40,
+        15usize..=480,
+        any::<bool>(), // f2f
+        any::<bool>(), // rdl
+        any::<bool>(), // wire bond
+        any::<bool>(), // edge (vs centre)
+    )
+}
+
+fn build(m2: f64, m3: f64, tc: usize, f2f: bool, rdl: bool, wb: bool, edge: bool) -> StackDesign {
+    StackDesign::builder(Benchmark::StackedDdr3OffChip)
+        .pdn(PdnSpec::new(m2, m3).expect("in range"))
+        .tsv(
+            TsvConfig::new(
+                tc,
+                if edge {
+                    TsvPlacement::Edge
+                } else {
+                    TsvPlacement::Center
+                },
+            )
+            .expect("in range"),
+        )
+        .bonding(if f2f {
+            BondingStyle::F2F
+        } else {
+            BondingStyle::F2B
+        })
+        .rdl(if rdl {
+            RdlConfig::enabled(RdlScope::AllDies)
+        } else {
+            RdlConfig::none()
+        })
+        .wire_bond(wb)
+        .build()
+        .expect("valid design")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cost_terms_stay_in_their_table8_ranges(
+        (m2, m3, tc, f2f, rdl, wb, edge) in arb_point(),
+    ) {
+        let cost = build(m2, m3, tc, f2f, rdl, wb, edge).cost();
+        prop_assert!((0.025..=0.0500001).contains(&cost.m2), "m2 {}", cost.m2);
+        prop_assert!((0.025..=0.1000001).contains(&cost.m3), "m3 {}", cost.m3);
+        prop_assert!((0.077..=0.45).contains(&cost.tsv_count), "tc {}", cost.tsv_count);
+        prop_assert!(cost.tsv_location >= 0.0);
+        prop_assert!(cost.total > 0.0 && cost.total < 2.0);
+        // The total is the sum of its parts.
+        let sum = cost.m2 + cost.m3 + cost.tsv_count + cost.tsv_location
+            + cost.dedicated + cost.bonding + cost.rdl + cost.wire_bond;
+        prop_assert!((cost.total - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_each_knob(
+        (m2, m3, tc, f2f, rdl, wb, edge) in arb_point(),
+    ) {
+        let base = build(m2, m3, tc, f2f, rdl, wb, edge).cost().total;
+        if m2 <= 0.19 {
+            prop_assert!(build(m2 + 0.01, m3, tc, f2f, rdl, wb, edge).cost().total > base);
+        }
+        if m3 <= 0.39 {
+            prop_assert!(build(m2, m3 + 0.01, tc, f2f, rdl, wb, edge).cost().total > base);
+        }
+        if tc <= 450 {
+            prop_assert!(build(m2, m3, tc + 30, f2f, rdl, wb, edge).cost().total > base);
+        }
+        if !rdl {
+            prop_assert!(build(m2, m3, tc, f2f, true, wb, edge).cost().total > base);
+        }
+        if !wb {
+            prop_assert!(build(m2, m3, tc, f2f, rdl, true, edge).cost().total > base);
+        }
+        if !f2f {
+            prop_assert!(build(m2, m3, tc, true, rdl, wb, edge).cost().total > base);
+        }
+        if !edge {
+            // Centre -> edge adds the location term.
+            prop_assert!(build(m2, m3, tc, f2f, rdl, wb, true).cost().total > base);
+        }
+    }
+
+    #[test]
+    fn tsv_positions_always_match_the_count_and_stay_on_die(
+        tc in 15usize..=480,
+        placement_idx in 0..3usize,
+        w in 5.0f64..10.0,
+        h in 5.0f64..10.0,
+    ) {
+        let placement = [TsvPlacement::Edge, TsvPlacement::Center, TsvPlacement::Distributed]
+            [placement_idx];
+        let cfg = TsvConfig::new(tc, placement).expect("in range");
+        let pts = cfg.positions(w, h);
+        prop_assert_eq!(pts.len(), tc);
+        for (x, y) in pts {
+            prop_assert!((0.0..=w).contains(&x), "x {x} off a {w}-wide die");
+            prop_assert!((0.0..=h).contains(&y), "y {y} off a {h}-tall die");
+        }
+    }
+
+    #[test]
+    fn on_chip_designs_cost_at_least_their_off_chip_twins(
+        (m2, m3, tc, f2f, rdl, wb, edge) in arb_point(),
+    ) {
+        let off = build(m2, m3, tc, f2f, rdl, wb, edge).cost().total;
+        let on = StackDesign::builder(Benchmark::StackedDdr3OnChip)
+            .mounting(Mounting::OnChip { dedicated_tsvs: true })
+            .pdn(PdnSpec::new(m2, m3).expect("in range"))
+            .tsv(
+                TsvConfig::new(tc, if edge { TsvPlacement::Edge } else { TsvPlacement::Center })
+                    .expect("in range"),
+            )
+            .bonding(if f2f { BondingStyle::F2F } else { BondingStyle::F2B })
+            .rdl(if rdl { RdlConfig::enabled(RdlScope::AllDies) } else { RdlConfig::none() })
+            .wire_bond(wb)
+            .build()
+            .expect("valid design")
+            .cost()
+            .total;
+        // Dedicated TSVs add 0.06 on top of the shared structure.
+        prop_assert!((on - off - 0.06).abs() < 1e-12, "on {on} vs off {off}");
+    }
+}

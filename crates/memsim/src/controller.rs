@@ -1,0 +1,702 @@
+use crate::bank::Bank;
+use crate::lut::IrDropLut;
+use crate::policy::{IrPolicy, ReadPolicy, SchedulingPolicy};
+use crate::request::ReadRequest;
+use crate::stats::SimStats;
+use crate::timing::TimingParams;
+use pi3d_layout::units::MilliVolts;
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Structural configuration of the simulated memory system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// DRAM dies in the stack.
+    pub dies: usize,
+    /// Banks per die.
+    pub banks_per_die: usize,
+    /// Independent channels (each with its own command/data bus).
+    pub channels: usize,
+    /// Request-queue capacity (the paper uses 32).
+    pub queue_capacity: usize,
+    /// Maximum simultaneously powered banks per die (the paper's
+    /// interleaving mode caps this at two to protect the charge pumps).
+    pub max_powered_per_die: usize,
+}
+
+impl SimConfig {
+    /// The paper's stacked-DDR3 system: 4 dies × 8 banks, one channel,
+    /// a 32-entry queue, at most two powered banks per die.
+    pub fn paper_ddr3() -> Self {
+        SimConfig {
+            dies: 4,
+            banks_per_die: 8,
+            channels: 1,
+            queue_capacity: 32,
+            max_powered_per_die: 2,
+        }
+    }
+}
+
+/// Error returned when a simulation cannot make progress.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimulateError {
+    /// The controller stopped issuing commands (e.g. the IR constraint is
+    /// below the drop of every single-bank state, so no activate is ever
+    /// legal).
+    Stalled {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+        /// Requests completed before the stall.
+        completed: u64,
+    },
+}
+
+impl fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulateError::Stalled { cycle, completed } => write!(
+                f,
+                "simulation stalled at cycle {cycle} with {completed} requests completed \
+                 (IR-drop constraint likely allows no memory state)"
+            ),
+        }
+    }
+}
+
+impl Error for SimulateError {}
+
+/// Cycle-accurate 3D DRAM memory-controller simulator.
+///
+/// Models per-bank row state (activate / read / precharge with tRCD, tRAS,
+/// tRP), per-channel command and data buses (tCL, tCCD, burst occupancy),
+/// a bounded priority queue, the IR-drop lookup table, and the three read
+/// policies of the paper's Section 5.2.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::units::MilliVolts;
+/// use pi3d_memsim::{
+///     IrDropLut, MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A flat LUT: every state is allowed.
+/// let mut lut = IrDropLut::new(4);
+/// # let states: Vec<Vec<u8>> = (0..81)
+/// #     .map(|i| (0..4).map(|d| ((i / 3usize.pow(d)) % 3) as u8).collect())
+/// #     .collect();
+/// # for s in &states {
+/// #     for act in [0.25, 0.5, 1.0] {
+/// #         lut.insert(s, act, MilliVolts(10.0));
+/// #     }
+/// # }
+/// let sim = MemorySimulator::new(
+///     TimingParams::ddr3_1600(),
+///     SimConfig::paper_ddr3(),
+///     ReadPolicy::ir_aware_fcfs(MilliVolts(24.0)),
+///     lut,
+/// );
+/// let mut workload = WorkloadSpec::paper_ddr3();
+/// workload.count = 200;
+/// let stats = sim.run(&workload.generate())?;
+/// assert_eq!(stats.completed, 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySimulator {
+    timing: TimingParams,
+    config: SimConfig,
+    policy: ReadPolicy,
+    lut: IrDropLut,
+}
+
+struct ChannelState {
+    /// Cycle of the last read command (tCCD / data-bus spacing).
+    last_read_cmd: Option<u64>,
+    /// Activate history inside the tFAW window (standard policy).
+    acts: VecDeque<u64>,
+    /// Cycle of the last activate (tRRD, standard policy).
+    last_act: Option<u64>,
+}
+
+/// Sliding-window measurement of per-die I/O activity (bus utilization).
+///
+/// The IR-drop-aware policies gate *reads* on the activity the read would
+/// produce: issuing a read to a die raises that die's measured utilization,
+/// and the LUT is consulted at the measured level. This is how the paper's
+/// controller turns the IR constraint into read-rate throttling — inserting
+/// bubbles when the state's full-rate IR would violate the cap — which
+/// yields the smooth runtime-vs-constraint curves of Figure 9.
+struct ActivityWindow {
+    window: u64,
+    /// `(issue_cycle, die, data_cycles)` per recent read.
+    events: VecDeque<(u64, usize, u32)>,
+    /// Busy data-bus cycles per die within the window.
+    busy: Vec<u64>,
+}
+
+impl ActivityWindow {
+    fn new(dies: usize, window: u64) -> Self {
+        ActivityWindow {
+            window,
+            events: VecDeque::new(),
+            busy: vec![0; dies],
+        }
+    }
+
+    fn prune(&mut self, cycle: u64) {
+        while let Some(&(c, die, data)) = self.events.front() {
+            if c + self.window <= cycle {
+                self.busy[die] -= data as u64;
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn record(&mut self, cycle: u64, die: usize, data_cycles: u32) {
+        self.events.push_back((cycle, die, data_cycles));
+        self.busy[die] += data_cycles as u64;
+    }
+
+    /// Utilization of one die's I/O over the window.
+    fn die_utilization(&self, die: usize) -> f64 {
+        self.busy[die] as f64 / self.window as f64
+    }
+
+    /// The worst per-die utilization.
+    fn max_utilization(&self) -> f64 {
+        self.busy
+            .iter()
+            .map(|&b| b as f64 / self.window as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl MemorySimulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LUT's die count differs from the configuration's.
+    pub fn new(
+        timing: TimingParams,
+        config: SimConfig,
+        policy: ReadPolicy,
+        lut: IrDropLut,
+    ) -> Self {
+        assert_eq!(lut.dies(), config.dies, "LUT die count mismatch");
+        MemorySimulator {
+            timing,
+            config,
+            policy,
+            lut,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> ReadPolicy {
+        self.policy
+    }
+
+    /// The timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Runs the request stream to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateError::Stalled`] if no forward progress is
+    /// possible (an over-tight IR constraint).
+    pub fn run(&self, requests: &[ReadRequest]) -> Result<SimStats, SimulateError> {
+        let t = &self.timing;
+        let cfg = &self.config;
+        let n = requests.len() as u64;
+
+        let mut banks: Vec<Vec<Bank>> = vec![vec![Bank::new(); cfg.banks_per_die]; cfg.dies];
+        let mut channels: Vec<ChannelState> = (0..cfg.channels)
+            .map(|_| ChannelState {
+                last_read_cmd: None,
+                acts: VecDeque::new(),
+                last_act: None,
+            })
+            .collect();
+        let mut queue: Vec<ReadRequest> = Vec::with_capacity(cfg.queue_capacity);
+        // Activity window: a few row cycles long, so throttling reacts on
+        // the same timescale banks open and close.
+        let mut activity = ActivityWindow::new(cfg.dies, 2 * t.t_faw.max(32) as u64);
+        // Refresh bookkeeping (extension; disabled when t_refi == 0).
+        let mut refresh_due: Vec<u64> = (0..cfg.dies)
+            .map(|d| t.t_refi as u64 + (d as u64 * t.t_refi as u64) / cfg.dies.max(1) as u64)
+            .collect();
+        let mut refreshing_until: Vec<u64> = vec![0; cfg.dies];
+        let mut refreshes: u64 = 0;
+        let mut next_arrival = 0usize;
+        let mut in_flight: Vec<(u64, ReadRequest)> = Vec::new();
+        let mut act_for: HashMap<(usize, usize), u64> = HashMap::new();
+
+        let mut cycle: u64 = 0;
+        let mut completed: u64 = 0;
+        let mut last_data_end: u64 = 0;
+        let mut activates: u64 = 0;
+        let mut precharges: u64 = 0;
+        let mut row_hits: u64 = 0;
+        let mut latency_sum: f64 = 0.0;
+        let mut queue_depth_sum: f64 = 0.0;
+        let mut max_ir = MilliVolts(0.0);
+        let mut last_progress_cycle: u64 = 0;
+
+        // Generous stall horizon: the longest legal gap between command
+        // issues is bounded by a few row cycles.
+        let stall_horizon = 100 * (t.t_ras + t.t_rp + t.t_rcd + t.t_cl) as u64 + 1_000;
+
+        while completed < n {
+            activity.prune(cycle);
+            // 1. Advance bank state machines.
+            for die in banks.iter_mut() {
+                for b in die.iter_mut() {
+                    b.tick(cycle);
+                }
+            }
+
+            // 2. Retire finished data transfers.
+            let mut i = 0;
+            while i < in_flight.len() {
+                if in_flight[i].0 <= cycle {
+                    let (done, req) = in_flight.swap_remove(i);
+                    completed += 1;
+                    latency_sum += (done - req.arrival) as f64;
+                    last_data_end = last_data_end.max(done);
+                    last_progress_cycle = cycle;
+                } else {
+                    i += 1;
+                }
+            }
+
+            // 3. Accept arrivals into the bounded queue.
+            while next_arrival < requests.len()
+                && requests[next_arrival].arrival <= cycle
+                && queue.len() < cfg.queue_capacity
+            {
+                queue.push(requests[next_arrival]);
+                next_arrival += 1;
+            }
+
+            // 3b. Refresh (extension): when a die's refresh is due, stop
+            // activating it; once its banks drain, run an all-bank refresh
+            // for tRFC cycles (staggered across dies at construction).
+            if t.t_refi > 0 {
+                for die in 0..cfg.dies {
+                    if cycle >= refresh_due[die]
+                        && cycle >= refreshing_until[die]
+                        && banks[die].iter().all(|b| b.can_activate())
+                    {
+                        refreshing_until[die] = cycle + t.t_rfc as u64;
+                        refresh_due[die] = cycle + t.t_refi as u64;
+                        refreshes += 1;
+                        last_progress_cycle = cycle;
+                    }
+                }
+            }
+
+            // 4. IR-drop-motivated auto-close of banks nobody wants.
+            for die in 0..cfg.dies {
+                for bk in 0..cfg.banks_per_die {
+                    let bank = &banks[die][bk];
+                    if let Some(open) = bank.open_row() {
+                        let wanted = queue
+                            .iter()
+                            .any(|r| r.die == die && r.bank == bk && r.row == open);
+                        // A row nobody wants closes after `idle_close`; a
+                        // wanted row still closes after a long starvation
+                        // period so a narrow reorder window cannot pin the
+                        // die's bank budget forever.
+                        let idle = bank.idle_for(cycle);
+                        let expired = (!wanted && idle >= t.idle_close as u64)
+                            || idle >= (8 * t.idle_close).max(t.t_ras) as u64;
+                        if expired && bank.can_precharge(cycle) {
+                            banks[die][bk].precharge(cycle, t.t_rp);
+                            precharges += 1;
+                        }
+                    }
+                }
+            }
+
+            // 5. Issue at most one command per channel.
+            for ch in 0..cfg.channels {
+                let mut order: Vec<usize> = (0..queue.len())
+                    .filter(|&i| queue[i].channel == ch)
+                    .collect();
+                match self.policy.scheduling {
+                    SchedulingPolicy::Fcfs => order.sort_by_key(|&i| queue[i].id),
+                    SchedulingPolicy::DistributedRead => order.sort_by_key(|&i| {
+                        let die = queue[i].die;
+                        let powered = banks[die].iter().filter(|b| b.is_powered()).count();
+                        (powered, queue[i].id)
+                    }),
+                }
+                order.truncate(self.policy.reorder_window());
+
+                let mut issued = false;
+                for &qi in &order {
+                    let req = queue[qi];
+                    if cycle < refreshing_until[req.die] {
+                        continue; // die busy refreshing
+                    }
+                    let refresh_pending = t.t_refi > 0 && cycle >= refresh_due[req.die];
+                    let bank = &banks[req.die][req.bank];
+                    if bank.can_read(req.row) {
+                        // Data-bus spacing: tCCD and burst occupancy.
+                        let spacing = t.t_ccd.max(t.data_cycles()) as u64;
+                        let ok = channels[ch]
+                            .last_read_cmd
+                            .is_none_or(|last| cycle >= last + spacing)
+                            && self.read_allowed(&banks, &activity, req.die);
+                        if ok {
+                            banks[req.die][req.bank].read(cycle, req.row);
+                            activity.record(cycle, req.die, t.data_cycles());
+                            channels[ch].last_read_cmd = Some(cycle);
+                            let done = cycle + t.t_cl as u64 + t.data_cycles() as u64;
+                            if act_for.get(&(req.die, req.bank)) != Some(&req.id) {
+                                row_hits += 1;
+                            }
+                            in_flight.push((done, req));
+                            queue.swap_remove(qi);
+                            issued = true;
+                            last_progress_cycle = cycle;
+                        }
+                    } else if bank.open_row().is_some() && bank.open_row() != Some(req.row) {
+                        if banks[req.die][req.bank].can_precharge(cycle) {
+                            banks[req.die][req.bank].precharge(cycle, t.t_rp);
+                            precharges += 1;
+                            issued = true;
+                            last_progress_cycle = cycle;
+                        }
+                    } else if bank.can_activate()
+                        && !refresh_pending
+                        && self.activate_allowed(&banks, &channels[ch], &activity, req.die, cycle)
+                    {
+                        banks[req.die][req.bank].activate(cycle, req.row, t.t_rcd, t.t_ras);
+                        act_for.insert((req.die, req.bank), req.id);
+                        channels[ch].last_act = Some(cycle);
+                        channels[ch].acts.push_back(cycle);
+                        activates += 1;
+                        issued = true;
+                        last_progress_cycle = cycle;
+                    }
+                    if issued {
+                        break;
+                    }
+                }
+            }
+
+            // 6. Track the IR drop of the state we are in, at the I/O
+            // activity actually measured over the sliding window.
+            let counts: Vec<u8> = banks
+                .iter()
+                .enumerate()
+                .map(|(die, bs)| {
+                    if cycle < refreshing_until[die] {
+                        // All-bank refresh powers every bank; the LUT is
+                        // capped at the interleave limit.
+                        cfg.max_powered_per_die as u8
+                    } else {
+                        bs.iter().filter(|b| b.is_powered()).count() as u8
+                    }
+                })
+                .collect();
+            if counts.iter().any(|&c| c > 0) {
+                if let Some(ir) = self
+                    .lut
+                    .lookup(&counts, activity.max_utilization().min(1.0))
+                {
+                    max_ir = max_ir.max(ir);
+                }
+            }
+
+            queue_depth_sum += queue.len() as f64;
+            cycle += 1;
+
+            if cycle - last_progress_cycle > stall_horizon {
+                return Err(SimulateError::Stalled { cycle, completed });
+            }
+        }
+
+        let cycles = last_data_end.max(1);
+        Ok(SimStats {
+            refreshes,
+            cycles,
+            runtime_us: t.cycles_to_us(cycles),
+            completed,
+            bandwidth_reads_per_clk: completed as f64 / cycles as f64,
+            max_ir,
+            activates,
+            precharges,
+            row_hits,
+            avg_latency_cycles: if completed > 0 {
+                latency_sum / completed as f64
+            } else {
+                0.0
+            },
+            avg_queue_depth: queue_depth_sum / cycle as f64,
+        })
+    }
+
+    /// Whether issuing a read to `die` keeps the IR-drop constraint met at
+    /// the utilization the read produces (IR-aware policies only; the
+    /// standard policy never throttles reads).
+    fn read_allowed(&self, banks: &[Vec<Bank>], activity: &ActivityWindow, die: usize) -> bool {
+        let IrPolicy::IrAware { constraint } = self.policy.ir else {
+            return true;
+        };
+        let counts: Vec<u8> = banks
+            .iter()
+            .map(|d| d.iter().filter(|b| b.is_powered()).count() as u8)
+            .collect();
+        let prospective = (activity.die_utilization(die)
+            + self.timing.data_cycles() as f64 / activity.window as f64)
+            .max(activity.max_utilization())
+            .min(1.0);
+        match self.lut.lookup(&counts, prospective) {
+            Some(ir) => ir.value() <= constraint.value() + 1e-9,
+            None => false,
+        }
+    }
+
+    /// Whether an activate on `die` is allowed this cycle under the policy.
+    fn activate_allowed(
+        &self,
+        banks: &[Vec<Bank>],
+        channel: &ChannelState,
+        activity: &ActivityWindow,
+        die: usize,
+        cycle: u64,
+    ) -> bool {
+        // Charge-pump limit: at most N powered banks per die.
+        let powered = banks[die].iter().filter(|b| b.is_powered()).count();
+        if powered >= self.config.max_powered_per_die {
+            return false;
+        }
+        match self.policy.ir {
+            IrPolicy::Standard => {
+                let t = &self.timing;
+                if let Some(last) = channel.last_act {
+                    if cycle < last + t.t_rrd as u64 {
+                        return false;
+                    }
+                }
+                let window_start = cycle.saturating_sub(t.t_faw as u64);
+                let recent = channel.acts.iter().filter(|&&a| a > window_start).count();
+                recent < 4
+            }
+            IrPolicy::IrAware { constraint } => {
+                let mut counts: Vec<u8> = banks
+                    .iter()
+                    .map(|d| d.iter().filter(|b| b.is_powered()).count() as u8)
+                    .collect();
+                counts[die] += 1;
+                // The prospective state must meet the constraint at the
+                // currently measured I/O activity (reads are gated
+                // separately, so the activity cannot silently grow past
+                // the cap afterwards).
+                match self
+                    .lut
+                    .lookup(&counts, activity.max_utilization().min(1.0))
+                {
+                    Some(ir) => ir.value() <= constraint.value() + 1e-9,
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WorkloadSpec;
+
+    /// A synthetic LUT shaped like the real platform's: IR grows with the
+    /// per-die bank count and shrinks when activity spreads across dies.
+    fn synthetic_lut(dies: usize) -> IrDropLut {
+        let mut lut = IrDropLut::new(dies);
+        let states = all_states(dies, 2);
+        for s in &states {
+            for &act in &[0.25f64, 0.5, 1.0] {
+                let worst = *s.iter().max().expect("nonempty") as f64;
+                let total: u8 = s.iter().sum();
+                // Imbalanced, high-activity states hurt the most.
+                let ir = 6.0 + 9.0 * worst * (0.4 + 0.6 * act) + 1.2 * total as f64;
+                lut.insert(s, act, MilliVolts(ir));
+            }
+        }
+        lut
+    }
+
+    fn all_states(dies: usize, max: u8) -> Vec<Vec<u8>> {
+        let mut states = vec![vec![]];
+        for _ in 0..dies {
+            states = states
+                .into_iter()
+                .flat_map(|s| {
+                    (0..=max).map(move |c| {
+                        let mut s = s.clone();
+                        s.push(c);
+                        s
+                    })
+                })
+                .collect();
+        }
+        states
+    }
+
+    fn small_workload(count: usize) -> Vec<crate::ReadRequest> {
+        let mut spec = WorkloadSpec::paper_ddr3();
+        spec.count = count;
+        spec.generate()
+    }
+
+    fn sim(policy: ReadPolicy) -> MemorySimulator {
+        MemorySimulator::new(
+            TimingParams::ddr3_1600(),
+            SimConfig::paper_ddr3(),
+            policy,
+            synthetic_lut(4),
+        )
+    }
+
+    #[test]
+    fn all_requests_complete_under_every_policy() {
+        let reqs = small_workload(500);
+        for policy in [
+            ReadPolicy::standard(),
+            ReadPolicy::ir_aware_fcfs(MilliVolts(40.0)),
+            ReadPolicy::ir_aware_distr(MilliVolts(40.0)),
+        ] {
+            let stats = sim(policy).run(&reqs).expect("completes");
+            assert_eq!(stats.completed, 500, "{}", policy.name());
+            assert!(stats.bandwidth_reads_per_clk > 0.0);
+            assert!(stats.runtime_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn ir_aware_never_exceeds_its_constraint() {
+        let reqs = small_workload(800);
+        let constraint = MilliVolts(26.0);
+        let stats = sim(ReadPolicy::ir_aware_fcfs(constraint))
+            .run(&reqs)
+            .unwrap();
+        assert!(
+            stats.max_ir.value() <= constraint.value() + 1e-9,
+            "max IR {} exceeded constraint {}",
+            stats.max_ir,
+            constraint
+        );
+    }
+
+    #[test]
+    fn distr_spreads_and_beats_fcfs_under_tight_constraint() {
+        let reqs = small_workload(2000);
+        let c = MilliVolts(28.0);
+        let fcfs = sim(ReadPolicy::ir_aware_fcfs(c)).run(&reqs).unwrap();
+        let distr = sim(ReadPolicy::ir_aware_distr(c)).run(&reqs).unwrap();
+        assert!(
+            distr.runtime_us <= fcfs.runtime_us * 1.02,
+            "DistR {} vs FCFS {}",
+            distr.runtime_us,
+            fcfs.runtime_us
+        );
+    }
+
+    #[test]
+    fn impossible_constraint_reports_stall() {
+        let reqs = small_workload(50);
+        // Below the IR of any single-bank state: nothing can ever activate.
+        let err = sim(ReadPolicy::ir_aware_fcfs(MilliVolts(1.0)))
+            .run(&reqs)
+            .unwrap_err();
+        assert!(matches!(err, SimulateError::Stalled { completed: 0, .. }));
+    }
+
+    #[test]
+    fn row_hit_rate_is_high_for_local_workload() {
+        let reqs = small_workload(1000);
+        let stats = sim(ReadPolicy::standard()).run(&reqs).unwrap();
+        // The workload generator's 80% row-hit rate is a per-bank
+        // property; the *served* hit rate is much lower because
+        // interleaving and auto-close break up runs (the paper's heavy
+        // workload behaves the same: its standard policy is
+        // activate-throttled).
+        assert!(
+            (0.05..0.6).contains(&stats.row_hit_rate()),
+            "row hit rate {}",
+            stats.row_hit_rate()
+        );
+        assert!(stats.activates > 0 && stats.precharges > 0);
+    }
+
+    #[test]
+    fn standard_policy_respects_faw() {
+        // With tFAW 32 the controller may not issue more than 4 activates
+        // in any 32-cycle window; over the whole run the activate count is
+        // bounded by cycles / tRRD anyway, but the key observable is that
+        // the run completes with sensible stats.
+        let reqs = small_workload(300);
+        let stats = sim(ReadPolicy::standard()).run(&reqs).unwrap();
+        assert!(stats.activates as f64 / stats.cycles as f64 <= 4.0 / 32.0 + 0.01);
+    }
+
+    #[test]
+    fn refresh_extension_slows_the_run_but_completes() {
+        let reqs = small_workload(2000);
+        let base = sim(ReadPolicy::standard()).run(&reqs).unwrap();
+        let refreshing = MemorySimulator::new(
+            TimingParams::ddr3_1600_with_refresh(),
+            SimConfig::paper_ddr3(),
+            ReadPolicy::standard(),
+            synthetic_lut(4),
+        )
+        .run(&reqs)
+        .unwrap();
+        assert_eq!(refreshing.completed, 2000);
+        assert!(refreshing.refreshes > 0, "no refreshes happened");
+        assert!(
+            refreshing.runtime_us >= base.runtime_us,
+            "refresh made the run faster: {} vs {}",
+            refreshing.runtime_us,
+            base.runtime_us
+        );
+        assert_eq!(base.refreshes, 0);
+        // Roughly one refresh per die per tREFI window.
+        let windows = refreshing.cycles / TimingParams::ddr3_1600_with_refresh().t_refi as u64;
+        assert!(
+            refreshing.refreshes >= windows.saturating_sub(1) * 4 / 2,
+            "refreshes {} for {windows} windows",
+            refreshing.refreshes
+        );
+    }
+
+    #[test]
+    fn queue_depth_is_bounded_by_capacity() {
+        let reqs = small_workload(500);
+        let stats = sim(ReadPolicy::standard()).run(&reqs).unwrap();
+        assert!(stats.avg_queue_depth <= 32.0);
+    }
+
+    #[test]
+    fn latency_exceeds_minimum_pipeline_depth() {
+        let reqs = small_workload(200);
+        let t = TimingParams::ddr3_1600();
+        let stats = sim(ReadPolicy::standard()).run(&reqs).unwrap();
+        assert!(stats.avg_latency_cycles >= (t.t_cl + t.data_cycles()) as f64);
+    }
+}

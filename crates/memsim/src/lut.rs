@@ -1,0 +1,307 @@
+use pi3d_layout::units::MilliVolts;
+use std::collections::HashMap;
+
+/// IR-drop lookup table: maximum IR drop per memory state and I/O activity.
+///
+/// This is the interface between the R-Mesh engine and the memory
+/// controller (Section 5.2): the platform pre-computes the max IR drop of
+/// every reachable memory state at several I/O-activity levels; the
+/// controller consults the table before issuing an activate.
+///
+/// Keys are the per-die active-bank counts, bottom die first. Lookups
+/// between tabulated activity levels interpolate linearly; activities
+/// outside the tabulated range clamp to the nearest entry.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::units::MilliVolts;
+/// use pi3d_memsim::IrDropLut;
+///
+/// let mut lut = IrDropLut::new(4);
+/// lut.insert(&[0, 0, 0, 2], 1.0, MilliVolts(30.0));
+/// lut.insert(&[0, 0, 0, 2], 0.5, MilliVolts(26.0));
+/// let ir = lut.lookup(&[0, 0, 0, 2], 0.75).unwrap();
+/// assert!((ir.value() - 28.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IrDropLut {
+    dies: usize,
+    // state key -> sorted (activity, max IR mV) samples
+    entries: HashMap<Vec<u8>, Vec<(f64, f64)>>,
+}
+
+impl IrDropLut {
+    /// Creates an empty table for a stack of `dies` DRAM dies.
+    pub fn new(dies: usize) -> Self {
+        IrDropLut {
+            dies,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of dies the table indexes over.
+    pub fn dies(&self) -> usize {
+        self.dies
+    }
+
+    /// Number of distinct states tabulated.
+    pub fn state_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts (or updates) one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != dies()` or activity is outside `[0, 1]`.
+    pub fn insert(&mut self, counts: &[u8], io_activity: f64, max_ir: MilliVolts) {
+        assert_eq!(counts.len(), self.dies, "state length mismatch");
+        assert!(
+            (0.0..=1.0).contains(&io_activity),
+            "activity must be in [0, 1]"
+        );
+        let samples = self.entries.entry(counts.to_vec()).or_default();
+        match samples.binary_search_by(|(a, _)| a.partial_cmp(&io_activity).expect("finite")) {
+            Ok(pos) => samples[pos].1 = max_ir.value(),
+            Err(pos) => samples.insert(pos, (io_activity, max_ir.value())),
+        }
+    }
+
+    /// Looks up the max IR drop for a state, interpolating in activity.
+    /// Returns `None` for states never tabulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != dies()`.
+    pub fn lookup(&self, counts: &[u8], io_activity: f64) -> Option<MilliVolts> {
+        assert_eq!(counts.len(), self.dies, "state length mismatch");
+        let samples = self.entries.get(counts)?;
+        if samples.is_empty() {
+            return None;
+        }
+        if io_activity <= samples[0].0 {
+            return Some(MilliVolts(samples[0].1));
+        }
+        if io_activity >= samples[samples.len() - 1].0 {
+            return Some(MilliVolts(samples[samples.len() - 1].1));
+        }
+        let hi = samples.partition_point(|(a, _)| *a < io_activity);
+        let (a0, v0) = samples[hi - 1];
+        let (a1, v1) = samples[hi];
+        let t = (io_activity - a0) / (a1 - a0);
+        Some(MilliVolts(v0 + t * (v1 - v0)))
+    }
+
+    /// The I/O activity implied by zero-bubble interleaving for a state.
+    ///
+    /// Two effects bound a die's bus share: the bus is split equally among
+    /// active dies (Table 5), and a single bank can sustain at most half
+    /// the bus — the paper's interleaving mode needs two banks per die for
+    /// zero-bubble streaming. So the per-active-die activity is
+    /// `min(1/active_dies, 0.5 × banks_per_active_die)`.
+    pub fn implied_activity(counts: &[u8]) -> f64 {
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        if active == 0 {
+            return 0.0;
+        }
+        let total_banks: u32 = counts.iter().map(|&c| c as u32).sum();
+        let bus_share = 1.0 / active as f64;
+        let bank_duty = 0.5 * total_banks as f64 / active as f64;
+        bus_share.min(bank_duty)
+    }
+
+    /// Convenience: looks up a state at its zero-bubble implied activity.
+    pub fn lookup_implied(&self, counts: &[u8]) -> Option<MilliVolts> {
+        self.lookup(counts, Self::implied_activity(counts))
+    }
+
+    /// Iterates over tabulated states.
+    pub fn states(&self) -> impl Iterator<Item = &[u8]> {
+        self.entries.keys().map(Vec::as_slice)
+    }
+
+    /// Serializes the table to a plain-text format (`pi3d-ir-lut v1`):
+    /// one `counts... activity max_ir_mv` line per sample, sorted for
+    /// reproducible output.
+    pub fn to_text(&self) -> String {
+        let mut lines = Vec::new();
+        for (counts, samples) in &self.entries {
+            for &(activity, mv) in samples {
+                let counts_text: Vec<String> = counts.iter().map(u8::to_string).collect();
+                lines.push(format!("{} {activity} {mv}", counts_text.join(" ")));
+            }
+        }
+        lines.sort();
+        format!("pi3d-ir-lut v1 dies={}\n{}\n", self.dies, lines.join("\n"))
+    }
+
+    /// Parses a table serialized by [`to_text`](Self::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLutError`] describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, ParseLutError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| ParseLutError {
+            line: 1,
+            message: "empty input".into(),
+        })?;
+        let dies: usize = header
+            .strip_prefix("pi3d-ir-lut v1 dies=")
+            .and_then(|d| d.trim().parse().ok())
+            .ok_or_else(|| ParseLutError {
+                line: 1,
+                message: format!("bad header {header:?}"),
+            })?;
+        let mut lut = IrDropLut::new(dies);
+        for (idx, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| ParseLutError {
+                line: idx + 1,
+                message,
+            };
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != dies + 2 {
+                return Err(err(format!(
+                    "expected {} fields, got {}",
+                    dies + 2,
+                    fields.len()
+                )));
+            }
+            let mut counts = Vec::with_capacity(dies);
+            for f in &fields[..dies] {
+                counts.push(
+                    f.parse::<u8>()
+                        .map_err(|_| err(format!("bad count {f:?}")))?,
+                );
+            }
+            let activity: f64 = fields[dies]
+                .parse()
+                .map_err(|_| err(format!("bad activity {:?}", fields[dies])))?;
+            let mv: f64 = fields[dies + 1]
+                .parse()
+                .map_err(|_| err(format!("bad IR value {:?}", fields[dies + 1])))?;
+            if !(0.0..=1.0).contains(&activity) {
+                return Err(err(format!("activity {activity} out of [0, 1]")));
+            }
+            lut.insert(&counts, activity, MilliVolts(mv));
+        }
+        Ok(lut)
+    }
+}
+
+/// Error returned when parsing a serialized [`IrDropLut`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLutError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseLutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LUT line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut() -> IrDropLut {
+        let mut l = IrDropLut::new(4);
+        l.insert(&[0, 0, 0, 2], 0.25, MilliVolts(23.0));
+        l.insert(&[0, 0, 0, 2], 1.0, MilliVolts(30.0));
+        l.insert(&[2, 2, 2, 2], 0.25, MilliVolts(25.0));
+        l
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let l = lut();
+        assert_eq!(l.lookup(&[0, 0, 0, 2], 1.0), Some(MilliVolts(30.0)));
+        assert_eq!(l.lookup(&[2, 2, 2, 2], 0.25), Some(MilliVolts(25.0)));
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let l = lut();
+        let mid = l.lookup(&[0, 0, 0, 2], 0.625).unwrap();
+        assert!((mid.value() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_outside_sampled_range() {
+        let l = lut();
+        assert_eq!(l.lookup(&[0, 0, 0, 2], 0.1), Some(MilliVolts(23.0)));
+        assert_eq!(l.lookup(&[2, 2, 2, 2], 0.9), Some(MilliVolts(25.0)));
+    }
+
+    #[test]
+    fn unknown_state_is_none() {
+        assert_eq!(lut().lookup(&[1, 1, 1, 1], 0.5), None);
+    }
+
+    #[test]
+    fn insert_overwrites_same_activity() {
+        let mut l = lut();
+        l.insert(&[0, 0, 0, 2], 1.0, MilliVolts(31.0));
+        assert_eq!(l.lookup(&[0, 0, 0, 2], 1.0), Some(MilliVolts(31.0)));
+    }
+
+    #[test]
+    fn implied_activity_is_bus_share_capped_by_bank_duty() {
+        assert_eq!(IrDropLut::implied_activity(&[0, 0, 0, 2]), 1.0);
+        assert_eq!(IrDropLut::implied_activity(&[0, 0, 2, 2]), 0.5);
+        assert_eq!(IrDropLut::implied_activity(&[2, 2, 2, 2]), 0.25);
+        assert_eq!(IrDropLut::implied_activity(&[0, 0, 0, 0]), 0.0);
+        // A lone bank cannot stream zero-bubble: half the bus at most.
+        assert_eq!(IrDropLut::implied_activity(&[0, 0, 0, 1]), 0.5);
+        // Two dies with one bank each: bus share (1/2) and bank duty
+        // (0.5 x 1) coincide.
+        assert_eq!(IrDropLut::implied_activity(&[0, 1, 0, 1]), 0.5);
+        assert_eq!(IrDropLut::implied_activity(&[1, 1, 1, 1]), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "state length mismatch")]
+    fn wrong_length_panics() {
+        let _ = lut().lookup(&[0, 0], 0.5);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_every_sample() {
+        let original = lut();
+        let text = original.to_text();
+        let parsed = IrDropLut::from_text(&text).unwrap();
+        assert_eq!(parsed.dies(), original.dies());
+        assert_eq!(parsed.state_count(), original.state_count());
+        for s in original.states() {
+            for act in [0.25, 0.5, 0.625, 1.0] {
+                assert_eq!(
+                    parsed.lookup(s, act),
+                    original.lookup(s, act),
+                    "{s:?} @ {act}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(IrDropLut::from_text("").is_err());
+        assert!(IrDropLut::from_text("not a header\n").is_err());
+        let e = IrDropLut::from_text("pi3d-ir-lut v1 dies=4\n0 0 0 2 0.5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("fields"));
+        let e = IrDropLut::from_text("pi3d-ir-lut v1 dies=2\n0 1 2.0 30.0\n").unwrap_err();
+        assert!(e.to_string().contains("activity"));
+    }
+}

@@ -1,0 +1,66 @@
+use pi3d_layout::units::MilliVolts;
+
+/// Aggregate results of one memory-controller simulation.
+///
+/// The three headline metrics match the paper's Table 6: runtime to drain
+/// the request stream (µs), average bandwidth (reads per clock), and the
+/// maximum IR drop ever entered (from the lookup table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStats {
+    /// Total cycles simulated (last data beat).
+    pub cycles: u64,
+    /// Wall-clock runtime of the workload in microseconds.
+    pub runtime_us: f64,
+    /// Completed read requests.
+    pub completed: u64,
+    /// Average bandwidth in reads per clock cycle.
+    pub bandwidth_reads_per_clk: f64,
+    /// Maximum IR drop of any memory state entered during the run.
+    pub max_ir: MilliVolts,
+    /// All-bank refreshes performed (0 when refresh is disabled).
+    pub refreshes: u64,
+    /// Activate commands issued.
+    pub activates: u64,
+    /// Precharge commands issued.
+    pub precharges: u64,
+    /// Reads served from an already-open row.
+    pub row_hits: u64,
+    /// Mean request latency (arrival to last data beat), cycles.
+    pub avg_latency_cycles: f64,
+    /// Mean occupancy of the request queue.
+    pub avg_queue_depth: f64,
+}
+
+impl SimStats {
+    /// Measured row-hit fraction.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hit_rate_handles_empty_run() {
+        let s = SimStats {
+            cycles: 0,
+            runtime_us: 0.0,
+            completed: 0,
+            bandwidth_reads_per_clk: 0.0,
+            max_ir: MilliVolts(0.0),
+            refreshes: 0,
+            activates: 0,
+            precharges: 0,
+            row_hits: 0,
+            avg_latency_cycles: 0.0,
+            avg_queue_depth: 0.0,
+        };
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+}

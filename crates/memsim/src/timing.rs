@@ -1,0 +1,171 @@
+/// DRAM read-path timing parameters, in memory-clock cycles.
+///
+/// These are the parameters the paper's Section 2.3 models (tCL, tRCD, tRP,
+/// tRAS, tCCD) plus the two JEDEC bank-activation throttles (tRRD, tFAW)
+/// that the *standard* scheduling policy uses in place of real IR-drop
+/// knowledge.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_memsim::TimingParams;
+///
+/// let t = TimingParams::ddr3_1600();
+/// assert_eq!(t.t_rrd, 8);
+/// assert_eq!(t.t_faw, 32);
+/// assert_eq!(t.data_cycles(), 4); // burst 8 on a DDR bus
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// CAS latency: read command to first data.
+    pub t_cl: u32,
+    /// RAS-to-CAS delay: activate to read command.
+    pub t_rcd: u32,
+    /// Row precharge time.
+    pub t_rp: u32,
+    /// Minimum row-active time (activate to precharge).
+    pub t_ras: u32,
+    /// Column-to-column delay between read commands on one channel.
+    pub t_ccd: u32,
+    /// Row-to-row (activate-to-activate) delay — standard policy only.
+    pub t_rrd: u32,
+    /// Four-activate window — standard policy only.
+    pub t_faw: u32,
+    /// Burst length in bits per pin.
+    pub burst_length: u32,
+    /// Idle cycles after the last read before a bank is auto-closed to
+    /// reduce IR drop (Section 2.3).
+    pub idle_close: u32,
+    /// Average refresh interval in cycles (`0` disables refresh — the
+    /// paper's experiments run refresh-free read bursts).
+    pub t_refi: u32,
+    /// Refresh cycle time: cycles a die's banks are busy per refresh.
+    pub t_rfc: u32,
+    /// Memory clock period in nanoseconds.
+    pub clock_ns: f64,
+}
+
+impl TimingParams {
+    /// DDR3-1600 timings (800 MHz clock): the stacked-DDR3 benchmark.
+    pub fn ddr3_1600() -> Self {
+        TimingParams {
+            t_cl: 11,
+            t_rcd: 11,
+            t_rp: 11,
+            t_ras: 28,
+            t_ccd: 4,
+            t_rrd: 8,
+            t_faw: 32,
+            burst_length: 8,
+            idle_close: 3,
+            t_refi: 0,
+            t_rfc: 0,
+            clock_ns: 1.25,
+        }
+    }
+
+    /// DDR3-1600 with refresh enabled: tREFI 7.8 µs, tRFC 260 ns for a
+    /// 4 Gb die (an extension over the paper's refresh-free runs).
+    pub fn ddr3_1600_with_refresh() -> Self {
+        TimingParams {
+            t_refi: 6240,
+            t_rfc: 208,
+            ..Self::ddr3_1600()
+        }
+    }
+
+    /// Wide I/O SDR timings (200 MHz clock, relaxed latencies in cycles).
+    pub fn wide_io_200() -> Self {
+        TimingParams {
+            t_cl: 3,
+            t_rcd: 3,
+            t_rp: 3,
+            t_ras: 8,
+            t_ccd: 2,
+            t_rrd: 2,
+            t_faw: 8,
+            burst_length: 4,
+            idle_close: 4,
+            t_refi: 0,
+            t_rfc: 0,
+            clock_ns: 5.0,
+        }
+    }
+
+    /// HMC-style timings (1250 MHz internal clock).
+    pub fn hmc_2500() -> Self {
+        TimingParams {
+            t_cl: 14,
+            t_rcd: 14,
+            t_rp: 14,
+            t_ras: 34,
+            t_ccd: 4,
+            t_rrd: 6,
+            t_faw: 24,
+            burst_length: 8,
+            idle_close: 8,
+            t_refi: 0,
+            t_rfc: 0,
+            clock_ns: 0.8,
+        }
+    }
+
+    /// Cycles the data bus is occupied by one burst (DDR: two bits per
+    /// cycle per pin).
+    pub fn data_cycles(&self) -> u32 {
+        (self.burst_length / 2).max(1)
+    }
+
+    /// Converts a cycle count to microseconds.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.clock_ns * 1e-3
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_matches_paper_parameters() {
+        let t = TimingParams::ddr3_1600();
+        // The paper compares against a standard policy with tRRD 8, tFAW 32.
+        assert_eq!((t.t_rrd, t.t_faw), (8, 32));
+        // Burst of eight at DDR occupies 4 clock cycles.
+        assert_eq!(t.data_cycles(), 4);
+    }
+
+    #[test]
+    fn cycle_conversion_uses_clock_period() {
+        let t = TimingParams::ddr3_1600();
+        // 80_000 cycles at 1.25 ns = 100 us.
+        assert!((t.cycles_to_us(80_000) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_variant_enables_refresh() {
+        let t = TimingParams::ddr3_1600_with_refresh();
+        assert!(t.t_refi > 0 && t.t_rfc > 0);
+        // tREFI 6240 cycles at 1.25 ns = 7.8 us.
+        assert!((t.t_refi as f64 * t.clock_ns * 1e-3 - 7.8).abs() < 0.01);
+        assert_eq!(TimingParams::ddr3_1600().t_refi, 0);
+    }
+
+    #[test]
+    fn ras_exceeds_rcd_plus_burst() {
+        for t in [
+            TimingParams::ddr3_1600(),
+            TimingParams::wide_io_200(),
+            TimingParams::hmc_2500(),
+        ] {
+            assert!(t.t_ras >= t.t_rcd + t.data_cycles());
+            assert!(t.t_faw >= t.t_rrd);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+use std::fmt;
+
+/// Identifies one rectangular node grid within a stack mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridId(pub(crate) usize);
+
+impl GridId {
+    /// Zero-based index of the grid in the stack's grid registry.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a grid models: one PDN metal layer of one die, a backside RDL, or a
+/// logic-die layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GridKind {
+    /// PDN metal layer `layer` (0 = M2, 1 = M3) of DRAM die `die`
+    /// (0 = bottom).
+    DramMetal {
+        /// DRAM die index, 0 = bottom.
+        die: usize,
+        /// Layer index within the die: 0 = M2, 1 = M3.
+        layer: usize,
+    },
+    /// Backside redistribution layer under DRAM die `die`.
+    Rdl {
+        /// DRAM die the RDL is attached to.
+        die: usize,
+    },
+    /// Logic-die PDN layer (0 = device-side, 1 = C4-side global metal).
+    LogicMetal {
+        /// Layer index: 0 = device side, 1 = C4 side.
+        layer: usize,
+    },
+}
+
+impl GridKind {
+    /// The DRAM die index, if this grid belongs to a DRAM die.
+    pub fn dram_die(self) -> Option<usize> {
+        match self {
+            GridKind::DramMetal { die, .. } | GridKind::Rdl { die } => Some(die),
+            GridKind::LogicMetal { .. } => None,
+        }
+    }
+
+    /// Whether the grid belongs to the logic die.
+    pub fn is_logic(self) -> bool {
+        matches!(self, GridKind::LogicMetal { .. })
+    }
+}
+
+impl fmt::Display for GridKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridKind::DramMetal { die, layer } => {
+                write!(f, "DRAM{} M{}", die + 1, layer + 2)
+            }
+            GridKind::Rdl { die } => write!(f, "DRAM{} RDL", die + 1),
+            GridKind::LogicMetal { layer } => {
+                write!(f, "logic {}", if *layer == 0 { "M-low" } else { "M-top" })
+            }
+        }
+    }
+}
+
+/// Geometry of one grid: `nx × ny` nodes uniformly covering a
+/// `width × height` mm die. Node `(0, 0)` sits at cell centre
+/// `(dx/2, dy/2)` of the lower-left corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// What this grid models.
+    pub kind: GridKind,
+    /// Nodes along x.
+    pub nx: usize,
+    /// Nodes along y.
+    pub ny: usize,
+    /// Die width, mm.
+    pub width: f64,
+    /// Die height, mm.
+    pub height: f64,
+    /// Index of this grid's node 0 in the global node numbering.
+    pub(crate) base: usize,
+}
+
+impl GridSpec {
+    /// Number of nodes in the grid.
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Cell pitch along x, mm.
+    pub fn dx(&self) -> f64 {
+        self.width / self.nx as f64
+    }
+
+    /// Cell pitch along y, mm.
+    pub fn dy(&self) -> f64 {
+        self.height / self.ny as f64
+    }
+
+    /// Global node index of grid node `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn node(&self, ix: usize, iy: usize) -> usize {
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "grid node ({ix}, {iy}) out of range"
+        );
+        self.base + iy * self.nx + ix
+    }
+
+    /// Grid coordinates `(ix, iy)` of the node nearest to the die-local
+    /// point `(x, y)` in mm (clamped to the die).
+    pub fn nearest(&self, x: f64, y: f64) -> (usize, usize) {
+        let ix = ((x / self.dx() - 0.5).round().max(0.0) as usize).min(self.nx - 1);
+        let iy = ((y / self.dy() - 0.5).round().max(0.0) as usize).min(self.ny - 1);
+        (ix, iy)
+    }
+
+    /// Global node index nearest to the die-local point `(x, y)`.
+    pub fn nearest_node(&self, x: f64, y: f64) -> usize {
+        let (ix, iy) = self.nearest(x, y);
+        self.node(ix, iy)
+    }
+
+    /// Die-local centre coordinates of node `(ix, iy)`, mm.
+    pub fn node_position(&self, ix: usize, iy: usize) -> (f64, f64) {
+        ((ix as f64 + 0.5) * self.dx(), (iy as f64 + 0.5) * self.dy())
+    }
+
+    /// Bilinear interpolation weights of the die-local point `(x, y)` over
+    /// its up-to-four surrounding nodes. Weights sum to 1; points outside
+    /// the node lattice clamp to the boundary. Used to spread lumped
+    /// elements (TSVs, bumps, bond wires) smoothly over the grid so that
+    /// results vary continuously with element position.
+    pub fn bilinear(&self, x: f64, y: f64) -> Vec<(usize, f64)> {
+        let fx = (x / self.dx() - 0.5).clamp(0.0, (self.nx - 1) as f64);
+        let fy = (y / self.dy() - 0.5).clamp(0.0, (self.ny - 1) as f64);
+        let ix0 = (fx.floor() as usize).min(self.nx - 1);
+        let iy0 = (fy.floor() as usize).min(self.ny - 1);
+        let ix1 = (ix0 + 1).min(self.nx - 1);
+        let iy1 = (iy0 + 1).min(self.ny - 1);
+        let tx = fx - ix0 as f64;
+        let ty = fy - iy0 as f64;
+        let mut out = Vec::with_capacity(4);
+        for (ix, iy, w) in [
+            (ix0, iy0, (1.0 - tx) * (1.0 - ty)),
+            (ix1, iy0, tx * (1.0 - ty)),
+            (ix0, iy1, (1.0 - tx) * ty),
+            (ix1, iy1, tx * ty),
+        ] {
+            if w > 1e-12 {
+                match out.iter_mut().find(|(n, _)| *n == self.node(ix, iy)) {
+                    Some((_, acc)) => *acc += w,
+                    None => out.push((self.node(ix, iy), w)),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Registry of all grids in a stack mesh with a contiguous global node
+/// numbering.
+#[derive(Debug, Clone, Default)]
+pub struct GridRegistry {
+    grids: Vec<GridSpec>,
+    total_nodes: usize,
+}
+
+impl GridRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        GridRegistry::default()
+    }
+
+    /// Adds a grid, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has zero nodes or non-positive dimensions.
+    pub fn add(&mut self, kind: GridKind, nx: usize, ny: usize, width: f64, height: f64) -> GridId {
+        assert!(nx > 0 && ny > 0, "grid must have nodes");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "grid dimensions must be positive"
+        );
+        let spec = GridSpec {
+            kind,
+            nx,
+            ny,
+            width,
+            height,
+            base: self.total_nodes,
+        };
+        self.total_nodes += spec.node_count();
+        self.grids.push(spec);
+        GridId(self.grids.len() - 1)
+    }
+
+    /// Total node count across all grids.
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// The grid with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this registry.
+    pub fn grid(&self, id: GridId) -> &GridSpec {
+        &self.grids[id.0]
+    }
+
+    /// Iterates over `(GridId, &GridSpec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GridId, &GridSpec)> {
+        self.grids.iter().enumerate().map(|(i, g)| (GridId(i), g))
+    }
+
+    /// Finds the grid of a given kind, if present.
+    pub fn find(&self, kind: GridKind) -> Option<GridId> {
+        self.grids.iter().position(|g| g.kind == kind).map(GridId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_numbering_is_contiguous_across_grids() {
+        let mut reg = GridRegistry::new();
+        let a = reg.add(GridKind::DramMetal { die: 0, layer: 0 }, 4, 3, 6.8, 6.7);
+        let b = reg.add(GridKind::DramMetal { die: 0, layer: 1 }, 4, 3, 6.8, 6.7);
+        assert_eq!(reg.total_nodes(), 24);
+        assert_eq!(reg.grid(a).node(0, 0), 0);
+        assert_eq!(reg.grid(a).node(3, 2), 11);
+        assert_eq!(reg.grid(b).node(0, 0), 12);
+        assert_eq!(reg.grid(b).node(3, 2), 23);
+    }
+
+    #[test]
+    fn nearest_node_snaps_and_clamps() {
+        let mut reg = GridRegistry::new();
+        let id = reg.add(GridKind::Rdl { die: 0 }, 10, 10, 10.0, 10.0);
+        let g = reg.grid(id);
+        // Cell centres at 0.5, 1.5, ... 9.5.
+        assert_eq!(g.nearest(0.5, 0.5), (0, 0));
+        assert_eq!(g.nearest(9.5, 9.5), (9, 9));
+        assert_eq!(g.nearest(-1.0, 50.0), (0, 9));
+        // 5.0 is equidistant between cell centres 4.5 and 5.5; round() on
+        // the half-offset index rounds half away from zero, selecting 5.
+        assert_eq!(g.nearest(5.0, 5.0), (5, 5));
+    }
+
+    #[test]
+    fn node_position_roundtrip() {
+        let mut reg = GridRegistry::new();
+        let id = reg.add(GridKind::LogicMetal { layer: 0 }, 9, 8, 9.0, 8.0);
+        let g = reg.grid(id);
+        for iy in 0..8 {
+            for ix in 0..9 {
+                let (x, y) = g.node_position(ix, iy);
+                assert_eq!(g.nearest(x, y), (ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    fn find_locates_grids_by_kind() {
+        let mut reg = GridRegistry::new();
+        reg.add(GridKind::DramMetal { die: 0, layer: 0 }, 2, 2, 1.0, 1.0);
+        let rdl = reg.add(GridKind::Rdl { die: 0 }, 2, 2, 1.0, 1.0);
+        assert_eq!(reg.find(GridKind::Rdl { die: 0 }), Some(rdl));
+        assert_eq!(reg.find(GridKind::Rdl { die: 1 }), None);
+    }
+
+    #[test]
+    fn grid_kind_accessors() {
+        assert_eq!(GridKind::DramMetal { die: 2, layer: 1 }.dram_die(), Some(2));
+        assert_eq!(GridKind::Rdl { die: 0 }.dram_die(), Some(0));
+        assert_eq!(GridKind::LogicMetal { layer: 1 }.dram_die(), None);
+        assert!(GridKind::LogicMetal { layer: 0 }.is_logic());
+    }
+
+    #[test]
+    fn display_names_follow_paper_notation() {
+        assert_eq!(
+            GridKind::DramMetal { die: 0, layer: 0 }.to_string(),
+            "DRAM1 M2"
+        );
+        assert_eq!(
+            GridKind::DramMetal { die: 3, layer: 1 }.to_string(),
+            "DRAM4 M3"
+        );
+        assert_eq!(GridKind::Rdl { die: 0 }.to_string(), "DRAM1 RDL");
+        assert_eq!(GridKind::LogicMetal { layer: 1 }.to_string(), "logic M-top");
+    }
+}

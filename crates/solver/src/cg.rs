@@ -1,0 +1,380 @@
+use crate::precond::AppliedPreconditioner;
+use crate::vecops;
+use crate::{CsrMatrix, Preconditioner, SolverError};
+
+/// Result of a successful conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The solution vector `x` with `A·x ≈ b`.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖₂ / ‖b‖₂`.
+    pub relative_residual: f64,
+}
+
+/// Preconditioned conjugate-gradient solver for SPD systems.
+///
+/// This is the production IR-drop solve path: the nodal conductance matrix
+/// of an R-Mesh is SPD once supply nodes are eliminated, and CG converges in
+/// `O(√κ)` iterations. Construction is cheap; the solver only holds
+/// configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_solver::{CgSolver, CooBuilder, Preconditioner};
+///
+/// # fn main() -> Result<(), pi3d_solver::SolverError> {
+/// let mut b = CooBuilder::new(3);
+/// for i in 0..3 {
+///     b.stamp_to_ground(i, 1.0);
+/// }
+/// b.stamp_conductance(0, 1, 1.0);
+/// b.stamp_conductance(1, 2, 1.0);
+/// let a = b.into_csr()?;
+/// let sol = CgSolver::new()
+///     .with_tolerance(1e-12)
+///     .solve(&a, &[1.0, 0.0, 0.0], Preconditioner::IncompleteCholesky)?;
+/// assert!(sol.relative_residual < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolver {
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl Default for CgSolver {
+    fn default() -> Self {
+        CgSolver {
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+impl CgSolver {
+    /// Creates a solver with the default tolerance (`1e-10`) and iteration
+    /// cap (`20_000`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the relative-residual convergence tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not strictly positive and finite.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance > 0.0 && tolerance.is_finite(),
+            "tolerance must be positive"
+        );
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the maximum iteration count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations` is zero.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        assert!(max_iterations > 0, "max_iterations must be nonzero");
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Configured relative tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Configured iteration cap.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Solves `A·x = b` for SPD `A` starting from the zero vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::DimensionMismatch`] if `b.len() != a.dim()`.
+    /// * [`SolverError::NotPositiveDefinite`] if preconditioner construction
+    ///   fails or a negative curvature direction is encountered (the matrix
+    ///   was not SPD).
+    /// * [`SolverError::ConvergenceFailure`] if the iteration cap is hit.
+    pub fn solve(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        preconditioner: Preconditioner,
+    ) -> Result<CgSolution, SolverError> {
+        self.solve_with_guess(a, b, None, preconditioner)
+    }
+
+    /// Solves `A·x = b` starting from a caller-supplied initial guess.
+    ///
+    /// Warm starts matter in sweep workloads (the optimizer re-solves the
+    /// same mesh with slightly different loads), where the previous solution
+    /// typically halves the iteration count.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve`](Self::solve), plus [`SolverError::DimensionMismatch`]
+    /// if the guess has the wrong length.
+    pub fn solve_with_guess(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        guess: Option<&[f64]>,
+        preconditioner: Preconditioner,
+    ) -> Result<CgSolution, SolverError> {
+        let n = a.dim();
+        if b.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        if let Some(g) = guess {
+            if g.len() != n {
+                return Err(SolverError::DimensionMismatch {
+                    expected: n,
+                    found: g.len(),
+                });
+            }
+        }
+
+        let norm_b = vecops::norm2(b);
+        if norm_b == 0.0 {
+            return Ok(CgSolution {
+                x: vec![0.0; n],
+                iterations: 0,
+                relative_residual: 0.0,
+            });
+        }
+
+        let m = AppliedPreconditioner::build(preconditioner, a)?;
+
+        let mut x = guess.map(<[f64]>::to_vec).unwrap_or_else(|| vec![0.0; n]);
+        // r = b - A·x
+        let mut r = vec![0.0; n];
+        a.mul_vec_into(&x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let mut z = vec![0.0; n];
+        m.apply(&r, &mut z);
+        let mut p = z.clone();
+        let mut rz = vecops::dot(&r, &z);
+        let mut ap = vec![0.0; n];
+
+        let mut relres = vecops::norm2(&r) / norm_b;
+        if relres <= self.tolerance {
+            return Ok(CgSolution {
+                x,
+                iterations: 0,
+                relative_residual: relres,
+            });
+        }
+
+        for iter in 1..=self.max_iterations {
+            a.mul_vec_into(&p, &mut ap);
+            let pap = vecops::dot(&p, &ap);
+            if pap <= 0.0 || !pap.is_finite() {
+                return Err(SolverError::NotPositiveDefinite {
+                    index: iter,
+                    value: pap,
+                });
+            }
+            let alpha = rz / pap;
+            vecops::axpy(alpha, &p, &mut x);
+            vecops::axpy(-alpha, &ap, &mut r);
+
+            relres = vecops::norm2(&r) / norm_b;
+            if relres <= self.tolerance {
+                return Ok(CgSolution {
+                    x,
+                    iterations: iter,
+                    relative_residual: relres,
+                });
+            }
+
+            m.apply(&r, &mut z);
+            let rz_next = vecops::dot(&r, &z);
+            let beta = rz_next / rz;
+            rz = rz_next;
+            vecops::xpby(&z, beta, &mut p);
+        }
+
+        Err(SolverError::ConvergenceFailure {
+            iterations: self.max_iterations,
+            residual: relres,
+            tolerance: self.tolerance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooBuilder, DenseMatrix};
+
+    fn grid_2d(nx: usize, ny: usize, ground_g: f64) -> CsrMatrix {
+        // 2D grid with every node weakly grounded (models bump tie-offs).
+        let idx = |x: usize, y: usize| y * nx + x;
+        let mut b = CooBuilder::new(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                b.stamp_to_ground(idx(x, y), ground_g);
+                if x + 1 < nx {
+                    b.stamp_conductance(idx(x, y), idx(x + 1, y), 1.0);
+                }
+                if y + 1 < ny {
+                    b.stamp_conductance(idx(x, y), idx(x, y + 1), 1.0);
+                }
+            }
+        }
+        b.into_csr().unwrap()
+    }
+
+    #[test]
+    fn cg_matches_direct_solve_on_grid() {
+        let a = grid_2d(8, 8, 0.05);
+        let b: Vec<f64> = (0..64).map(|i| 1e-3 * ((i % 7) as f64 + 1.0)).collect();
+        let dense = DenseMatrix::from_csr(&a);
+        let exact = dense.cholesky().unwrap().solve(&b).unwrap();
+
+        for pc in [
+            Preconditioner::Identity,
+            Preconditioner::Jacobi,
+            Preconditioner::IncompleteCholesky,
+        ] {
+            let sol = CgSolver::new()
+                .with_tolerance(1e-12)
+                .solve(&a, &b, pc)
+                .unwrap();
+            for i in 0..64 {
+                assert!(
+                    (sol.x[i] - exact[i]).abs() < 1e-8,
+                    "{pc:?}: node {i} differs: {} vs {}",
+                    sol.x[i],
+                    exact[i]
+                );
+            }
+        }
+    }
+
+    /// A spatially non-uniform load (hotspot in one corner) so that the
+    /// solution is far from the constant vector and CG needs real work.
+    fn hotspot_load(nx: usize, ny: usize) -> Vec<f64> {
+        let mut b = vec![0.0; nx * ny];
+        for y in 0..ny {
+            for x in 0..nx {
+                let d = ((x * x + y * y) as f64).sqrt();
+                b[y * nx + x] = 1e-3 / (1.0 + d * d);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations() {
+        let a = grid_2d(16, 16, 0.01);
+        let b = hotspot_load(16, 16);
+        let none = CgSolver::new()
+            .solve(&a, &b, Preconditioner::Identity)
+            .unwrap();
+        let ic = CgSolver::new()
+            .solve(&a, &b, Preconditioner::IncompleteCholesky)
+            .unwrap();
+        assert!(
+            ic.iterations < none.iterations,
+            "IC(0) ({}) should beat plain CG ({})",
+            ic.iterations,
+            none.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_immediately() {
+        let a = grid_2d(4, 4, 0.1);
+        let sol = CgSolver::new()
+            .solve(&a, &[0.0; 16], Preconditioner::Jacobi)
+            .unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn warm_start_converges_in_fewer_iterations() {
+        let a = grid_2d(12, 12, 0.02);
+        let b = hotspot_load(12, 12);
+        let cold = CgSolver::new()
+            .solve(&a, &b, Preconditioner::Jacobi)
+            .unwrap();
+        // Perturb the load slightly and re-solve from the previous solution.
+        let b2: Vec<f64> = b.iter().map(|v| v * 1.01).collect();
+        let warm = CgSolver::new()
+            .solve_with_guess(&a, &b2, Some(&cold.x), Preconditioner::Jacobi)
+            .unwrap();
+        let cold2 = CgSolver::new()
+            .solve(&a, &b2, Preconditioner::Jacobi)
+            .unwrap();
+        assert!(warm.iterations < cold2.iterations);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = grid_2d(2, 2, 1.0);
+        let err = CgSolver::new()
+            .solve(&a, &[1.0], Preconditioner::Jacobi)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::DimensionMismatch {
+                expected: 4,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn indefinite_matrix_detected_during_iteration() {
+        let mut b = CooBuilder::new(2);
+        b.add(0, 0, 1.0);
+        b.add(1, 1, 1.0);
+        b.add(0, 1, -3.0);
+        b.add(1, 0, -3.0);
+        let a = b.into_csr().unwrap();
+        let err = CgSolver::new()
+            .solve(&a, &[1.0, 1.0], Preconditioner::Identity)
+            .unwrap_err();
+        assert!(matches!(err, SolverError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn iteration_cap_produces_convergence_failure() {
+        let a = grid_2d(16, 16, 1e-6);
+        let b = hotspot_load(16, 16);
+        let err = CgSolver::new()
+            .with_tolerance(1e-14)
+            .with_max_iterations(2)
+            .solve(&a, &b, Preconditioner::Identity)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::ConvergenceFailure { iterations: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn builder_style_configuration() {
+        let s = CgSolver::new().with_tolerance(1e-6).with_max_iterations(50);
+        assert_eq!(s.tolerance(), 1e-6);
+        assert_eq!(s.max_iterations(), 50);
+    }
+}

@@ -1,0 +1,288 @@
+use crate::{CsrMatrix, SolverError};
+
+/// A dense, row-major square matrix used for golden-reference solves.
+///
+/// The dense path plays the role of the commercial sign-off tool (Cadence
+/// EPS) in the paper's Figure 4 validation: slow, exact, and used only to
+/// cross-check the sparse R-Mesh results on small designs.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_solver::DenseMatrix;
+///
+/// # fn main() -> Result<(), pi3d_solver::SolverError> {
+/// let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+/// let chol = a.cholesky()?;
+/// let x = chol.solve(&[1.0, 2.0])?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        DenseMatrix {
+            dim,
+            data: vec![0.0; dim * dim],
+        }
+    }
+
+    /// Creates a matrix from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if any row's length differs
+    /// from the number of rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, SolverError> {
+        let dim = rows.len();
+        let mut m = DenseMatrix::zeros(dim);
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != dim {
+                return Err(SolverError::DimensionMismatch {
+                    expected: dim,
+                    found: row.len(),
+                });
+            }
+            m.data[r * dim..(r + 1) * dim].copy_from_slice(row);
+        }
+        Ok(m)
+    }
+
+    /// Expands a sparse matrix to dense storage.
+    pub fn from_csr(sparse: &CsrMatrix) -> Self {
+        let dim = sparse.dim();
+        let mut m = DenseMatrix::zeros(dim);
+        for r in 0..dim {
+            for (c, v) in sparse.row(r) {
+                m.data[r * dim + c] = v;
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.dim && col < self.dim);
+        self.data[row * self.dim + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.dim && col < self.dim);
+        self.data[row * self.dim + col] = value;
+    }
+
+    /// Computes `y = A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, SolverError> {
+        if x.len() != self.dim {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.dim,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.dim];
+        for r in 0..self.dim {
+            let row = &self.data[r * self.dim..(r + 1) * self.dim];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Computes the Cholesky factorization `A = L·Lᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NotPositiveDefinite`] if a non-positive pivot
+    /// is encountered, which for a power grid means a floating subcircuit or
+    /// a sign error in stamping.
+    pub fn cholesky(&self) -> Result<CholeskyFactor, SolverError> {
+        let n = self.dim;
+        let mut l = vec![0.0; n * n];
+        for j in 0..n {
+            let mut diag = self.data[j * n + j];
+            for k in 0..j {
+                diag -= l[j * n + k] * l[j * n + k];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(SolverError::NotPositiveDefinite {
+                    index: j,
+                    value: diag,
+                });
+            }
+            let dsqrt = diag.sqrt();
+            l[j * n + j] = dsqrt;
+            for i in (j + 1)..n {
+                let mut v = self.data[i * n + j];
+                for k in 0..j {
+                    v -= l[i * n + k] * l[j * n + k];
+                }
+                l[i * n + j] = v / dsqrt;
+            }
+        }
+        Ok(CholeskyFactor { dim: n, l })
+    }
+}
+
+/// The lower-triangular Cholesky factor `L` of an SPD matrix.
+///
+/// Obtained from [`DenseMatrix::cholesky`]; solves `A·x = b` by forward and
+/// backward substitution.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    dim: usize,
+    l: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        if b.len() != self.dim {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.dim,
+                found: b.len(),
+            });
+        }
+        let n = self.dim;
+        // Forward substitution: L·y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[i * n + k] * y[k];
+            }
+            y[i] /= self.l[i * n + i];
+        }
+        // Backward substitution: Lᵀ·x = y
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[k * n + i] * y[k];
+            }
+            y[i] /= self.l[i * n + i];
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooBuilder;
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0]
+        let a = DenseMatrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let x = a.cholesky().unwrap().solve(&[2.0, 1.0]).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!(x[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            a.cholesky(),
+            Err(SolverError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_zero_matrix() {
+        let a = DenseMatrix::zeros(2);
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn from_csr_roundtrip() {
+        let mut b = CooBuilder::new(3);
+        b.stamp_to_ground(0, 1.0);
+        b.stamp_to_ground(1, 1.0);
+        b.stamp_to_ground(2, 1.0);
+        b.stamp_conductance(0, 1, 2.0);
+        b.stamp_conductance(1, 2, 3.0);
+        let sparse = b.into_csr().unwrap();
+        let dense = DenseMatrix::from_csr(&sparse);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(dense.get(r, c), sparse.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_residual_is_tiny_on_grid_matrix() {
+        // 1D resistor chain grounded at both ends, uniform injection.
+        let n = 20;
+        let mut b = CooBuilder::new(n);
+        b.stamp_to_ground(0, 10.0);
+        b.stamp_to_ground(n - 1, 10.0);
+        for i in 0..n - 1 {
+            b.stamp_conductance(i, i + 1, 1.0);
+        }
+        let a = DenseMatrix::from_csr(&b.into_csr().unwrap());
+        let rhs = vec![1e-3; n];
+        let x = a.cholesky().unwrap().solve(&rhs).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        for i in 0..n {
+            assert!((ax[i] - rhs[i]).abs() < 1e-12);
+        }
+        // Symmetry of the chain: solution symmetric about the midpoint.
+        for i in 0..n / 2 {
+            assert!((x[i] - x[n - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = DenseMatrix::from_rows(&[&[2.0]]).unwrap();
+        let chol = a.cholesky().unwrap();
+        assert!(chol.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_identity() {
+        let mut a = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        assert_eq!(a.mul_vec(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+}

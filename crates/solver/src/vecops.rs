@@ -1,0 +1,97 @@
+//! Small dense-vector kernels shared by the iterative and direct solvers.
+//!
+//! These are deliberately plain, allocation-free loops over slices: the
+//! vectors in power-grid analysis are large but the operations are trivially
+//! memory-bound, so clarity wins over cleverness.
+
+/// Returns the dot product `xᵀ·y`.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Computes `y ← a·x + y` in place.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Computes `y ← x + b·y` in place (the "xpby" update used by CG for the
+/// search direction).
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// Returns the Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Returns the maximum absolute entry, or 0.0 for an empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn xpby_updates_search_direction() {
+        let mut p = vec![1.0, 2.0];
+        xpby(&[10.0, 20.0], 0.5, &mut p);
+        assert_eq!(p, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn norms_agree_on_axis_vector() {
+        let x = [0.0, -3.0, 0.0];
+        assert_eq!(norm2(&x), 3.0);
+        assert_eq!(norm_inf(&x), 3.0);
+    }
+
+    #[test]
+    fn norm_inf_of_empty_is_zero() {
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the solver crate: CG must agree with the dense
+//! Cholesky golden path on arbitrary well-posed resistive networks.
+
+#![allow(clippy::needless_range_loop)]
+
+use pi3d_solver::{CgSolver, CooBuilder, CsrMatrix, DenseMatrix, Preconditioner};
+use proptest::prelude::*;
+
+/// Builds a random connected resistive network over `n` nodes:
+/// a spanning chain plus `extra` random chords, with every node having a
+/// small ground tie so the system is SPD.
+fn random_network(n: usize, chords: &[(usize, usize)], gs: &[f64]) -> CsrMatrix {
+    let mut b = CooBuilder::new(n);
+    for i in 0..n {
+        b.stamp_to_ground(i, 0.01 + gs[i % gs.len()].abs());
+    }
+    for i in 0..n - 1 {
+        b.stamp_conductance(i, i + 1, 0.5 + gs[(i + 1) % gs.len()].abs());
+    }
+    for &(a, c) in chords {
+        let (a, c) = (a % n, c % n);
+        if a != c {
+            b.stamp_conductance(a, c, 0.25 + gs[(a + c) % gs.len()].abs());
+        }
+    }
+    b.into_csr().expect("network must be well-posed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cg_agrees_with_cholesky(
+        n in 2usize..40,
+        chords in proptest::collection::vec((0usize..64, 0usize..64), 0..12),
+        gs in proptest::collection::vec(0.0f64..4.0, 1..8),
+        loads in proptest::collection::vec(0.0f64..1e-2, 2..40),
+    ) {
+        let a = random_network(n, &chords, &gs);
+        let mut b = vec![0.0; n];
+        for (i, v) in loads.iter().enumerate() {
+            b[i % n] += v;
+        }
+        let exact = DenseMatrix::from_csr(&a).cholesky().unwrap().solve(&b).unwrap();
+        let sol = CgSolver::new().with_tolerance(1e-12).solve(&a, &b, Preconditioner::Jacobi).unwrap();
+        for i in 0..n {
+            prop_assert!((sol.x[i] - exact[i]).abs() < 1e-7,
+                "node {}: cg {} vs exact {}", i, sol.x[i], exact[i]);
+        }
+    }
+
+    #[test]
+    fn solution_is_nonnegative_for_nonnegative_injection(
+        n in 2usize..30,
+        gs in proptest::collection::vec(0.0f64..2.0, 1..6),
+        loads in proptest::collection::vec(0.0f64..1e-2, 1..30),
+    ) {
+        // A conductance matrix is an M-matrix: nonnegative injections give
+        // nonnegative voltages (voltage drops in our reduced formulation).
+        let a = random_network(n, &[], &gs);
+        let mut b = vec![0.0; n];
+        for (i, v) in loads.iter().enumerate() {
+            b[i % n] += v;
+        }
+        let sol = CgSolver::new().solve(&a, &b, Preconditioner::IncompleteCholesky).unwrap();
+        for (i, &v) in sol.x.iter().enumerate() {
+            prop_assert!(v >= -1e-9, "node {} went negative: {}", i, v);
+        }
+    }
+
+    #[test]
+    fn stamped_matrices_are_symmetric_diagonally_dominant(
+        n in 2usize..50,
+        chords in proptest::collection::vec((0usize..64, 0usize..64), 0..20),
+        gs in proptest::collection::vec(0.0f64..4.0, 1..8),
+    ) {
+        let a = random_network(n, &chords, &gs);
+        prop_assert!(a.is_symmetric(1e-12));
+        prop_assert!(a.is_diagonally_dominant(1e-9));
+    }
+
+    #[test]
+    fn superposition_holds(
+        n in 2usize..25,
+        gs in proptest::collection::vec(0.0f64..2.0, 1..6),
+        l1 in proptest::collection::vec(0.0f64..1e-2, 1..25),
+        l2 in proptest::collection::vec(0.0f64..1e-2, 1..25),
+    ) {
+        // Linear system: solve(b1) + solve(b2) == solve(b1 + b2).
+        let a = random_network(n, &[], &gs);
+        let mut b1 = vec![0.0; n];
+        let mut b2 = vec![0.0; n];
+        for (i, v) in l1.iter().enumerate() { b1[i % n] += v; }
+        for (i, v) in l2.iter().enumerate() { b2[i % n] += v; }
+        let solver = CgSolver::new().with_tolerance(1e-13);
+        let s1 = solver.solve(&a, &b1, Preconditioner::Jacobi).unwrap();
+        let s2 = solver.solve(&a, &b2, Preconditioner::Jacobi).unwrap();
+        let sum_b: Vec<f64> = b1.iter().zip(&b2).map(|(x, y)| x + y).collect();
+        let s12 = solver.solve(&a, &sum_b, Preconditioner::Jacobi).unwrap();
+        for i in 0..n {
+            prop_assert!((s1.x[i] + s2.x[i] - s12.x[i]).abs() < 1e-7);
+        }
+    }
+}

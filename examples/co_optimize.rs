@@ -1,0 +1,67 @@
+//! Runs the cross-domain co-optimization (the paper's Section 6 /
+//! Table 9) for one benchmark: characterizes the design space with
+//! regression over sampled R-Mesh runs, then finds the best design at a
+//! few α values of `IR-drop^α × Cost^(1−α)`.
+//!
+//! Run with `cargo run --release --example co_optimize [benchmark]` where
+//! `benchmark` is one of `ddr3-off`, `ddr3-on`, `wideio`, `hmc`.
+
+use pi3d::core::{characterize, Platform};
+use pi3d::layout::Benchmark;
+use pi3d::mesh::MeshOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = match std::env::args().nth(1).as_deref() {
+        None | Some("ddr3-off") => Benchmark::StackedDdr3OffChip,
+        Some("ddr3-on") => Benchmark::StackedDdr3OnChip,
+        Some("wideio") => Benchmark::WideIo,
+        Some("hmc") => Benchmark::Hmc,
+        Some(other) => {
+            eprintln!("unknown benchmark {other:?}; use ddr3-off, ddr3-on, wideio, or hmc");
+            std::process::exit(2);
+        }
+    };
+
+    let platform = Platform::new(MeshOptions::coarse());
+    println!("characterizing the {benchmark} design space ...");
+    let characterization = characterize(&platform, benchmark, 8)?;
+    println!(
+        "fitted {} categorical combos from {} R-Mesh samples \
+         (worst RMSE {:.3} mV, worst R2 {:.4})\n",
+        characterization.combos().len(),
+        characterization.sample_count(),
+        characterization.worst_rmse(),
+        characterization.worst_r_squared()
+    );
+
+    println!(
+        "{:>6}  {:<44}  {:>10}  {:>10}  {:>6}",
+        "alpha", "best options", "pred (mV)", "mesh (mV)", "cost"
+    );
+    for alpha in [0.0, 0.3, 0.7, 1.0] {
+        let best = characterization.optimize(alpha, &platform)?;
+        println!(
+            "{alpha:>6.1}  M2={:>3.0}% M3={:>3.0}% TC={:<4} {:<24}  {:>10.2}  {:>10.2}  {:>6.3}",
+            best.point.m2 * 100.0,
+            best.point.m3 * 100.0,
+            best.point.tc,
+            best.point.combo.label(),
+            best.predicted_ir_mv,
+            best.measured_ir_mv,
+            best.cost
+        );
+    }
+
+    // The whole IR-vs-cost tradeoff at once.
+    let front = characterization.pareto_front();
+    println!("\nPareto front ({} points, cost ascending):", front.len());
+    for p in front.iter().step_by((front.len() / 12).max(1)) {
+        println!(
+            "  cost {:>6.3} -> {:>8.2} mV  ({})",
+            p.cost,
+            p.predicted_ir_mv,
+            p.point.combo.label()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Exports design artifacts: SVG layout plots (the paper's Figure 3) and
+//! a SPICE deck of the R-Mesh (the paper's HSPICE flow), written into
+//! `target/artifacts/`.
+//!
+//! Run with `cargo run --release --example render_layout`.
+
+use pi3d::layout::{render_design_svg, Benchmark, StackDesign};
+use pi3d::mesh::{export_spice, MeshOptions, StackMesh};
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = Path::new("target/artifacts");
+    fs::create_dir_all(out_dir)?;
+
+    for (name, benchmark) in [
+        ("ddr3_off_chip", Benchmark::StackedDdr3OffChip),
+        ("ddr3_on_chip", Benchmark::StackedDdr3OnChip),
+        ("wide_io", Benchmark::WideIo),
+        ("hmc", Benchmark::Hmc),
+    ] {
+        let design = StackDesign::baseline(benchmark);
+        let svg = render_design_svg(&design, &format!("{benchmark} baseline"));
+        let path = out_dir.join(format!("{name}.svg"));
+        fs::write(&path, svg)?;
+        println!("wrote {}", path.display());
+    }
+
+    // SPICE deck of the baseline mesh under the default memory state.
+    let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+    let mesh = StackMesh::new(&design, MeshOptions::default())?;
+    let loads = mesh.load_vector(&"0-0-0-2".parse()?, 1.0);
+    let mut deck = Vec::new();
+    export_spice(
+        &mesh,
+        &loads,
+        "pi3d stacked DDR3 baseline, state 0-0-0-2",
+        &mut deck,
+    )?;
+    let path = out_dir.join("ddr3_baseline.sp");
+    fs::write(&path, deck)?;
+    println!("wrote {} ({} nodes)", path.display(), mesh.node_count());
+
+    Ok(())
+}
