@@ -1,15 +1,15 @@
 //! Extension-feature benchmarks: combined VDD+VSS supply-noise analysis,
 //! the RC transient engine, current-density reporting, and SPICE export.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pi3d_bench::bench_mesh_options;
+use pi3d_bench::harness::Harness;
 use pi3d_layout::{Benchmark, StackDesign};
 use pi3d_mesh::{
     export_spice, run_transient, CurrentReport, MeshOptions, StackMesh, SupplyNoiseAnalysis,
     TransientOptions,
 };
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
     let state = "0-0-0-2".parse().expect("literal state");
 
@@ -55,5 +55,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -2,12 +2,12 @@
 //! on the 2D DDR3 design — the speedup the paper reports as 517x against
 //! Cadence EPS.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::harness::Harness;
 use pi3d_layout::{Benchmark, DieState, MemoryState, StackDesign};
 use pi3d_mesh::{MeshOptions, StackMesh};
 use pi3d_solver::{CgSolver, DenseMatrix, Preconditioner};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let design = StackDesign::builder(Benchmark::StackedDdr3OffChip)
         .dram_dies(1)
         .build()
@@ -39,5 +39,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

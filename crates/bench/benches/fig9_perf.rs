@@ -1,7 +1,7 @@
 //! Figure 9 benchmark: LUT construction plus the runtime-vs-constraint
 //! sweep for one case.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::harness::Harness;
 use pi3d_bench::{bench_mesh_options, bench_workload};
 use pi3d_core::experiments::cases::CaseSpec;
 use pi3d_core::experiments::table6::run_policy;
@@ -9,7 +9,7 @@ use pi3d_core::{build_ir_lut, Platform};
 use pi3d_layout::units::MilliVolts;
 use pi3d_memsim::ReadPolicy;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let platform = Platform::new(bench_mesh_options());
     let case = CaseSpec::all()[0];
     let design = case.build().expect("case builds");
@@ -36,5 +36,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

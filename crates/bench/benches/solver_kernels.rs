@@ -2,12 +2,12 @@
 //! factorization, and mesh assembly — the primitives behind every
 //! experiment.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pi3d_bench::harness::{BatchSize, Harness};
 use pi3d_layout::{Benchmark, StackDesign};
 use pi3d_mesh::{MeshOptions, StackMesh};
 use pi3d_solver::{CgSolver, IncompleteCholesky, Preconditioner};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
     let mesh = StackMesh::new(&design, MeshOptions::default()).expect("mesh builds");
     let state = "0-0-0-2".parse().expect("literal state");
@@ -41,5 +41,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -1,10 +1,10 @@
 //! Table 3 benchmark: dedicated-TSV × wire-bonding evaluations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pi3d_bench::bench_mesh_options;
+use pi3d_bench::harness::Harness;
 use pi3d_core::experiments::table3;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let options = bench_mesh_options();
     let mut group = c.benchmark_group("table3_packaging");
     group.sample_size(10);
@@ -14,5 +14,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -1,11 +1,11 @@
 //! Table 5 benchmark: the six memory-state/activity combinations under
 //! both bondings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pi3d_bench::bench_mesh_options;
+use pi3d_bench::harness::Harness;
 use pi3d_core::experiments::table5;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let options = bench_mesh_options();
     let mut group = c.benchmark_group("table5_state_io");
     group.sample_size(10);
@@ -15,5 +15,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -1,14 +1,14 @@
 //! Table 6 benchmark: cycle-accurate policy simulation throughput for the
 //! three read policies over a prebuilt IR-drop LUT.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pi3d_bench::harness::Harness;
 use pi3d_bench::{bench_mesh_options, bench_workload};
 use pi3d_core::{build_ir_lut, Platform};
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{Benchmark, StackDesign};
 use pi3d_memsim::{MemorySimulator, ReadPolicy, SimConfig, TimingParams};
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let platform = Platform::new(bench_mesh_options());
     let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
     let mut eval = platform.evaluate(&design).expect("design evaluates");
@@ -36,5 +36,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -1,12 +1,12 @@
 //! Table 9 benchmark: design-space characterization (one combo's sample
 //! sweep + regression) and the model-driven grid search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pi3d_bench::bench_mesh_options;
+use pi3d_bench::harness::Harness;
 use pi3d_core::{characterize, Platform};
 use pi3d_layout::Benchmark;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let platform = Platform::new(bench_mesh_options());
 
     let mut group = c.benchmark_group("table9_coopt");
@@ -25,5 +25,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Harness::new());
+}

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! tables [--quick] [NAME ...]
+//! tables [--quick] [--log-level LEVEL] [--metrics-out FILE] [NAME ...]
 //! ```
 //!
 //! With no names, all experiments run (Table 9 co-optimization last — it
@@ -22,9 +22,40 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    #[cfg(feature = "telemetry")]
+    {
+        if let Some(level) = flag_value("--log-level") {
+            match level.parse() {
+                Ok(l) => pi3d_telemetry::log::set_level(l),
+                Err(e) => {
+                    eprintln!("bad --log-level: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        pi3d_telemetry::report::reset_run();
+    }
+    let _metrics_out = flag_value("--metrics-out");
+    let mut skip_next = false;
     let names: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--log-level" || *a == "--metrics-out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
     let all = names.is_empty();
@@ -44,16 +75,22 @@ fn main() {
         println!("================================================================");
         println!("[{name}]");
         let t0 = Instant::now();
-        match run() {
+        let ok = match run() {
             Ok(text) => {
                 println!("{text}");
                 println!("({name} finished in {:.1?})\n", t0.elapsed());
+                true
             }
             Err(e) => {
                 println!("{name} FAILED: {e}\n");
                 failures += 1;
+                false
             }
-        }
+        };
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::report::record_experiment(name, t0.elapsed().as_secs_f64(), ok);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = ok;
     };
 
     section("calibration", &mut || {
@@ -164,6 +201,17 @@ fn main() {
             .map(|r| r.to_string())
             .map_err(|e| e.to_string())
     });
+
+    #[cfg(feature = "telemetry")]
+    if let Some(path) = &_metrics_out {
+        match pi3d_telemetry::RunReport::collect().write_json(std::path::Path::new(path)) {
+            Ok(()) => eprintln!("wrote run report to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
 
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed");

@@ -1,0 +1,215 @@
+//! Hand-rolled micro-benchmark harness (criterion is unavailable in this
+//! offline environment). The API intentionally mirrors the criterion
+//! subset the benches use — `benchmark_group` / `sample_size` /
+//! `bench_function` / `iter` / `iter_batched` — so the bench sources read
+//! the same.
+//!
+//! Each `bench_function` warms up, calibrates how many routine calls make
+//! a ≥1 ms sample, collects `sample_size` samples, and prints
+//! min/median/mean per-iteration time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const WARMUP: Duration = Duration::from_millis(200);
+const MIN_SAMPLE: Duration = Duration::from_millis(1);
+
+/// Criterion-like batching hint; the hand-rolled harness times each
+/// routine call individually regardless, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many per sample.
+    SmallInput,
+    /// Inputs are large; keep few alive at once.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Top-level harness handle (the `c: &mut Criterion` stand-in).
+#[derive(Debug, Default)]
+pub struct Harness {}
+
+impl Harness {
+    /// Creates the harness.
+    pub fn new() -> Harness {
+        Harness {}
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup {
+        println!("{name}");
+        BenchGroup {
+            name: name.to_owned(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchGroup {
+    /// Sets how many samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark; the closure drives a [`Bencher`] via
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`].
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, id);
+        self
+    }
+
+    /// Criterion-compatibility no-op.
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration seconds, one entry per sample.
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, warmup and calibration included.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let iters = self.calibrate(&mut routine);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        let iters = {
+            let mut timed = || routine(setup());
+            self.calibrate(&mut timed)
+        };
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.samples.push(elapsed.as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Runs the warmup and picks how many calls make a ≥1 ms sample.
+    fn calibrate<R>(&mut self, routine: &mut impl FnMut() -> R) -> u64 {
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(routine());
+            n += 1;
+            if start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / n as f64;
+        let iters = (MIN_SAMPLE.as_secs_f64() / per_iter).ceil().max(1.0) as u64;
+        self.iters_per_sample = iters;
+        iters
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{id}: no samples (closure never called iter)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "  {group}/{id}: min {}  median {}  mean {}  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_the_requested_samples() {
+        let mut h = Harness::new();
+        let mut group = h.benchmark_group("harness_test");
+        group.sample_size(5);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut h = Harness::new();
+        let mut group = h.benchmark_group("harness_test");
+        group.sample_size(3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(2.5e-9).contains("ns"));
+        assert!(fmt_time(2.5e-6).contains("us"));
+        assert!(fmt_time(2.5e-3).contains("ms"));
+        assert!(fmt_time(2.5).contains('s'));
+    }
+}

@@ -1,10 +1,12 @@
 //! Shared helpers for the `pi3d` benchmark harness: used by both the
-//! `tables` binary (regenerating every table/figure) and the criterion
+//! `tables` binary (regenerating every table/figure) and the timing
 //! benches (timing the underlying computations).
 
 use pi3d_mesh::MeshOptions;
 
-/// Mesh options used by benches: coarse enough to keep criterion runs
+pub mod harness;
+
+/// Mesh options used by benches: coarse enough to keep timing runs
 /// short, fine enough to preserve every qualitative result.
 pub fn bench_mesh_options() -> MeshOptions {
     MeshOptions::coarse()
@@ -16,7 +18,7 @@ pub fn report_mesh_options() -> MeshOptions {
 }
 
 /// A reduced workload for policy benches (the full paper workload is
-/// 10,000 reads; criterion repeats runs many times).
+/// 10,000 reads; the harness repeats runs many times).
 pub fn bench_workload() -> pi3d_memsim::WorkloadSpec {
     let mut w = pi3d_memsim::WorkloadSpec::paper_ddr3();
     w.count = 2_000;

@@ -10,6 +10,11 @@
 //! pi3d optimize <benchmark>  [--alpha 0.3] [--threads N]
 //! pi3d export   <design.cfg> [--svg out.svg] [--spice out.sp] [--state 0-0-0-2]
 //! ```
+//!
+//! Global flags (any command): `--log-level off|error|warn|info|debug|trace`
+//! sets the stderr log threshold (overrides `PI3D_LOG`), and
+//! `--metrics-out FILE` writes a JSON run report — phase timings, metrics,
+//! CG convergence traces, mesh and memory-simulator statistics — on exit.
 
 mod config;
 
@@ -79,12 +84,22 @@ impl Args {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
+    #[cfg(feature = "telemetry")]
+    {
+        if let Some(level) = args.flag("log-level") {
+            let parsed: pi3d_telemetry::Level =
+                level.parse().map_err(|e| format!("bad --log-level: {e}"))?;
+            pi3d_telemetry::log::set_level(parsed);
+        }
+        pi3d_telemetry::report::reset_run();
+    }
     let Some(command) = args.positional.first().map(String::as_str) else {
         print_usage();
         return Err("no command given".into());
     };
 
-    match command {
+    let _started = std::time::Instant::now();
+    let result = match command {
         "analyze" => analyze(&args),
         "currents" => currents(&args),
         "lut" => lut_command(&args),
@@ -100,7 +115,22 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             print_usage();
             Err(format!("unknown command {other:?}").into())
         }
+    };
+    #[cfg(feature = "telemetry")]
+    {
+        pi3d_telemetry::report::record_experiment(
+            command,
+            _started.elapsed().as_secs_f64(),
+            result.is_ok(),
+        );
+        if let Some(path) = args.flag("metrics-out") {
+            pi3d_telemetry::RunReport::collect()
+                .write_json(std::path::Path::new(path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote run report to {path}");
+        }
     }
+    result
 }
 
 fn print_usage() {
@@ -113,7 +143,8 @@ fn print_usage() {
          pi3d simulate <design.cfg> [--policy standard|fcfs|distr] [--constraint MV]\n  \
                        [--reads N] [--lut FILE] [--trace FILE]\n  \
          pi3d optimize <benchmark>  [--alpha A] [--threads N]\n  \
-         pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]"
+         pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n\
+         global flags: [--log-level off|error|warn|info|debug|trace] [--metrics-out FILE]"
     );
 }
 

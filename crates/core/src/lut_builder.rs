@@ -39,6 +39,8 @@ pub fn build_ir_lut(
     eval: &mut DesignEvaluation,
     max_banks_per_die: usize,
 ) -> Result<IrDropLut, CoreError> {
+    #[cfg(feature = "telemetry")]
+    let _span = pi3d_telemetry::span::span("lut_build");
     let dies = eval.design().dram_die_count();
     let mut lut = IrDropLut::new(dies);
     for counts in enumerate_states(dies, max_banks_per_die) {

@@ -68,6 +68,8 @@ pub fn characterize(
     benchmark: Benchmark,
     threads: usize,
 ) -> Result<Characterization, CoreError> {
+    #[cfg(feature = "telemetry")]
+    let _span = pi3d_telemetry::span::span("characterize");
     let space = DesignSpace::new(benchmark);
     let state = space.default_state();
     let combos = space.categorical_combos();
@@ -78,11 +80,11 @@ pub fn characterize(
     }
     let threads = threads.max(1);
 
-    let results: Vec<Result<ComboModel, CoreError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<ComboModel, CoreError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in combos.chunks(combos.len().div_ceil(threads)) {
             let state = state.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out = Vec::new();
                 for &combo in chunk {
                     out.push(fit_combo(platform, benchmark, &space, combo, &state));
@@ -94,8 +96,7 @@ pub fn characterize(
             .into_iter()
             .flat_map(|h| h.join().expect("characterization worker panicked"))
             .collect()
-    })
-    .expect("characterization scope panicked");
+    });
 
     let mut models = Vec::with_capacity(results.len());
     for r in results {

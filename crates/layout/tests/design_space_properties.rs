@@ -1,22 +1,38 @@
 //! Property tests over the full design space: every cost term stays within
 //! its Table 8 range, and the cost model is monotone in each knob.
+//!
+//! Random design points come from the seeded [`SplitMix64`] generator
+//! (the proptest crate is unavailable offline); every case is
+//! reproducible from the loop index printed in the assertion message.
 
 use pi3d_layout::{
     Benchmark, BondingStyle, Mounting, PdnSpec, RdlConfig, RdlScope, StackDesign, TsvConfig,
     TsvPlacement,
 };
-use proptest::prelude::*;
+use pi3d_telemetry::rng::SplitMix64;
 
-fn arb_point() -> impl Strategy<Value = (f64, f64, usize, bool, bool, bool, bool)> {
-    (
-        0.10f64..=0.20,
-        0.10f64..=0.40,
-        15usize..=480,
-        any::<bool>(), // f2f
-        any::<bool>(), // rdl
-        any::<bool>(), // wire bond
-        any::<bool>(), // edge (vs centre)
-    )
+const CASES: u64 = 128;
+
+struct Point {
+    m2: f64,
+    m3: f64,
+    tc: usize,
+    f2f: bool,
+    rdl: bool,
+    wb: bool,
+    edge: bool,
+}
+
+fn arb_point(rng: &mut SplitMix64) -> Point {
+    Point {
+        m2: rng.range_f64(0.10, 0.20),
+        m3: rng.range_f64(0.10, 0.40),
+        tc: rng.range(15, 481) as usize,
+        f2f: rng.chance(0.5),
+        rdl: rng.chance(0.5),
+        wb: rng.chance(0.5),
+        edge: rng.chance(0.5),
+    }
 }
 
 fn build(m2: f64, m3: f64, tc: usize, f2f: bool, rdl: bool, wb: bool, edge: bool) -> StackDesign {
@@ -48,92 +64,166 @@ fn build(m2: f64, m3: f64, tc: usize, f2f: bool, rdl: bool, wb: bool, edge: bool
         .expect("valid design")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cost_terms_stay_in_their_table8_ranges(
-        (m2, m3, tc, f2f, rdl, wb, edge) in arb_point(),
-    ) {
-        let cost = build(m2, m3, tc, f2f, rdl, wb, edge).cost();
-        prop_assert!((0.025..=0.0500001).contains(&cost.m2), "m2 {}", cost.m2);
-        prop_assert!((0.025..=0.1000001).contains(&cost.m3), "m3 {}", cost.m3);
-        prop_assert!((0.077..=0.45).contains(&cost.tsv_count), "tc {}", cost.tsv_count);
-        prop_assert!(cost.tsv_location >= 0.0);
-        prop_assert!(cost.total > 0.0 && cost.total < 2.0);
+#[test]
+fn cost_terms_stay_in_their_table8_ranges() {
+    let mut rng = SplitMix64::new(0x1a40_0001);
+    for case in 0..CASES {
+        let p = arb_point(&mut rng);
+        let cost = build(p.m2, p.m3, p.tc, p.f2f, p.rdl, p.wb, p.edge).cost();
+        assert!(
+            (0.025..=0.0500001).contains(&cost.m2),
+            "case {case}: m2 {}",
+            cost.m2
+        );
+        assert!(
+            (0.025..=0.1000001).contains(&cost.m3),
+            "case {case}: m3 {}",
+            cost.m3
+        );
+        assert!(
+            (0.077..=0.45).contains(&cost.tsv_count),
+            "case {case}: tc {}",
+            cost.tsv_count
+        );
+        assert!(cost.tsv_location >= 0.0, "case {case}");
+        assert!(cost.total > 0.0 && cost.total < 2.0, "case {case}");
         // The total is the sum of its parts.
-        let sum = cost.m2 + cost.m3 + cost.tsv_count + cost.tsv_location
-            + cost.dedicated + cost.bonding + cost.rdl + cost.wire_bond;
-        prop_assert!((cost.total - sum).abs() < 1e-12);
+        let sum = cost.m2
+            + cost.m3
+            + cost.tsv_count
+            + cost.tsv_location
+            + cost.dedicated
+            + cost.bonding
+            + cost.rdl
+            + cost.wire_bond;
+        assert!((cost.total - sum).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn cost_is_monotone_in_each_knob(
-        (m2, m3, tc, f2f, rdl, wb, edge) in arb_point(),
-    ) {
+#[test]
+fn cost_is_monotone_in_each_knob() {
+    let mut rng = SplitMix64::new(0x1a40_0002);
+    for case in 0..CASES {
+        let p = arb_point(&mut rng);
+        let (m2, m3, tc, f2f, rdl, wb, edge) = (p.m2, p.m3, p.tc, p.f2f, p.rdl, p.wb, p.edge);
         let base = build(m2, m3, tc, f2f, rdl, wb, edge).cost().total;
         if m2 <= 0.19 {
-            prop_assert!(build(m2 + 0.01, m3, tc, f2f, rdl, wb, edge).cost().total > base);
+            assert!(
+                build(m2 + 0.01, m3, tc, f2f, rdl, wb, edge).cost().total > base,
+                "case {case}: m2"
+            );
         }
         if m3 <= 0.39 {
-            prop_assert!(build(m2, m3 + 0.01, tc, f2f, rdl, wb, edge).cost().total > base);
+            assert!(
+                build(m2, m3 + 0.01, tc, f2f, rdl, wb, edge).cost().total > base,
+                "case {case}: m3"
+            );
         }
         if tc <= 450 {
-            prop_assert!(build(m2, m3, tc + 30, f2f, rdl, wb, edge).cost().total > base);
+            assert!(
+                build(m2, m3, tc + 30, f2f, rdl, wb, edge).cost().total > base,
+                "case {case}: tsv count"
+            );
         }
         if !rdl {
-            prop_assert!(build(m2, m3, tc, f2f, true, wb, edge).cost().total > base);
+            assert!(
+                build(m2, m3, tc, f2f, true, wb, edge).cost().total > base,
+                "case {case}: rdl"
+            );
         }
         if !wb {
-            prop_assert!(build(m2, m3, tc, f2f, rdl, true, edge).cost().total > base);
+            assert!(
+                build(m2, m3, tc, f2f, rdl, true, edge).cost().total > base,
+                "case {case}: wire bond"
+            );
         }
         if !f2f {
-            prop_assert!(build(m2, m3, tc, true, rdl, wb, edge).cost().total > base);
+            assert!(
+                build(m2, m3, tc, true, rdl, wb, edge).cost().total > base,
+                "case {case}: bonding"
+            );
         }
         if !edge {
             // Centre -> edge adds the location term.
-            prop_assert!(build(m2, m3, tc, f2f, rdl, wb, true).cost().total > base);
+            assert!(
+                build(m2, m3, tc, f2f, rdl, wb, true).cost().total > base,
+                "case {case}: placement"
+            );
         }
     }
+}
 
-    #[test]
-    fn tsv_positions_always_match_the_count_and_stay_on_die(
-        tc in 15usize..=480,
-        placement_idx in 0..3usize,
-        w in 5.0f64..10.0,
-        h in 5.0f64..10.0,
-    ) {
-        let placement = [TsvPlacement::Edge, TsvPlacement::Center, TsvPlacement::Distributed]
-            [placement_idx];
+#[test]
+fn tsv_positions_always_match_the_count_and_stay_on_die() {
+    let mut rng = SplitMix64::new(0x1a40_0003);
+    for case in 0..CASES {
+        let tc = rng.range(15, 481) as usize;
+        let placement = [
+            TsvPlacement::Edge,
+            TsvPlacement::Center,
+            TsvPlacement::Distributed,
+        ][rng.next_below(3) as usize];
+        let w = rng.range_f64(5.0, 10.0);
+        let h = rng.range_f64(5.0, 10.0);
         let cfg = TsvConfig::new(tc, placement).expect("in range");
         let pts = cfg.positions(w, h);
-        prop_assert_eq!(pts.len(), tc);
+        assert_eq!(pts.len(), tc, "case {case}");
         for (x, y) in pts {
-            prop_assert!((0.0..=w).contains(&x), "x {x} off a {w}-wide die");
-            prop_assert!((0.0..=h).contains(&y), "y {y} off a {h}-tall die");
+            assert!(
+                (0.0..=w).contains(&x),
+                "case {case}: x {x} off a {w}-wide die"
+            );
+            assert!(
+                (0.0..=h).contains(&y),
+                "case {case}: y {y} off a {h}-tall die"
+            );
         }
     }
+}
 
-    #[test]
-    fn on_chip_designs_cost_at_least_their_off_chip_twins(
-        (m2, m3, tc, f2f, rdl, wb, edge) in arb_point(),
-    ) {
-        let off = build(m2, m3, tc, f2f, rdl, wb, edge).cost().total;
+#[test]
+fn on_chip_designs_cost_at_least_their_off_chip_twins() {
+    let mut rng = SplitMix64::new(0x1a40_0004);
+    for case in 0..CASES {
+        let p = arb_point(&mut rng);
+        let off = build(p.m2, p.m3, p.tc, p.f2f, p.rdl, p.wb, p.edge)
+            .cost()
+            .total;
         let on = StackDesign::builder(Benchmark::StackedDdr3OnChip)
-            .mounting(Mounting::OnChip { dedicated_tsvs: true })
-            .pdn(PdnSpec::new(m2, m3).expect("in range"))
+            .mounting(Mounting::OnChip {
+                dedicated_tsvs: true,
+            })
+            .pdn(PdnSpec::new(p.m2, p.m3).expect("in range"))
             .tsv(
-                TsvConfig::new(tc, if edge { TsvPlacement::Edge } else { TsvPlacement::Center })
-                    .expect("in range"),
+                TsvConfig::new(
+                    p.tc,
+                    if p.edge {
+                        TsvPlacement::Edge
+                    } else {
+                        TsvPlacement::Center
+                    },
+                )
+                .expect("in range"),
             )
-            .bonding(if f2f { BondingStyle::F2F } else { BondingStyle::F2B })
-            .rdl(if rdl { RdlConfig::enabled(RdlScope::AllDies) } else { RdlConfig::none() })
-            .wire_bond(wb)
+            .bonding(if p.f2f {
+                BondingStyle::F2F
+            } else {
+                BondingStyle::F2B
+            })
+            .rdl(if p.rdl {
+                RdlConfig::enabled(RdlScope::AllDies)
+            } else {
+                RdlConfig::none()
+            })
+            .wire_bond(p.wb)
             .build()
             .expect("valid design")
             .cost()
             .total;
         // Dedicated TSVs add 0.06 on top of the shared structure.
-        prop_assert!((on - off - 0.06).abs() < 1e-12, "on {on} vs off {off}");
+        assert!(
+            (on - off - 0.06).abs() < 1e-12,
+            "case {case}: on {on} vs off {off}"
+        );
     }
 }

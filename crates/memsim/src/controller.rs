@@ -217,6 +217,8 @@ impl MemorySimulator {
     /// Returns [`SimulateError::Stalled`] if no forward progress is
     /// possible (an over-tight IR constraint).
     pub fn run(&self, requests: &[ReadRequest]) -> Result<SimStats, SimulateError> {
+        #[cfg(feature = "telemetry")]
+        let _span = pi3d_telemetry::span::span("memsim_run");
         let t = &self.timing;
         let cfg = &self.config;
         let n = requests.len() as u64;
@@ -251,6 +253,7 @@ impl MemorySimulator {
         let mut row_hits: u64 = 0;
         let mut latency_sum: f64 = 0.0;
         let mut queue_depth_sum: f64 = 0.0;
+        let mut stall_cycles: u64 = 0;
         let mut max_ir = MilliVolts(0.0);
         let mut last_progress_cycle: u64 = 0;
 
@@ -331,6 +334,7 @@ impl MemorySimulator {
             }
 
             // 5. Issue at most one command per channel.
+            let mut issued_this_cycle = false;
             for ch in 0..cfg.channels {
                 let mut order: Vec<usize> = (0..queue.len())
                     .filter(|&i| queue[i].channel == ch)
@@ -396,6 +400,10 @@ impl MemorySimulator {
                         break;
                     }
                 }
+                issued_this_cycle |= issued;
+            }
+            if !queue.is_empty() && !issued_this_cycle {
+                stall_cycles += 1;
             }
 
             // 6. Track the IR drop of the state we are in, at the I/O
@@ -431,7 +439,7 @@ impl MemorySimulator {
         }
 
         let cycles = last_data_end.max(1);
-        Ok(SimStats {
+        let stats = SimStats {
             refreshes,
             cycles,
             runtime_us: t.cycles_to_us(cycles),
@@ -447,7 +455,35 @@ impl MemorySimulator {
                 0.0
             },
             avg_queue_depth: queue_depth_sum / cycle as f64,
-        })
+            stall_cycles,
+        };
+        #[cfg(feature = "telemetry")]
+        {
+            use pi3d_telemetry::{metrics, report};
+            metrics::counter("memsim.runs").incr(1);
+            metrics::counter("memsim.cycles").incr(stats.cycles);
+            metrics::counter("memsim.completed").incr(stats.completed);
+            metrics::counter("memsim.stall_cycles").incr(stats.stall_cycles);
+            report::record_policy_stats(report::PolicyStatsRecord {
+                label: format!("{}x{} requests", cfg.dies, n),
+                policy: self.policy.name().to_string(),
+                cycles: stats.cycles,
+                completed: stats.completed,
+                row_hit_rate: stats.row_hit_rate(),
+                avg_queue_depth: stats.avg_queue_depth,
+                stall_cycles: stats.stall_cycles,
+                max_ir_mv: stats.max_ir.value(),
+            });
+            pi3d_telemetry::debug!(
+                "memsim {} run: {} cycles, {} completed, {} stalls, max IR {:.1} mV",
+                self.policy.name(),
+                stats.cycles,
+                stats.completed,
+                stats.stall_cycles,
+                stats.max_ir.value()
+            );
+        }
+        Ok(stats)
     }
 
     /// Whether issuing a read to `die` keeps the IR-drop constraint met at

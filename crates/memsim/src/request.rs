@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pi3d_telemetry::rng::SplitMix64;
 use std::error::Error;
 use std::fmt;
 
@@ -78,7 +77,7 @@ impl WorkloadSpec {
             (0.0..=1.0).contains(&self.row_hit_rate),
             "row_hit_rate must be in [0, 1]"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let mut last_row = vec![vec![0u32; self.banks_per_die]; self.dies];
         let mut requests = Vec::with_capacity(self.count);
         let mut die = 0usize;
@@ -91,16 +90,16 @@ impl WorkloadSpec {
             // same die (this is what distributed-read scheduling exploits),
             // while banks within the die spread widely, so most reads
             // reopen a row.
-            if rng.gen::<f64>() > 0.85 {
-                die = rng.gen_range(0..self.dies);
+            if rng.next_f64() > 0.85 {
+                die = rng.next_below(self.dies as u64) as usize;
             }
-            if rng.gen::<f64>() < 0.90 {
-                bank = rng.gen_range(0..self.banks_per_die);
+            if rng.next_f64() < 0.90 {
+                bank = rng.next_below(self.banks_per_die as u64) as usize;
             }
-            let row = if rng.gen::<f64>() < self.row_hit_rate {
+            let row = if rng.next_f64() < self.row_hit_rate {
                 last_row[die][bank]
             } else {
-                rng.gen_range(0..self.rows)
+                rng.next_below(u64::from(self.rows)) as u32
             };
             last_row[die][bank] = row;
             requests.push(ReadRequest {

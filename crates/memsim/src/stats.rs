@@ -29,6 +29,9 @@ pub struct SimStats {
     pub avg_latency_cycles: f64,
     /// Mean occupancy of the request queue.
     pub avg_queue_depth: f64,
+    /// Cycles where the queue held requests but no channel issued a
+    /// command (IR throttling, timing constraints, or refresh).
+    pub stall_cycles: u64,
 }
 
 impl SimStats {
@@ -60,6 +63,7 @@ mod tests {
             row_hits: 0,
             avg_latency_cycles: 0.0,
             avg_queue_depth: 0.0,
+            stall_cycles: 0,
         };
         assert_eq!(s.row_hit_rate(), 0.0);
     }

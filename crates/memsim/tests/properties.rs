@@ -1,9 +1,15 @@
 //! Property-based tests on the memory-controller simulator: safety
 //! invariants must hold for arbitrary workloads and policies.
+//!
+//! Random workloads come from the seeded [`SplitMix64`] generator (the
+//! proptest crate is unavailable offline); every case is reproducible
+//! from the loop index printed in the assertion message.
 
 use pi3d_layout::units::MilliVolts;
 use pi3d_memsim::{IrDropLut, MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec};
-use proptest::prelude::*;
+use pi3d_telemetry::rng::SplitMix64;
+
+const CASES: u64 = 24;
 
 /// A LUT shaped like the real platform's: higher per-die counts and higher
 /// activity raise the drop; spreading helps.
@@ -41,21 +47,18 @@ fn workload(count: usize, seed: u64, interval: u64) -> Vec<pi3d_memsim::ReadRequ
     spec.generate()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_request_completes_exactly_once(
-        count in 50usize..400,
-        seed in any::<u64>(),
-        interval in 3u64..12,
-        policy_idx in 0..3usize,
-    ) {
+#[test]
+fn every_request_completes_exactly_once() {
+    let mut rng = SplitMix64::new(0x3e35_0001);
+    for case in 0..CASES {
+        let count = rng.range(50, 400) as usize;
+        let seed = rng.next_u64();
+        let interval = rng.range(3, 12);
         let policy = [
             ReadPolicy::standard(),
             ReadPolicy::ir_aware_fcfs(MilliVolts(40.0)),
             ReadPolicy::ir_aware_distr(MilliVolts(40.0)),
-        ][policy_idx];
+        ][rng.next_below(3) as usize];
         let sim = MemorySimulator::new(
             TimingParams::ddr3_1600(),
             SimConfig::paper_ddr3(),
@@ -64,16 +67,18 @@ proptest! {
         );
         let reqs = workload(count, seed, interval);
         let stats = sim.run(&reqs).expect("completes");
-        prop_assert_eq!(stats.completed, count as u64);
-        prop_assert!(stats.row_hits <= stats.completed);
-        prop_assert!(stats.activates >= 1);
+        assert_eq!(stats.completed, count as u64, "case {case}");
+        assert!(stats.row_hits <= stats.completed, "case {case}");
+        assert!(stats.activates >= 1, "case {case}");
     }
+}
 
-    #[test]
-    fn runtime_is_at_least_the_arrival_span_plus_pipeline(
-        count in 50usize..300,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn runtime_is_at_least_the_arrival_span_plus_pipeline() {
+    let mut rng = SplitMix64::new(0x3e35_0002);
+    for case in 0..CASES {
+        let count = rng.range(50, 300) as usize;
+        let seed = rng.next_u64();
         let t = TimingParams::ddr3_1600();
         let sim = MemorySimulator::new(
             t,
@@ -84,17 +89,22 @@ proptest! {
         let reqs = workload(count, seed, 5);
         let stats = sim.run(&reqs).expect("completes");
         let min_cycles = (count as u64 - 1) * 5 + (t.t_cl + t.data_cycles()) as u64;
-        prop_assert!(stats.cycles >= min_cycles, "{} < {min_cycles}", stats.cycles);
+        assert!(
+            stats.cycles >= min_cycles,
+            "case {case}: {} < {min_cycles}",
+            stats.cycles
+        );
     }
+}
 
-    #[test]
-    fn ir_aware_policies_never_break_their_cap(
-        count in 100usize..400,
-        seed in any::<u64>(),
-        cap_mv in 18.0f64..40.0,
-        distr in any::<bool>(),
-    ) {
-        let policy = if distr {
+#[test]
+fn ir_aware_policies_never_break_their_cap() {
+    let mut rng = SplitMix64::new(0x3e35_0003);
+    for case in 0..CASES {
+        let count = rng.range(100, 400) as usize;
+        let seed = rng.next_u64();
+        let cap_mv = rng.range_f64(18.0, 40.0);
+        let policy = if rng.chance(0.5) {
             ReadPolicy::ir_aware_distr(MilliVolts(cap_mv))
         } else {
             ReadPolicy::ir_aware_fcfs(MilliVolts(cap_mv))
@@ -107,22 +117,24 @@ proptest! {
         );
         let reqs = workload(count, seed, 5);
         match sim.run(&reqs) {
-            Ok(stats) => prop_assert!(
+            Ok(stats) => assert!(
                 stats.max_ir.value() <= cap_mv + 1e-9,
-                "max IR {} broke cap {cap_mv}",
+                "case {case}: max IR {} broke cap {cap_mv}",
                 stats.max_ir
             ),
             // Very tight caps may admit no state at all: a stall is the
             // correct, safe outcome.
-            Err(_) => prop_assert!(cap_mv < 25.0, "stall at loose cap {cap_mv}"),
+            Err(_) => assert!(cap_mv < 25.0, "case {case}: stall at loose cap {cap_mv}"),
         }
     }
+}
 
-    #[test]
-    fn tighter_caps_never_run_faster(
-        count in 150usize..350,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn tighter_caps_never_run_faster() {
+    let mut rng = SplitMix64::new(0x3e35_0004);
+    for case in 0..CASES {
+        let count = rng.range(150, 350) as usize;
+        let seed = rng.next_u64();
         let reqs = workload(count, seed, 5);
         let run_at = |cap: f64| {
             let sim = MemorySimulator::new(
@@ -138,17 +150,22 @@ proptest! {
         if let (Some(t), Some(l)) = (tight, loose) {
             // Allow a small absolute jitter: with a loose cap the greedy
             // schedule can take marginally different bank-conflict paths.
-            prop_assert!(l <= t * 1.02 + 0.2, "loose {l} slower than tight {t}");
+            assert!(
+                l <= t * 1.02 + 0.2,
+                "case {case}: loose {l} slower than tight {t}"
+            );
         } else {
-            prop_assert!(loose.is_some(), "loose cap must run");
+            assert!(loose.is_some(), "case {case}: loose cap must run");
         }
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(
-        count in 50usize..200,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SplitMix64::new(0x3e35_0005);
+    for case in 0..CASES {
+        let count = rng.range(50, 200) as usize;
+        let seed = rng.next_u64();
         let sim = MemorySimulator::new(
             TimingParams::ddr3_1600(),
             SimConfig::paper_ddr3(),
@@ -158,6 +175,6 @@ proptest! {
         let reqs = workload(count, seed, 5);
         let a = sim.run(&reqs).expect("completes");
         let b = sim.run(&reqs).expect("completes");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

@@ -169,6 +169,10 @@ impl IrAnalysis {
         io_activity: f64,
         op: pi3d_layout::OpKind,
     ) -> Result<IrDropReport, SolverError> {
+        #[cfg(feature = "telemetry")]
+        let _span = pi3d_telemetry::span::span("ir_analysis");
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::counter("mesh.ir_analyses").incr(1);
         let v = self.mesh.solve_op(state, io_activity, op)?;
         let registry = self.mesh.registry().clone();
         let mut per_grid = Vec::new();

@@ -202,9 +202,42 @@ impl StackMesh {
     /// or an invalid stamp — both indicate an internal topology bug rather
     /// than a user error.
     pub fn new(design: &StackDesign, options: MeshOptions) -> Result<Self, SolverError> {
+        #[cfg(feature = "telemetry")]
+        let _build_span = pi3d_telemetry::span::span("mesh_build");
         let mut builder = MeshAssembler::new(design, &options);
-        builder.assemble();
-        let matrix = builder.coo.into_csr()?;
+        {
+            #[cfg(feature = "telemetry")]
+            let _stamp_span = pi3d_telemetry::span::span("stamping");
+            builder.assemble();
+        }
+        let matrix = {
+            #[cfg(feature = "telemetry")]
+            let _csr_span = pi3d_telemetry::span::span("csr_assembly");
+            builder.coo.into_csr()?
+        };
+        #[cfg(feature = "telemetry")]
+        {
+            use pi3d_telemetry::{metrics, report};
+            let nodes = builder.registry.total_nodes();
+            let layers = builder.registry.iter().count();
+            let nnz = matrix.nnz();
+            // Off-diagonal entries are stamped symmetrically; each resistive
+            // edge contributes two of them.
+            let edges = (nnz - matrix.dim()) / 2;
+            metrics::counter("mesh.builds").incr(1);
+            metrics::gauge("mesh.last_nodes").set(nodes as f64);
+            metrics::gauge("mesh.last_nnz").set(nnz as f64);
+            report::record_mesh_stats(report::MeshStatsRecord {
+                label: format!("{:?}", design.benchmark()),
+                nodes: nodes as u64,
+                edges: edges as u64,
+                layers: layers as u64,
+                nnz: nnz as u64,
+            });
+            pi3d_telemetry::debug!(
+                "mesh built: {nodes} nodes, {edges} edges, {layers} layers, {nnz} nnz"
+            );
+        }
         Ok(StackMesh {
             design: design.clone(),
             options: options.clone(),
@@ -360,6 +393,8 @@ impl StackMesh {
         io_activity: f64,
         op: pi3d_layout::OpKind,
     ) -> Result<Vec<f64>, SolverError> {
+        #[cfg(feature = "telemetry")]
+        let _solve_span = pi3d_telemetry::span::span("mesh_solve");
         let loads = self.load_vector_op(state, io_activity, op);
         let solution = self.solver.solve_with_guess(
             &self.matrix,

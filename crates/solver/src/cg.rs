@@ -11,6 +11,19 @@ pub struct CgSolution {
     pub iterations: usize,
     /// Final relative residual `‖b − A·x‖₂ / ‖b‖₂`.
     pub relative_residual: f64,
+    /// Relative residual after each iteration (empty when the crate's
+    /// `telemetry` feature is disabled).
+    pub residual_trace: Vec<f64>,
+}
+
+#[cfg(feature = "telemetry")]
+fn record_solve(iterations: usize, relres: f64, trace: &[f64]) {
+    use pi3d_telemetry::{metrics, report};
+    metrics::counter("solver.cg.solves").incr(1);
+    metrics::counter("solver.cg.iterations").incr(iterations as u64);
+    metrics::histogram("solver.cg.iterations_per_solve").record(iterations as u64);
+    report::record_convergence("cg", iterations as u64, relres, trace);
+    pi3d_telemetry::debug!("cg converged: {iterations} iterations, relres {relres:.3e}");
 }
 
 /// Preconditioned conjugate-gradient solver for SPD systems.
@@ -148,16 +161,24 @@ impl CgSolver {
             }
         }
 
+        #[cfg(feature = "telemetry")]
+        let _solve_span = pi3d_telemetry::span::span("cg_solve");
+
         let norm_b = vecops::norm2(b);
         if norm_b == 0.0 {
             return Ok(CgSolution {
                 x: vec![0.0; n],
                 iterations: 0,
                 relative_residual: 0.0,
+                residual_trace: Vec::new(),
             });
         }
 
-        let m = AppliedPreconditioner::build(preconditioner, a)?;
+        let m = {
+            #[cfg(feature = "telemetry")]
+            let _precond_span = pi3d_telemetry::span::span("precond_setup");
+            AppliedPreconditioner::build(preconditioner, a)?
+        };
 
         let mut x = guess.map(<[f64]>::to_vec).unwrap_or_else(|| vec![0.0; n]);
         // r = b - A·x
@@ -172,14 +193,26 @@ impl CgSolver {
         let mut rz = vecops::dot(&r, &z);
         let mut ap = vec![0.0; n];
 
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut residual_trace: Vec<f64> = Vec::new();
+
         let mut relres = vecops::norm2(&r) / norm_b;
         if relres <= self.tolerance {
+            #[cfg(feature = "telemetry")]
+            {
+                residual_trace.push(relres);
+                record_solve(0, relres, &residual_trace);
+            }
             return Ok(CgSolution {
                 x,
                 iterations: 0,
                 relative_residual: relres,
+                residual_trace,
             });
         }
+
+        #[cfg(feature = "telemetry")]
+        let _iter_span = pi3d_telemetry::span::span("cg_iterations");
 
         for iter in 1..=self.max_iterations {
             a.mul_vec_into(&p, &mut ap);
@@ -195,11 +228,16 @@ impl CgSolver {
             vecops::axpy(-alpha, &ap, &mut r);
 
             relres = vecops::norm2(&r) / norm_b;
+            #[cfg(feature = "telemetry")]
+            residual_trace.push(relres);
             if relres <= self.tolerance {
+                #[cfg(feature = "telemetry")]
+                record_solve(iter, relres, &residual_trace);
                 return Ok(CgSolution {
                     x,
                     iterations: iter,
                     relative_residual: relres,
+                    residual_trace,
                 });
             }
 
@@ -210,6 +248,15 @@ impl CgSolver {
             vecops::xpby(&z, beta, &mut p);
         }
 
+        #[cfg(feature = "telemetry")]
+        {
+            pi3d_telemetry::metrics::counter("solver.cg.failures").incr(1);
+            pi3d_telemetry::warn!(
+                "cg failed to converge: {} iterations, relres {relres:.3e} > tol {:.1e}",
+                self.max_iterations,
+                self.tolerance
+            );
+        }
         Err(SolverError::ConvergenceFailure {
             iterations: self.max_iterations,
             residual: relres,

@@ -37,6 +37,11 @@ impl std::fmt::Debug for AppliedPreconditioner {
 
 impl AppliedPreconditioner {
     pub(crate) fn build(kind: Preconditioner, a: &CsrMatrix) -> Result<Self, SolverError> {
+        #[cfg(feature = "telemetry")]
+        {
+            pi3d_telemetry::metrics::counter("solver.precond.builds").incr(1);
+            pi3d_telemetry::trace!("building {kind:?} preconditioner for n={}", a.dim());
+        }
         match kind {
             Preconditioner::Identity => Ok(AppliedPreconditioner::Identity),
             Preconditioner::Jacobi => Ok(AppliedPreconditioner::Jacobi(JacobiScaling::new(a)?)),

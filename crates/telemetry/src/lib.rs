@@ -1,0 +1,70 @@
+//! Observability substrate for the `pi3d` workspace — **std-only, zero
+//! external dependencies** (this build environment has no registry
+//! access, and the measurement layer must never be the reason a build
+//! fails).
+//!
+//! Four pillars:
+//!
+//! * [`metrics`] — a global, thread-safe registry of named [`Counter`]s,
+//!   [`Gauge`]s, and log-scale [`Histogram`]s. Handles are `&'static`;
+//!   the hot path is a single relaxed atomic op, no locks.
+//! * [`span`] — RAII [`Span`] timers with parent/child nesting. Spans
+//!   aggregate into a per-run phase-timing tree (mesh build → stamping →
+//!   preconditioner setup → CG iterations → back-substitution).
+//! * [`log`] — a leveled stderr logger ([`Level`]), configured from the
+//!   `PI3D_LOG` environment variable or `--log-level`, gated at runtime
+//!   by one atomic load.
+//! * [`report`] — a [`RunReport`] serialized by the hand-rolled [`json`]
+//!   writer: phase timings, CG convergence traces, mesh size statistics,
+//!   memory-controller policy counters, and per-experiment wall clock.
+//!
+//! Downstream crates instrument behind their own `telemetry` cargo
+//! feature (on by default); with the feature off, call sites compile to
+//! nothing, so the Fig. 4 speedup numbers stay honest.
+//!
+//! The crate also hosts [`rng`], a seeded SplitMix64 generator replacing
+//! the `rand` crate for the synthetic-workload generator and the
+//! randomized property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use pi3d_telemetry::{metrics, span};
+//!
+//! let solves = metrics::counter("solver.cg.solves");
+//! {
+//!     let _timer = span::span("solve");
+//!     solves.incr(1);
+//! }
+//! assert!(solves.get() >= 1);
+//! let phases = span::snapshot();
+//! assert!(phases.iter().any(|p| p.path == "solve"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod report;
+pub mod rng;
+pub mod span;
+
+pub use json::Json;
+pub use log::Level;
+pub use metrics::{Counter, Gauge, Histogram};
+pub use report::RunReport;
+pub use span::Span;
+
+// The metrics registry, span table, and report sinks are process-global,
+// so unit tests that reset or assert on them must not interleave.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    pub fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

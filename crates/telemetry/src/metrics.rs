@@ -1,0 +1,325 @@
+//! Global registry of named counters, gauges, and log-scale histograms.
+//!
+//! Registration (name lookup) takes a mutex once; the returned handles
+//! are `&'static` and every update afterwards is a single relaxed
+//! atomic operation, so instrumented hot loops pay no lock and no
+//! allocation. Handles live for the process lifetime (they are leaked on
+//! first registration — the set of metric names is small and fixed).
+//!
+//! ```
+//! use pi3d_telemetry::metrics;
+//!
+//! let iters = metrics::counter("solver.cg.iterations");
+//! iters.incr(42);
+//! let h = metrics::histogram("solver.cg.iterations_per_solve");
+//! h.record(42);
+//! assert!(metrics::snapshot().counters.iter().any(|(n, _)| n == "solver.cg.iterations"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Number of power-of-two histogram buckets (covers the full `u64`
+/// range: bucket `i` holds values with `i` significant bits).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn incr(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating-point value (queue depth, rate, size).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose value has `i` significant bits, i.e.
+/// bucket 0 holds the value 0, bucket 1 holds 1, bucket 2 holds 2–3,
+/// bucket 3 holds 4–7, and so on. Coarse, but lock-free and enough to
+/// see iteration-count and latency distributions over orders of
+/// magnitude.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let bucket = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty `(bucket_lower_bound, count)` pairs, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    Some((lower, n))
+                }
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, &'static Counter>,
+    gauges: BTreeMap<String, &'static Gauge>,
+    histograms: BTreeMap<String, &'static Histogram>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .expect("metrics registry poisoned")
+}
+
+/// Returns the counter registered under `name`, creating it on first use.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry();
+    if let Some(c) = reg.counters.get(name) {
+        return c;
+    }
+    let leaked: &'static Counter = Box::leak(Box::new(Counter::default()));
+    reg.counters.insert(name.to_owned(), leaked);
+    leaked
+}
+
+/// Returns the gauge registered under `name`, creating it on first use.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry();
+    if let Some(g) = reg.gauges.get(name) {
+        return g;
+    }
+    let leaked: &'static Gauge = Box::leak(Box::new(Gauge::default()));
+    reg.gauges.insert(name.to_owned(), leaked);
+    leaked
+}
+
+/// Returns the histogram registered under `name`, creating it on first
+/// use.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = registry();
+    if let Some(h) = reg.histograms.get(name) {
+        return h;
+    }
+    let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    reg.histograms.insert(name.to_owned(), leaked);
+    leaked
+}
+
+/// A point-in-time copy of every registered metric, name-sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, (count, sum, buckets))` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Frozen histogram contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Non-empty `(bucket_lower_bound, count)` pairs.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Copies every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.buckets(),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Zeroes every registered metric (handles stay valid — used between
+/// runs and in tests).
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.values() {
+        c.reset();
+    }
+    for g in reg.gauges.values() {
+        g.reset();
+    }
+    for h in reg.histograms.values() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::serial;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let _guard = serial();
+        let c = counter("test.metrics.concurrent_counter");
+        c.reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.incr(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_buckets_values_by_magnitude() {
+        let _guard = serial();
+        let h = histogram("test.metrics.hist_buckets");
+        h.reset();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        let buckets = h.buckets();
+        // 0 -> bucket lower 0; 1 -> 1; 2,3 -> 2; 4 -> 4; 1000 -> 512.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn histogram_is_safe_under_concurrent_recording() {
+        let _guard = serial();
+        let h = histogram("test.metrics.hist_concurrent");
+        h.reset();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 7 + i % 13);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+        let total: u64 = h.buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn same_name_returns_the_same_handle() {
+        let a = counter("test.metrics.same") as *const Counter;
+        let b = counter("test.metrics.same") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gauge_stores_last_write() {
+        let _guard = serial();
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        g.set(17.25);
+        assert_eq!(g.get(), 17.25);
+    }
+}

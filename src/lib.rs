@@ -33,6 +33,7 @@ pub use pi3d_layout as layout;
 pub use pi3d_memsim as memsim;
 pub use pi3d_mesh as mesh;
 pub use pi3d_solver as solver;
+pub use pi3d_telemetry as telemetry;
 
 /// The types most programs need, in one import.
 ///
