@@ -8,6 +8,9 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo clippy --offline -D warnings"
+cargo clippy --offline --workspace -- -D warnings
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -19,7 +22,7 @@ report="$(mktemp /tmp/pi3d-report.XXXXXX.json)"
 cfg="$(mktemp /tmp/pi3d-design.XXXXXX.cfg)"
 trap 'rm -f "$report" "$cfg"' EXIT
 printf 'benchmark = ddr3-off\n' > "$cfg"
-./target/release/pi3d analyze "$cfg" --grid 10 \
+./target/release/pi3d analyze "$cfg" --grid 10 --threads 2 \
     --log-level info --metrics-out "$report"
 
 # The report must be valid JSON with the documented schema marker and a

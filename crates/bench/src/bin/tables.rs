@@ -4,14 +4,16 @@
 //! Usage:
 //!
 //! ```text
-//! tables [--quick] [--log-level LEVEL] [--metrics-out FILE] [NAME ...]
+//! tables [--quick] [--threads N] [--log-level LEVEL] [--metrics-out FILE] [NAME ...]
 //! ```
 //!
 //! With no names, all experiments run (Table 9 co-optimization last — it
 //! is by far the most expensive). `--quick` switches to the coarse mesh
-//! and reduced workloads. Valid names: `calibration fig4 metal mounting
-//! fig5 table2 table3 table4 table5 table6 table7 fig9 table9`, plus the
-//! extension studies `convergence ablation ac`.
+//! and reduced workloads. `--threads` sets the solver/characterization
+//! worker count (default: available parallelism); results are
+//! bit-identical for every value. Valid names: `calibration fig4 metal
+//! mounting fig5 table2 table3 table4 table5 table6 table7 fig9 table9`,
+//! plus the extension studies `convergence ablation ac`.
 
 use pi3d_core::experiments;
 use pi3d_layout::units::MilliVolts;
@@ -42,6 +44,16 @@ fn main() {
         pi3d_telemetry::report::reset_run();
     }
     let _metrics_out = flag_value("--metrics-out");
+    let threads = match flag_value("--threads") {
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if (1..=256).contains(&n) => n,
+            _ => {
+                eprintln!("bad --threads: expected an integer in 1..=256, got {t}");
+                std::process::exit(2);
+            }
+        },
+        None => default_threads(),
+    };
     let mut skip_next = false;
     let names: Vec<&str> = args
         .iter()
@@ -50,7 +62,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--log-level" || *a == "--metrics-out" {
+            if *a == "--log-level" || *a == "--metrics-out" || *a == "--threads" {
                 skip_next = true;
                 return false;
             }
@@ -59,10 +71,14 @@ fn main() {
         .map(String::as_str)
         .collect();
     let all = names.is_empty();
-    let options = if quick {
-        MeshOptions::coarse()
-    } else {
-        MeshOptions::default()
+    let options = {
+        let mut o = if quick {
+            MeshOptions::coarse()
+        } else {
+            MeshOptions::default()
+        };
+        o.threads = threads;
+        o
     };
 
     let wants = |n: &str| all || names.contains(&n);
@@ -197,7 +213,7 @@ fn main() {
     section("table9", &mut || {
         // Co-optimization characterizes thousands of meshes; always use the
         // coarse mesh here (the regression averages out discretization).
-        experiments::table9::run(&MeshOptions::coarse(), threads())
+        experiments::table9::run(&MeshOptions::coarse(), threads)
             .map(|r| r.to_string())
             .map_err(|e| e.to_string())
     });
@@ -219,7 +235,7 @@ fn main() {
     }
 }
 
-fn threads() -> usize {
+fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)

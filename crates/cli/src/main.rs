@@ -138,13 +138,14 @@ fn print_usage() {
         "usage:\n  \
          pi3d analyze  <design.cfg> [--state S] [--activity A] [--both-nets] [--grid N]\n  \
          pi3d currents <design.cfg> [--state S] [--activity A]\n  \
-         pi3d lut      <design.cfg> --out FILE [--grid N]\n  \
+         pi3d lut      <design.cfg> --out FILE [--grid N] [--threads N]\n  \
          pi3d transient <design.cfg> [--state S] [--steps N]\n  \
          pi3d simulate <design.cfg> [--policy standard|fcfs|distr] [--constraint MV]\n  \
                        [--reads N] [--lut FILE] [--trace FILE]\n  \
          pi3d optimize <benchmark>  [--alpha A] [--threads N]\n  \
          pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n\
-         global flags: [--log-level off|error|warn|info|debug|trace] [--metrics-out FILE]"
+         global flags: [--threads N] [--log-level off|error|warn|info|debug|trace]\n\
+                       [--metrics-out FILE]"
     );
 }
 
@@ -180,6 +181,15 @@ fn mesh_options(args: &Args) -> Result<MeshOptions, Box<dyn std::error::Error>> 
         options.dram_ny = n;
         options.logic_nx = n + 2;
         options.logic_ny = n;
+    }
+    if let Some(threads) = args.flag("threads") {
+        let n: usize = threads
+            .parse()
+            .map_err(|_| format!("--threads must be an integer, got {threads}"))?;
+        if !(1..=256).contains(&n) {
+            return Err("--threads must be between 1 and 256".into());
+        }
+        options.threads = n;
     }
     Ok(options)
 }

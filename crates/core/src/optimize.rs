@@ -78,24 +78,12 @@ pub fn characterize(
             benchmark: benchmark.to_string(),
         });
     }
-    let threads = threads.max(1);
-
-    let results: Vec<Result<ComboModel, CoreError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in combos.chunks(combos.len().div_ceil(threads)) {
-            let state = state.clone();
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::new();
-                for &combo in chunk {
-                    out.push(fit_combo(platform, benchmark, &space, combo, &state));
-                }
-                out
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("characterization worker panicked"))
-            .collect()
+    // Each combo fits an independent model; pi3d_solver::parallel_map
+    // dispatches them one at a time (instead of pre-chunking), so a slow
+    // combo no longer serializes the rest of its chunk, and results come
+    // back in combo order regardless of thread count.
+    let results = pi3d_solver::parallel_map(&combos, threads, |_, &combo| {
+        fit_combo(platform, benchmark, &space, combo, &state)
     });
 
     let mut models = Vec::with_capacity(results.len());

@@ -104,6 +104,22 @@ impl DesignEvaluation {
         Ok(self.analysis.run_op(state, io_activity, op)?)
     }
 
+    /// Full analyses of many `(state, io_activity)` cases in one batch.
+    /// The mesh's matrix is factored once (at [`Platform::evaluate`]); the
+    /// cases fan across [`MeshOptions::threads`] workers and come back in
+    /// input order, bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input index) solver failure, if any.
+    pub fn run_batch(
+        &mut self,
+        cases: &[(MemoryState, f64)],
+        op: OpKind,
+    ) -> Result<Vec<IrDropReport>, CoreError> {
+        Ok(self.analysis.run_batch(cases, op)?)
+    }
+
     /// Maximum DRAM IR drop of one state — the headline metric.
     ///
     /// # Errors
@@ -120,6 +136,11 @@ impl DesignEvaluation {
     /// The Table 8 cost of the design.
     pub fn cost(&self) -> CostBreakdown {
         self.design.cost()
+    }
+
+    /// Access to the underlying analysis.
+    pub fn analysis(&self) -> &IrAnalysis {
+        &self.analysis
     }
 
     /// Access to the underlying analysis (for validation harnesses).

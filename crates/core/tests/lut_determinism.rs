@@ -1,0 +1,62 @@
+//! The Section 5.2 IR-drop LUT must not depend on how many worker threads
+//! built it: `build_ir_lut` solves its superposition basis through the
+//! batch API, and this test pins two contracts:
+//!
+//! 1. the table is *bit-identical* at 1 and 4 threads, and bit-identical
+//!    to a build whose basis is solved strictly sequentially through
+//!    single `PreparedSystem::solve` calls;
+//! 2. the superposed values agree with direct per-case solves to solver
+//!    tolerance (the superposition is a refactoring, not an approximation).
+
+use pi3d_core::{build_ir_lut, Platform, LUT_ACTIVITIES};
+use pi3d_layout::{Benchmark, DieState, MemoryState, StackDesign};
+use pi3d_mesh::MeshOptions;
+
+const MAX_BANKS: usize = 1;
+
+#[test]
+fn lut_is_bit_identical_across_thread_counts() {
+    let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+
+    let reference = {
+        let platform = Platform::new(MeshOptions::coarse());
+        let mut eval = platform.evaluate(&design).unwrap();
+        build_ir_lut(&mut eval, MAX_BANKS).unwrap()
+    };
+    assert_eq!(reference.state_count(), 15);
+
+    // Batch basis solves at several thread counts must reproduce the
+    // single-threaded table bit for bit (solve_batch itself is pinned
+    // against sequential PreparedSystem::solve calls in pi3d-solver).
+    for threads in [1, 4] {
+        let platform = Platform::new(MeshOptions {
+            threads,
+            ..MeshOptions::coarse()
+        });
+        let mut eval = platform.evaluate(&design).unwrap();
+        let lut = build_ir_lut(&mut eval, MAX_BANKS).unwrap();
+        assert_eq!(lut, reference, "threads {threads}");
+    }
+
+    // Superposition accuracy: every tabulated value matches a direct
+    // per-case solve to well within solver tolerance.
+    let platform = Platform::new(MeshOptions::coarse());
+    let mut eval = platform.evaluate(&design).unwrap();
+    for bits in 1u8..16 {
+        let counts: Vec<u8> = (0..4).map(|d| (bits >> d) & 1).collect();
+        let state = MemoryState::new(
+            counts
+                .iter()
+                .map(|&c| DieState::active(c as usize))
+                .collect(),
+        );
+        for &activity in &LUT_ACTIVITIES {
+            let direct = eval.run(&state, activity).unwrap().max_dram();
+            let tabulated = reference.lookup(&counts, activity).unwrap();
+            assert!(
+                (direct.value() - tabulated.value()).abs() < 1e-4,
+                "state {counts:?} activity {activity}: direct {direct} vs lut {tabulated}"
+            );
+        }
+    }
+}

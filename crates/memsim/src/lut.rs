@@ -24,7 +24,7 @@ use std::collections::HashMap;
 /// let ir = lut.lookup(&[0, 0, 0, 2], 0.75).unwrap();
 /// assert!((ir.value() - 28.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IrDropLut {
     dies: usize,
     // state key -> sorted (activity, max IR mV) samples

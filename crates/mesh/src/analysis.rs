@@ -3,6 +3,7 @@ use crate::grid::{GridId, GridKind, GridRegistry};
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::MemoryState;
 use pi3d_solver::SolverError;
+use std::sync::Arc;
 
 /// Per-grid IR-drop statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,8 +27,11 @@ pub struct IrDropReport {
     state: MemoryState,
     io_activity: f64,
     per_grid: Vec<GridIrStats>,
-    voltages: Vec<f64>,
-    registry: GridRegistry,
+    // Shared handles: reports reference the mesh's solution vector and
+    // registry instead of deep-copying them (a registry clone per report
+    // used to dominate small-mesh analysis time).
+    voltages: Arc<Vec<f64>>,
+    registry: Arc<GridRegistry>,
 }
 
 impl IrDropReport {
@@ -174,7 +178,36 @@ impl IrAnalysis {
         #[cfg(feature = "telemetry")]
         pi3d_telemetry::metrics::counter("mesh.ir_analyses").incr(1);
         let v = self.mesh.solve_op(state, io_activity, op)?;
-        let registry = self.mesh.registry().clone();
+        Ok(self.summarize(state, io_activity, v))
+    }
+
+    /// Solves many `(state, io_activity)` cases in one batch against the
+    /// mesh's already-factored matrix — see [`StackMesh::solve_batch_op`]
+    /// for the threading and determinism contract. Reports come back in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input index) solver failure, if any.
+    pub fn run_batch(
+        &mut self,
+        cases: &[(MemoryState, f64)],
+        op: pi3d_layout::OpKind,
+    ) -> Result<Vec<IrDropReport>, SolverError> {
+        #[cfg(feature = "telemetry")]
+        let _span = pi3d_telemetry::span::span("ir_analysis_batch");
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::counter("mesh.ir_analyses").incr(cases.len() as u64);
+        let solutions = self.mesh.solve_batch_op(cases, op)?;
+        Ok(cases
+            .iter()
+            .zip(solutions)
+            .map(|((state, io), v)| self.summarize(state, *io, v))
+            .collect())
+    }
+
+    fn summarize(&self, state: &MemoryState, io_activity: f64, v: Arc<Vec<f64>>) -> IrDropReport {
+        let registry = Arc::clone(self.mesh.registry_shared());
         let mut per_grid = Vec::new();
         for (_, grid) in registry.iter() {
             let mut max = f64::MIN;
@@ -197,13 +230,13 @@ impl IrAnalysis {
                 max_at,
             });
         }
-        Ok(IrDropReport {
+        IrDropReport {
             state: state.clone(),
             io_activity,
             per_grid,
             voltages: v,
             registry,
-        })
+        }
     }
 }
 

@@ -41,7 +41,8 @@ use pi3d_layout::{
     bump_grid, BondingStyle, MemoryState, PowerMap, PowerNet, StackDesign, TsvConfig, TsvPlacement,
     C4_PITCH_MM,
 };
-use pi3d_solver::{CgSolver, CooBuilder, CsrMatrix, Preconditioner, SolverError};
+use pi3d_solver::{CgSolver, CooBuilder, CsrMatrix, Preconditioner, PreparedSystem, SolverError};
+use std::sync::Arc;
 
 /// Fraction of the preferred-direction strap conductance available in the
 /// orthogonal direction (stitching straps).
@@ -135,6 +136,11 @@ pub struct MeshOptions {
     /// configurable power-TSV placement. They carry the I/O supply current
     /// drawn by the pad drivers. Set to 0 for ablation studies.
     pub pad_row_tsvs: usize,
+    /// Worker threads for batch solves ([`StackMesh::solve_batch`]) and
+    /// the chunked-parallel SpMV on large meshes. `1` (the default) keeps
+    /// every solve on the calling thread; results are bit-identical for
+    /// every value (see [`pi3d_solver::PreparedSystem`]).
+    pub threads: usize,
 }
 
 impl Default for MeshOptions {
@@ -149,6 +155,7 @@ impl Default for MeshOptions {
             rdl_entry: TsvPlacement::Center,
             net: PowerNet::Vdd,
             pad_row_tsvs: 10,
+            threads: 1,
         }
     }
 }
@@ -177,16 +184,74 @@ impl MeshOptions {
     }
 }
 
+/// Bounded cache of previous solutions keyed by the per-die active-bank
+/// signature of the solved memory state. Sequential sweeps (the optimizer,
+/// the memory simulator) revisit similar states; warm-starting CG from the
+/// *nearest* previously-solved state typically halves the iteration count,
+/// and keeping several candidates beats a single last-solution slot when
+/// the sweep alternates between distant states.
+#[derive(Debug, Default)]
+struct WarmStartCache {
+    entries: Vec<(Vec<u8>, Arc<Vec<f64>>)>,
+}
+
+/// Warm-start cache capacity; oldest entry is evicted first.
+const WARM_CACHE_CAP: usize = 16;
+
+impl WarmStartCache {
+    fn key(state: &MemoryState) -> Vec<u8> {
+        state
+            .dies()
+            .map(|d| d.active_banks.min(u8::MAX as usize) as u8)
+            .collect()
+    }
+
+    /// The cached solution whose state signature has the smallest L1
+    /// distance to `key`. Ties resolve to the earliest-inserted entry, so
+    /// the lookup is deterministic.
+    fn nearest(&self, key: &[u8]) -> Option<&Arc<Vec<f64>>> {
+        self.entries
+            .iter()
+            .min_by_key(|(k, _)| {
+                k.iter()
+                    .zip(key)
+                    .map(|(&a, &b)| u32::from(a.abs_diff(b)))
+                    .sum::<u32>()
+            })
+            .map(|(_, v)| v)
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: Arc<Vec<f64>>) {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = value,
+            None => {
+                if self.entries.len() >= WARM_CACHE_CAP {
+                    self.entries.remove(0);
+                }
+                self.entries.push((key, value));
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// The assembled R-Mesh of a full 3D DRAM stack: conductance matrix plus
 /// the geometric registry needed to place loads and read back IR drops.
+///
+/// The conductance matrix never changes after assembly, so the mesh holds
+/// it inside a [`PreparedSystem`]: the CG preconditioner is factored once
+/// here and reused by every subsequent solve (sequential or batch).
 #[derive(Debug)]
 pub struct StackMesh {
     design: StackDesign,
     options: MeshOptions,
-    registry: GridRegistry,
-    matrix: CsrMatrix,
-    solver: CgSolver,
-    warm_start: Option<Vec<f64>>,
+    registry: Arc<GridRegistry>,
+    prepared: PreparedSystem,
+    warm_cache: WarmStartCache,
     elements: Vec<Element>,
     /// Per-grid effective edge conductances `(g_x, g_y)`, summed over
     /// stamped sheets (index = grid id).
@@ -238,13 +303,22 @@ impl StackMesh {
                 "mesh built: {nodes} nodes, {edges} edges, {layers} layers, {nnz} nnz"
             );
         }
+        let prepared = {
+            #[cfg(feature = "telemetry")]
+            let _factor_span = pi3d_telemetry::span::span("mesh_factor");
+            PreparedSystem::with_solver(
+                matrix,
+                options.preconditioner,
+                CgSolver::new().with_tolerance(options.tolerance),
+            )?
+            .with_threads(options.threads)
+        };
         Ok(StackMesh {
             design: design.clone(),
             options: options.clone(),
-            registry: builder.registry,
-            matrix,
-            solver: CgSolver::new().with_tolerance(options.tolerance),
-            warm_start: None,
+            registry: Arc::new(builder.registry),
+            prepared,
+            warm_cache: WarmStartCache::default(),
             elements: builder.elements,
             sheet_conductances: builder.sheets,
         })
@@ -276,9 +350,21 @@ impl StackMesh {
         &self.registry
     }
 
+    /// The grid registry behind its shared handle, for reports that need
+    /// to keep the geometry alive without deep-copying it.
+    pub fn registry_shared(&self) -> &Arc<GridRegistry> {
+        &self.registry
+    }
+
     /// The assembled nodal conductance matrix.
     pub fn matrix(&self) -> &CsrMatrix {
-        &self.matrix
+        self.prepared.matrix()
+    }
+
+    /// The factored solve handle (matrix + preconditioner built once at
+    /// assembly).
+    pub fn prepared(&self) -> &PreparedSystem {
+        &self.prepared
     }
 
     /// Total node count.
@@ -368,7 +454,8 @@ impl StackMesh {
     }
 
     /// Solves the mesh for a memory state, returning the per-node IR drop
-    /// in volts. Reuses the previous solution as a warm start.
+    /// in volts. The preconditioner was factored at assembly; CG warm-starts
+    /// from the cached solution of the *nearest* previously-solved state.
     ///
     /// # Errors
     ///
@@ -378,7 +465,7 @@ impl StackMesh {
         &mut self,
         state: &MemoryState,
         io_activity: f64,
-    ) -> Result<Vec<f64>, SolverError> {
+    ) -> Result<Arc<Vec<f64>>, SolverError> {
         self.solve_op(state, io_activity, pi3d_layout::OpKind::Read)
     }
 
@@ -392,18 +479,68 @@ impl StackMesh {
         state: &MemoryState,
         io_activity: f64,
         op: pi3d_layout::OpKind,
-    ) -> Result<Vec<f64>, SolverError> {
+    ) -> Result<Arc<Vec<f64>>, SolverError> {
         #[cfg(feature = "telemetry")]
         let _solve_span = pi3d_telemetry::span::span("mesh_solve");
         let loads = self.load_vector_op(state, io_activity, op);
-        let solution = self.solver.solve_with_guess(
-            &self.matrix,
-            &loads,
-            self.warm_start.as_deref(),
-            self.options.preconditioner,
-        )?;
-        self.warm_start = Some(solution.x.clone());
-        Ok(solution.x)
+        let key = WarmStartCache::key(state);
+        let guess = self.warm_cache.nearest(&key).map(Arc::clone);
+        #[cfg(feature = "telemetry")]
+        if guess.is_some() {
+            pi3d_telemetry::metrics::counter("mesh.warm_cache.hits").incr(1);
+        }
+        let solution = self
+            .prepared
+            .solve(&loads, guess.as_ref().map(|g| g.as_slice()))?;
+        let x = Arc::new(solution.x);
+        self.warm_cache.insert(key, Arc::clone(&x));
+        Ok(x)
+    }
+
+    /// Solves many `(state, io_activity)` cases against the already-factored
+    /// matrix, fanning them across [`MeshOptions::threads`] workers.
+    /// Results come back in input order and are bit-identical for every
+    /// thread count; batch solves run cold (no warm starts) and do not
+    /// touch the warm-start cache, precisely so the output cannot depend on
+    /// what was solved before.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input index) solver failure, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state's die count differs from the design's.
+    pub fn solve_batch(
+        &self,
+        cases: &[(MemoryState, f64)],
+    ) -> Result<Vec<Arc<Vec<f64>>>, SolverError> {
+        self.solve_batch_op(cases, pi3d_layout::OpKind::Read)
+    }
+
+    /// As [`solve_batch`](Self::solve_batch), for an explicit operation
+    /// kind.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_batch`](Self::solve_batch).
+    ///
+    /// # Panics
+    ///
+    /// As for [`solve_batch`](Self::solve_batch).
+    pub fn solve_batch_op(
+        &self,
+        cases: &[(MemoryState, f64)],
+        op: pi3d_layout::OpKind,
+    ) -> Result<Vec<Arc<Vec<f64>>>, SolverError> {
+        #[cfg(feature = "telemetry")]
+        let _span = pi3d_telemetry::span::span("mesh_solve_batch");
+        let loads: Vec<Vec<f64>> = cases
+            .iter()
+            .map(|(state, io)| self.load_vector_op(state, *io, op))
+            .collect();
+        let solutions = self.prepared.solve_batch(&loads)?;
+        Ok(solutions.into_iter().map(|s| Arc::new(s.x)).collect())
     }
 }
 
@@ -1133,12 +1270,61 @@ mod tests {
     }
 
     #[test]
-    fn warm_start_is_reused() {
+    fn warm_start_cache_is_populated_and_reused() {
         let d = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
         let mut m = mesh(&d);
         let state: MemoryState = "0-0-0-2".parse().unwrap();
         let _ = m.solve(&state, 1.0).unwrap();
-        assert!(m.warm_start.is_some());
+        assert_eq!(m.warm_cache.len(), 1);
+        // Same state: re-solving replaces the entry rather than growing.
         let _ = m.solve(&state, 0.5).unwrap();
+        assert_eq!(m.warm_cache.len(), 1);
+        // A different state adds a second entry; the nearest lookup picks
+        // the closest signature.
+        let other: MemoryState = "2-0-0-0".parse().unwrap();
+        let _ = m.solve(&other, 1.0).unwrap();
+        assert_eq!(m.warm_cache.len(), 2);
+        let near = m.warm_cache.nearest(&[2, 0, 0, 1]).unwrap();
+        let direct = m.warm_cache.nearest(&WarmStartCache::key(&other)).unwrap();
+        assert!(Arc::ptr_eq(near, direct));
+    }
+
+    #[test]
+    fn solve_batch_matches_sequential_solves_bitwise() {
+        let d = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let cases: Vec<(MemoryState, f64)> = [
+            ("0-0-0-2", 1.0),
+            ("1-0-0-0", 0.5),
+            ("2-2-2-2", 0.25),
+            ("0-1-0-1", 1.0),
+        ]
+        .into_iter()
+        .map(|(s, a)| (s.parse().unwrap(), a))
+        .collect();
+
+        // Sequential reference on a cold mesh per case (no warm starts).
+        let reference: Vec<Vec<f64>> = cases
+            .iter()
+            .map(|(state, io)| {
+                let m = mesh(&d);
+                let loads = m.load_vector(state, *io);
+                m.prepared().solve(&loads, None).unwrap().x
+            })
+            .collect();
+
+        for threads in [1, 4] {
+            let m = StackMesh::new(
+                &d,
+                MeshOptions {
+                    threads,
+                    ..MeshOptions::coarse()
+                },
+            )
+            .unwrap();
+            let batch = m.solve_batch(&cases).unwrap();
+            for (i, v) in batch.iter().enumerate() {
+                assert_eq!(**v, reference[i], "threads {threads}, case {i}");
+            }
+        }
     }
 }

@@ -173,7 +173,7 @@ mod tests {
         let state: MemoryState = "0-0-0-2".parse().unwrap();
         let drops = mesh.solve(&state, 1.0).expect("solves");
         let injected: f64 = mesh.load_vector(&state, 1.0).iter().sum();
-        (mesh, drops, injected)
+        (mesh, drops.to_vec(), injected)
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::build::{ElementKind, MeshOptions, StackMesh};
 use pi3d_layout::{MemoryState, StackDesign};
-use pi3d_solver::{CgSolver, CooBuilder, CsrMatrix, SolverError};
+use pi3d_solver::{CgSolver, CooBuilder, CsrMatrix, PreparedSystem, SolverError};
 
 /// Decoupling-capacitance configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,7 +188,13 @@ pub fn run_transient(
     let dc = mesh.solve(state, 1.0)?;
     let dc_mv = max_dram_drop(&mesh, &dc) * 1e3;
 
-    let solver = CgSolver::new().with_tolerance(1e-8);
+    // Factor the augmented matrix once; every backward-Euler step reuses
+    // the preconditioner instead of rebuilding it per step.
+    let stepper = PreparedSystem::with_solver(
+        augmented,
+        mesh.options().preconditioner,
+        CgSolver::new().with_tolerance(1e-8),
+    )?;
     let mut v = vec![0.0f64; n];
     let mut rhs = vec![0.0f64; n];
     let mut max_drop_mv = Vec::with_capacity(options.steps);
@@ -205,8 +211,7 @@ pub fn run_transient(
         for i in 0..n {
             rhs[i] = loads[i] + cap[i] / dt * v[i];
         }
-        let solution =
-            solver.solve_with_guess(&augmented, &rhs, Some(&v), mesh.options().preconditioner)?;
+        let solution = stepper.solve(&rhs, Some(&v))?;
         v = solution.x;
         let drop = max_dram_drop(&mesh, &v);
         peak = peak.max(drop);

@@ -145,6 +145,37 @@ impl CgSolver {
         guess: Option<&[f64]>,
         preconditioner: Preconditioner,
     ) -> Result<CgSolution, SolverError> {
+        let m = {
+            #[cfg(feature = "telemetry")]
+            let _precond_span = pi3d_telemetry::span::span("precond_setup");
+            AppliedPreconditioner::build(preconditioner, a)?
+        };
+        self.solve_prepared(a, b, guess, &m, 1)
+    }
+
+    /// Solves `A·x = b` with an already-built preconditioner, using up to
+    /// `threads` worker threads for the SpMV when the matrix is large
+    /// enough (see [`CsrMatrix::mul_vec_into_threaded`]).
+    ///
+    /// This is the factor-once/solve-many entry point shared by
+    /// [`solve_with_guess`](Self::solve_with_guess) (which builds `m`
+    /// per call) and [`PreparedSystem`](crate::PreparedSystem) (which
+    /// builds it once per matrix): the CG iteration itself is identical,
+    /// so the two paths produce bit-identical solutions.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_with_guess`](Self::solve_with_guess). The caller is
+    /// responsible for `m` matching `a`; a mismatched preconditioner
+    /// panics on dimension asserts or fails to converge.
+    pub fn solve_prepared(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        guess: Option<&[f64]>,
+        m: &AppliedPreconditioner,
+        threads: usize,
+    ) -> Result<CgSolution, SolverError> {
         let n = a.dim();
         if b.len() != n {
             return Err(SolverError::DimensionMismatch {
@@ -174,16 +205,10 @@ impl CgSolver {
             });
         }
 
-        let m = {
-            #[cfg(feature = "telemetry")]
-            let _precond_span = pi3d_telemetry::span::span("precond_setup");
-            AppliedPreconditioner::build(preconditioner, a)?
-        };
-
         let mut x = guess.map(<[f64]>::to_vec).unwrap_or_else(|| vec![0.0; n]);
         // r = b - A·x
         let mut r = vec![0.0; n];
-        a.mul_vec_into(&x, &mut r);
+        a.mul_vec_into_threaded(&x, &mut r, threads);
         for i in 0..n {
             r[i] = b[i] - r[i];
         }
@@ -193,8 +218,11 @@ impl CgSolver {
         let mut rz = vecops::dot(&r, &z);
         let mut ap = vec![0.0; n];
 
+        // Pre-sized to a typical preconditioned iteration count so the
+        // per-iteration push below does not reallocate on the hot path.
         #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
-        let mut residual_trace: Vec<f64> = Vec::new();
+        let mut residual_trace: Vec<f64> =
+            Vec::with_capacity(if cfg!(feature = "telemetry") { 128 } else { 0 });
 
         let mut relres = vecops::norm2(&r) / norm_b;
         if relres <= self.tolerance {
@@ -215,7 +243,7 @@ impl CgSolver {
         let _iter_span = pi3d_telemetry::span::span("cg_iterations");
 
         for iter in 1..=self.max_iterations {
-            a.mul_vec_into(&p, &mut ap);
+            a.mul_vec_into_threaded(&p, &mut ap, threads);
             let pap = vecops::dot(&p, &ap);
             if pap <= 0.0 || !pap.is_finite() {
                 return Err(SolverError::NotPositiveDefinite {

@@ -50,11 +50,22 @@ mod cg;
 mod csr;
 mod dense;
 mod error;
+mod parallel;
 mod precond;
+mod prepared;
 pub mod vecops;
 
 pub use cg::{CgSolution, CgSolver};
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::{CholeskyFactor, DenseMatrix};
 pub use error::SolverError;
-pub use precond::{IncompleteCholesky, JacobiScaling, Preconditioner};
+pub use parallel::parallel_map;
+pub use precond::{AppliedPreconditioner, IncompleteCholesky, JacobiScaling, Preconditioner};
+pub use prepared::PreparedSystem;
+
+/// Minimum matrix dimension for the chunked-parallel SpMV path of
+/// [`CsrMatrix::mul_vec_into_threaded`]. Below this, per-call thread-spawn
+/// overhead (tens of microseconds per scoped worker) exceeds the O(nnz)
+/// multiply itself — a default-resolution stack mesh is ~10k nodes with
+/// ~7 entries per row — so small systems always take the sequential path.
+pub const PARALLEL_SPMV_MIN_DIM: usize = 16_384;

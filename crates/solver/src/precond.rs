@@ -19,9 +19,19 @@ pub enum Preconditioner {
 }
 
 /// A concrete, applied preconditioner `M ≈ A` supporting `z = M⁻¹·r`.
-pub(crate) enum AppliedPreconditioner {
+///
+/// Building one (in particular the IC(0) factorization) is the expensive,
+/// matrix-dependent part of a preconditioned CG solve. An
+/// `AppliedPreconditioner` is immutable and `Sync` once built, so it can be
+/// constructed once per matrix and shared across many solves and threads —
+/// the factor-once/solve-many pattern exposed by
+/// [`PreparedSystem`](crate::PreparedSystem).
+pub enum AppliedPreconditioner {
+    /// No preconditioning.
     Identity,
+    /// Diagonal (Jacobi) scaling.
     Jacobi(JacobiScaling),
+    /// Zero fill-in incomplete Cholesky factors.
     Ic0(IncompleteCholesky),
 }
 
@@ -36,7 +46,13 @@ impl std::fmt::Debug for AppliedPreconditioner {
 }
 
 impl AppliedPreconditioner {
-    pub(crate) fn build(kind: Preconditioner, a: &CsrMatrix) -> Result<Self, SolverError> {
+    /// Builds the concrete preconditioner of `kind` for the matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NotPositiveDefinite`] if the diagonal scaling
+    /// or IC(0) factorization breaks down.
+    pub fn build(kind: Preconditioner, a: &CsrMatrix) -> Result<Self, SolverError> {
         #[cfg(feature = "telemetry")]
         {
             pi3d_telemetry::metrics::counter("solver.precond.builds").incr(1);
@@ -52,7 +68,12 @@ impl AppliedPreconditioner {
     }
 
     /// Applies `z = M⁻¹·r`.
-    pub(crate) fn apply(&self, r: &[f64], z: &mut [f64]) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `z` length differs from the matrix dimension the
+    /// preconditioner was built for.
+    pub fn apply(&self, r: &[f64], z: &mut [f64]) {
         match self {
             AppliedPreconditioner::Identity => z.copy_from_slice(r),
             AppliedPreconditioner::Jacobi(j) => j.apply(r, z),

@@ -1,0 +1,316 @@
+//! Factor-once / solve-many: [`PreparedSystem`] bundles a CSR matrix with
+//! its already-built preconditioner so that sweep workloads (IR-drop LUTs,
+//! design-space characterization) pay the factorization cost once and then
+//! fan independent right-hand sides across a scoped worker pool.
+
+use crate::parallel::parallel_map;
+use crate::precond::AppliedPreconditioner;
+use crate::{CgSolution, CgSolver, CsrMatrix, Preconditioner, SolverError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An immutable, `Sync` solve handle: a CSR matrix, its preconditioner
+/// (built exactly once, at construction), and the CG configuration.
+///
+/// The production workloads of this workspace — the Section 5.2 IR-drop
+/// lookup table and the Section 6.1 design-space sweep — are hundreds of
+/// solves of the *same* conductance matrix under different load vectors.
+/// [`CgSolver::solve_with_guess`] rebuilds the preconditioner (including
+/// the IC(0) factorization) on every call; a `PreparedSystem` hoists that
+/// work to construction so each subsequent [`solve`](Self::solve) runs the
+/// bare CG iteration, and [`solve_batch`](Self::solve_batch) runs many
+/// right-hand sides concurrently with deterministic, input-ordered results.
+///
+/// # Determinism
+///
+/// Batch solves take no warm start and share one immutable matrix and
+/// preconditioner, so every solve is independent of batch order and thread
+/// count: `solve_batch` returns bit-identical solutions for any `threads`,
+/// and each equals the corresponding sequential
+/// [`solve`](Self::solve)`(rhs, None)`.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_solver::{CooBuilder, PreparedSystem, Preconditioner};
+///
+/// # fn main() -> Result<(), pi3d_solver::SolverError> {
+/// let mut b = CooBuilder::new(3);
+/// for i in 0..3 {
+///     b.stamp_to_ground(i, 1.0);
+/// }
+/// b.stamp_conductance(0, 1, 1.0);
+/// b.stamp_conductance(1, 2, 1.0);
+/// let system = PreparedSystem::new(b.into_csr()?, Preconditioner::IncompleteCholesky)?;
+/// let batch = vec![vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0]];
+/// let solutions = system.solve_batch(&batch)?;
+/// assert_eq!(solutions.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PreparedSystem {
+    matrix: CsrMatrix,
+    kind: Preconditioner,
+    applied: AppliedPreconditioner,
+    solver: CgSolver,
+    threads: usize,
+    solves: AtomicU64,
+}
+
+impl PreparedSystem {
+    /// Builds the preconditioner for `matrix` once and wraps both with the
+    /// default [`CgSolver`] configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NotPositiveDefinite`] if the preconditioner
+    /// construction breaks down.
+    pub fn new(matrix: CsrMatrix, preconditioner: Preconditioner) -> Result<Self, SolverError> {
+        Self::with_solver(matrix, preconditioner, CgSolver::new())
+    }
+
+    /// As [`new`](Self::new), with an explicit solver configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn with_solver(
+        matrix: CsrMatrix,
+        preconditioner: Preconditioner,
+        solver: CgSolver,
+    ) -> Result<Self, SolverError> {
+        let applied = {
+            #[cfg(feature = "telemetry")]
+            let _span = pi3d_telemetry::span::span("precond_setup");
+            AppliedPreconditioner::build(preconditioner, &matrix)?
+        };
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::counter("solver.prepared.builds").incr(1);
+        Ok(PreparedSystem {
+            matrix,
+            kind: preconditioner,
+            applied,
+            solver,
+            threads: 1,
+            solves: AtomicU64::new(0),
+        })
+    }
+
+    /// Sets the worker-thread budget used by [`solve_batch`](Self::solve_batch)
+    /// and by the chunked-parallel SpMV inside single solves. `0` is
+    /// treated as `1`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
+    /// The preconditioner kind built at construction.
+    pub fn preconditioner(&self) -> Preconditioner {
+        self.kind
+    }
+
+    /// The solver configuration.
+    pub fn solver(&self) -> &CgSolver {
+        &self.solver
+    }
+
+    /// Configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of solves performed through this handle so far.
+    pub fn solve_count(&self) -> u64 {
+        self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Solves `A·x = rhs` reusing the preconditioner built at
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CgSolver::solve_with_guess`].
+    pub fn solve(&self, rhs: &[f64], guess: Option<&[f64]>) -> Result<CgSolution, SolverError> {
+        self.record_solve(1);
+        self.solver
+            .solve_prepared(&self.matrix, rhs, guess, &self.applied, self.threads)
+    }
+
+    /// Solves one independent right-hand side per entry of `rhs_batch`,
+    /// fanning the solves across up to [`threads`](Self::threads) scoped
+    /// worker threads. Results are returned in input order; no warm starts
+    /// are used, so the output is bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input index) solve error, if any.
+    pub fn solve_batch(&self, rhs_batch: &[Vec<f64>]) -> Result<Vec<CgSolution>, SolverError> {
+        #[cfg(feature = "telemetry")]
+        {
+            let _span = pi3d_telemetry::span::span("solve_batch");
+            pi3d_telemetry::metrics::counter("solver.prepared.batches").incr(1);
+            pi3d_telemetry::metrics::histogram("solver.prepared.batch_size")
+                .record(rhs_batch.len() as u64);
+        }
+        self.record_solve(rhs_batch.len() as u64);
+        // SpMV-level threading is disabled inside batch members: the pool is
+        // already saturated at the RHS level, and nested scoped pools would
+        // oversubscribe.
+        let results = parallel_map(rhs_batch, self.threads, |_, rhs| {
+            self.solver
+                .solve_prepared(&self.matrix, rhs, None, &self.applied, 1)
+        });
+        results.into_iter().collect()
+    }
+
+    /// Releases the handle, returning the wrapped matrix.
+    pub fn into_matrix(self) -> CsrMatrix {
+        self.matrix
+    }
+
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+    fn record_solve(&self, count: u64) {
+        let before = self.solves.fetch_add(count, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        {
+            use pi3d_telemetry::metrics;
+            metrics::counter("solver.prepared.solves").incr(count);
+            // Every solve after the first on this handle would have paid a
+            // preconditioner build under the per-call API.
+            let avoided = if before == 0 {
+                count.saturating_sub(1)
+            } else {
+                count
+            };
+            if avoided > 0 {
+                metrics::counter("solver.prepared.factorizations_avoided").incr(avoided);
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = before;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooBuilder;
+
+    fn grid_2d(nx: usize, ny: usize, ground_g: f64) -> CsrMatrix {
+        let idx = |x: usize, y: usize| y * nx + x;
+        let mut b = CooBuilder::new(nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                b.stamp_to_ground(idx(x, y), ground_g);
+                if x + 1 < nx {
+                    b.stamp_conductance(idx(x, y), idx(x + 1, y), 1.0);
+                }
+                if y + 1 < ny {
+                    b.stamp_conductance(idx(x, y), idx(x, y + 1), 1.0);
+                }
+            }
+        }
+        b.into_csr().unwrap()
+    }
+
+    fn loads(n: usize, seed: u64) -> Vec<f64> {
+        // Cheap deterministic pseudo-random loads.
+        let mut v = Vec::with_capacity(n);
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for _ in 0..n {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            v.push(1e-3 * ((s >> 33) as f64 / (1u64 << 31) as f64));
+        }
+        v
+    }
+
+    #[test]
+    fn prepared_solve_matches_per_call_solver_bitwise() {
+        let a = grid_2d(12, 12, 0.05);
+        let b = loads(144, 7);
+        for pc in [
+            Preconditioner::Identity,
+            Preconditioner::Jacobi,
+            Preconditioner::IncompleteCholesky,
+        ] {
+            let per_call = CgSolver::new().solve(&a, &b, pc).unwrap();
+            let prepared = PreparedSystem::new(a.clone(), pc).unwrap();
+            let reused = prepared.solve(&b, None).unwrap();
+            assert_eq!(per_call.x, reused.x, "{pc:?}");
+            assert_eq!(per_call.iterations, reused.iterations, "{pc:?}");
+        }
+    }
+
+    #[test]
+    fn solve_batch_is_deterministic_across_thread_counts() {
+        let a = grid_2d(10, 10, 0.02);
+        let batch: Vec<Vec<f64>> = (0..9).map(|i| loads(100, i)).collect();
+        let system = PreparedSystem::new(a, Preconditioner::IncompleteCholesky).unwrap();
+
+        let sequential: Vec<Vec<f64>> = batch
+            .iter()
+            .map(|rhs| system.solve(rhs, None).unwrap().x)
+            .collect();
+        for threads in [1, 4] {
+            let system =
+                PreparedSystem::new(system.matrix().clone(), Preconditioner::IncompleteCholesky)
+                    .unwrap()
+                    .with_threads(threads);
+            let solutions = system.solve_batch(&batch).unwrap();
+            for (i, sol) in solutions.iter().enumerate() {
+                assert_eq!(sol.x, sequential[i], "threads {threads}, rhs {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_batch_reports_first_error_by_index() {
+        let a = grid_2d(4, 4, 0.1);
+        let system = PreparedSystem::new(a, Preconditioner::Jacobi).unwrap();
+        let batch = vec![vec![1.0; 16], vec![1.0; 3], vec![2.0; 16]];
+        let err = system.solve_batch(&batch).unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::DimensionMismatch {
+                expected: 16,
+                found: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn solve_count_tracks_all_paths() {
+        let a = grid_2d(4, 4, 0.1);
+        let system = PreparedSystem::new(a, Preconditioner::Jacobi).unwrap();
+        assert_eq!(system.solve_count(), 0);
+        let _ = system.solve(&vec![1.0; 16], None).unwrap();
+        let _ = system.solve_batch(&[vec![1.0; 16], vec![0.5; 16]]).unwrap();
+        assert_eq!(system.solve_count(), 3);
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let a = grid_2d(4, 4, 0.1);
+        let system = PreparedSystem::with_solver(
+            a,
+            Preconditioner::IncompleteCholesky,
+            CgSolver::new().with_tolerance(1e-8),
+        )
+        .unwrap()
+        .with_threads(0);
+        assert_eq!(system.threads(), 1);
+        assert_eq!(system.preconditioner(), Preconditioner::IncompleteCholesky);
+        assert_eq!(system.solver().tolerance(), 1e-8);
+        assert_eq!(system.matrix().dim(), 16);
+        let m = system.into_matrix();
+        assert_eq!(m.dim(), 16);
+    }
+}

@@ -90,9 +90,17 @@ fn run_report_json_matches_the_documented_schema() {
         .map(|p| p.get("path").unwrap().as_str().unwrap())
         .collect();
     assert!(paths.contains(&"mesh_build"), "paths: {paths:?}");
+    // Factor-once: the preconditioner is built during mesh assembly, not
+    // inside the per-solve CG path (DESIGN.md "Factor-once / solve-many").
     assert!(
-        paths.iter().any(|p| p.ends_with("cg_solve/precond_setup")),
+        paths
+            .iter()
+            .any(|p| p.ends_with("mesh_factor/precond_setup")),
         "span nesting lost: {paths:?}"
+    );
+    assert!(
+        !paths.iter().any(|p| p.contains("cg_solve/precond_setup")),
+        "preconditioner rebuilt inside the solve path: {paths:?}"
     );
     assert!(paths.contains(&"memsim_run"), "paths: {paths:?}");
 
