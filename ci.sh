@@ -47,4 +47,10 @@ else
     echo "run report OK (grep check)"
 fi
 
+echo "==> memsim smoke run (--policy all fan-out)"
+# Event-loop/reference bit-equivalence is pinned by the workspace tests
+# above; this exercises the CLI fan-out path end to end.
+./target/release/pi3d simulate "$cfg" --policy all --reads 2000 \
+    --threads 2 --grid 10
+
 echo "==> ci.sh passed"

@@ -201,7 +201,13 @@ fn main() {
     });
     section("policies-x", &mut || {
         let reads = if quick { 2_000 } else { 5_000 };
-        experiments::policy_cross::run(&MeshOptions::coarse(), reads)
+        // Coarse mesh regardless of --quick, but honor --threads so the
+        // per-benchmark policy fan-out uses the requested worker count.
+        let o = MeshOptions {
+            threads,
+            ..MeshOptions::coarse()
+        };
+        experiments::policy_cross::run(&o, reads)
             .map(|r| r.to_string())
             .map_err(|e| e.to_string())
     });

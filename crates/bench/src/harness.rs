@@ -15,6 +15,49 @@ const DEFAULT_SAMPLE_SIZE: usize = 20;
 const WARMUP: Duration = Duration::from_millis(200);
 const MIN_SAMPLE: Duration = Duration::from_millis(1);
 
+/// Timing aggregate over repeated runs of one routine, for benches that
+/// need the numbers themselves (speedup ratios, persisted JSON artifacts)
+/// rather than just the printed report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Fastest sample, seconds.
+    pub min_s: f64,
+    /// Median sample, seconds.
+    pub median_s: f64,
+    /// Mean sample, seconds.
+    pub mean_s: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
+impl SampleStats {
+    fn from_samples(mut samples: Vec<f64>) -> SampleStats {
+        assert!(!samples.is_empty(), "need at least one sample");
+        samples.sort_by(|a, b| a.total_cmp(b));
+        SampleStats {
+            min_s: samples[0],
+            median_s: samples[samples.len() / 2],
+            mean_s: samples.iter().sum::<f64>() / samples.len() as f64,
+            samples: samples.len(),
+        }
+    }
+}
+
+/// Times `routine` `samples` times — one call per sample, no warmup or
+/// calibration, so it suits long routines where a single call already
+/// dwarfs the timer resolution — and returns the aggregate. Callers that
+/// want warmup should run the routine once beforehand.
+pub fn bench_stats<R>(samples: usize, mut routine: impl FnMut() -> R) -> SampleStats {
+    let samples = samples.max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(routine());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    SampleStats::from_samples(times)
+}
+
 /// Criterion-like batching hint; the hand-rolled harness times each
 /// routine call individually regardless, so the variants only document
 /// intent.
@@ -148,16 +191,13 @@ impl Bencher {
             println!("  {group}/{id}: no samples (closure never called iter)");
             return;
         }
-        self.samples.sort_by(|a, b| a.total_cmp(b));
-        let min = self.samples[0];
-        let median = self.samples[self.samples.len() / 2];
-        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let stats = SampleStats::from_samples(std::mem::take(&mut self.samples));
         println!(
             "  {group}/{id}: min {}  median {}  mean {}  ({} samples x {} iters)",
-            fmt_time(min),
-            fmt_time(median),
-            fmt_time(mean),
-            self.samples.len(),
+            fmt_time(stats.min_s),
+            fmt_time(stats.median_s),
+            fmt_time(stats.mean_s),
+            stats.samples,
             self.iters_per_sample,
         );
     }
@@ -203,6 +243,15 @@ mod tests {
             );
         });
         group.finish();
+    }
+
+    #[test]
+    fn bench_stats_aggregates_ordered_samples() {
+        let stats = bench_stats(5, || std::thread::sleep(Duration::from_micros(200)));
+        assert_eq!(stats.samples, 5);
+        assert!(stats.min_s > 0.0);
+        assert!(stats.min_s <= stats.median_s);
+        assert!(stats.min_s <= stats.mean_s);
     }
 
     #[test]

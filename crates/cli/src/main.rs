@@ -5,8 +5,9 @@
 //! pi3d analyze  <design.cfg> [--state 0-0-0-2] [--activity 1.0] [--both-nets] [--grid N]
 //! pi3d currents <design.cfg> [--state 0-0-0-2] [--activity 1.0]
 //! pi3d lut      <design.cfg> --out lut.txt
-//! pi3d simulate <design.cfg> [--policy standard|fcfs|distr] [--constraint 24]
+//! pi3d simulate <design.cfg> [--policy standard|fcfs|distr|all] [--constraint 24]
 //!                            [--reads 10000] [--lut lut.txt] [--trace trace.txt]
+//!                            [--threads N] [--grid N]
 //! pi3d optimize <benchmark>  [--alpha 0.3] [--threads N]
 //! pi3d export   <design.cfg> [--svg out.svg] [--spice out.sp] [--state 0-0-0-2]
 //! ```
@@ -28,6 +29,7 @@ use pi3d_mesh::{
     decompose_ir, export_spice, run_transient, CurrentReport, MeshOptions, StackMesh,
     SupplyNoiseAnalysis, TransientOptions,
 };
+use pi3d_telemetry::par::parallel_map;
 use std::fs;
 use std::process::ExitCode;
 
@@ -140,8 +142,8 @@ fn print_usage() {
          pi3d currents <design.cfg> [--state S] [--activity A]\n  \
          pi3d lut      <design.cfg> --out FILE [--grid N] [--threads N]\n  \
          pi3d transient <design.cfg> [--state S] [--steps N]\n  \
-         pi3d simulate <design.cfg> [--policy standard|fcfs|distr] [--constraint MV]\n  \
-                       [--reads N] [--lut FILE] [--trace FILE]\n  \
+         pi3d simulate <design.cfg> [--policy standard|fcfs|distr|all] [--constraint MV]\n  \
+                       [--reads N] [--lut FILE] [--trace FILE] [--grid N]\n  \
          pi3d optimize <benchmark>  [--alpha A] [--threads N]\n  \
          pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n\
          global flags: [--threads N] [--log-level off|error|warn|info|debug|trace]\n\
@@ -327,14 +329,20 @@ fn lut_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let design = load_design(args)?;
+    let options = mesh_options(args)?;
     let constraint = MilliVolts(match args.flag("constraint") {
         Some(c) => c.parse()?,
         None => 24.0,
     });
-    let policy = match args.flag("policy").unwrap_or("distr") {
-        "standard" => ReadPolicy::standard(),
-        "fcfs" => ReadPolicy::ir_aware_fcfs(constraint),
-        "distr" => ReadPolicy::ir_aware_distr(constraint),
+    let policies: Vec<ReadPolicy> = match args.flag("policy").unwrap_or("distr") {
+        "standard" => vec![ReadPolicy::standard()],
+        "fcfs" => vec![ReadPolicy::ir_aware_fcfs(constraint)],
+        "distr" => vec![ReadPolicy::ir_aware_distr(constraint)],
+        "all" => vec![
+            ReadPolicy::standard(),
+            ReadPolicy::ir_aware_fcfs(constraint),
+            ReadPolicy::ir_aware_distr(constraint),
+        ],
         other => return Err(format!("unknown policy {other:?}").into()),
     };
     let reads: usize = match args.flag("reads") {
@@ -358,7 +366,7 @@ fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             lut
         }
         None => {
-            let platform = Platform::new(MeshOptions::default());
+            let platform = Platform::new(options.clone());
             let mut eval = platform.evaluate(&design)?;
             eprintln!("building IR-drop lookup table ...");
             build_ir_lut(&mut eval, SimConfig::paper_ddr3().max_powered_per_die)?
@@ -391,13 +399,23 @@ fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     sim_config.banks_per_die = design.banks_per_die();
     sim_config.channels = spec.channels;
 
-    let sim = MemorySimulator::new(timing, sim_config, policy, lut);
-    let stats = sim.run(&requests)?;
-    println!("policy    : {}", policy.name());
-    println!("runtime   : {:.2} us", stats.runtime_us);
-    println!("bandwidth : {:.3} reads/clk", stats.bandwidth_reads_per_clk);
-    println!("max IR    : {:.2}", stats.max_ir);
-    println!("row hits  : {:.1}%", stats.row_hit_rate() * 100.0);
+    // With `--policy all` the three independent simulations fan across
+    // `--threads` workers; results come back in policy order either way.
+    let results = parallel_map(&policies, options.threads, |_, &policy| {
+        let sim = MemorySimulator::new(timing, sim_config.clone(), policy, lut.clone());
+        sim.run(&requests)
+    });
+    for (i, (policy, result)) in policies.iter().zip(results).enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let stats = result?;
+        println!("policy    : {}", policy.name());
+        println!("runtime   : {:.2} us", stats.runtime_us);
+        println!("bandwidth : {:.3} reads/clk", stats.bandwidth_reads_per_clk);
+        println!("max IR    : {:.2}", stats.max_ir);
+        println!("row hits  : {:.1}%", stats.row_hit_rate() * 100.0);
+    }
     Ok(())
 }
 

@@ -11,6 +11,7 @@ use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{Benchmark, StackDesign};
 use pi3d_memsim::{MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec};
 use pi3d_mesh::MeshOptions;
+use pi3d_telemetry::par::parallel_map;
 use std::fmt;
 
 /// One benchmark's three-policy comparison.
@@ -114,20 +115,25 @@ pub fn run(options: &MeshOptions, reads: usize) -> Result<PolicyCross, CoreError
         workload.count = reads;
         let requests = workload.generate();
 
-        let mut runtime_us = [0.0; 3];
-        let mut max_ir_mv = [0.0; 3];
-        for (i, policy) in [
+        // Each benchmark's three policy runs are independent: fan them
+        // across the configured worker count (results come back in policy
+        // order regardless of threads).
+        let policies = [
             ReadPolicy::standard(),
             ReadPolicy::ir_aware_fcfs(constraint),
             ReadPolicy::ir_aware_distr(constraint),
-        ]
-        .into_iter()
-        .enumerate()
-        {
+        ];
+        let stats = parallel_map(&policies, options.threads, |_, &policy| {
             let sim = MemorySimulator::new(timing, config.clone(), policy, lut.clone());
-            let stats = sim.run(&requests)?;
-            runtime_us[i] = stats.runtime_us;
-            max_ir_mv[i] = stats.max_ir.value();
+            sim.run(&requests)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+        let mut runtime_us = [0.0; 3];
+        let mut max_ir_mv = [0.0; 3];
+        for (i, s) in stats.iter().enumerate() {
+            runtime_us[i] = s.runtime_us;
+            max_ir_mv[i] = s.max_ir.value();
         }
         rows.push(PolicyCrossRow {
             benchmark,

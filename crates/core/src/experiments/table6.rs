@@ -17,6 +17,7 @@ use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{Benchmark, StackDesign};
 use pi3d_memsim::{IrDropLut, MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec};
 use pi3d_mesh::MeshOptions;
+use pi3d_telemetry::par::parallel_map;
 use std::fmt;
 
 /// One Table 6 policy row.
@@ -116,24 +117,84 @@ pub fn run_with(
     let lut = build_ir_lut(&mut eval, SimConfig::paper_ddr3().max_powered_per_die)?;
     let requests = workload.generate();
 
-    let mut rows = Vec::new();
-    for (name, policy) in [
-        ("Standard/FCFS", ReadPolicy::standard()),
-        ("IR-aware/FCFS", ReadPolicy::ir_aware_fcfs(constraint)),
-        ("IR-aware/DistR", ReadPolicy::ir_aware_distr(constraint)),
-    ] {
+    // The three policy simulations are independent; fan them across the
+    // configured worker count (order-preserving, so rows stay std/FCFS/
+    // DistR regardless of thread count).
+    let cases = policy_cases(constraint);
+    let rows = parallel_map(&cases, options.threads, |_, &(name, policy)| {
         let stats = run_policy(&lut, policy, &requests)?;
-        rows.push(Table6Row {
+        Ok(Table6Row {
             policy: name,
             runtime_us: stats.runtime_us,
             bandwidth: stats.bandwidth_reads_per_clk,
             max_ir_mv: stats.max_ir.value(),
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, CoreError>>()?;
     Ok(Table6 {
         rows,
         constraint_mv: constraint.value(),
     })
+}
+
+/// Runs the Table 6 comparison at several workload seeds, fanning every
+/// (seed, policy) simulation across the configured worker count. One LUT
+/// build serves all repetitions; results come back in seed order, each a
+/// full [`Table6`], so repetition studies can report min/median/max
+/// without serializing the sweep.
+///
+/// # Errors
+///
+/// Propagates design, solver, and simulation errors.
+pub fn run_seeds(
+    options: &MeshOptions,
+    workload: WorkloadSpec,
+    constraint: MilliVolts,
+    seeds: &[u64],
+) -> Result<Vec<Table6>, CoreError> {
+    let platform = Platform::new(options.clone());
+    let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+    let mut eval = platform.evaluate(&design)?;
+    let lut = build_ir_lut(&mut eval, SimConfig::paper_ddr3().max_powered_per_die)?;
+
+    let cases: Vec<(u64, &'static str, ReadPolicy)> = seeds
+        .iter()
+        .flat_map(|&seed| {
+            policy_cases(constraint)
+                .into_iter()
+                .map(move |(name, policy)| (seed, name, policy))
+        })
+        .collect();
+    let results = parallel_map(&cases, options.threads, |_, &(seed, name, policy)| {
+        let mut spec = workload.clone();
+        spec.seed = seed;
+        let stats = run_policy(&lut, policy, &spec.generate())?;
+        Ok::<Table6Row, CoreError>(Table6Row {
+            policy: name,
+            runtime_us: stats.runtime_us,
+            bandwidth: stats.bandwidth_reads_per_clk,
+            max_ir_mv: stats.max_ir.value(),
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, CoreError>>()?;
+
+    Ok(results
+        .chunks(3)
+        .map(|rows| Table6 {
+            rows: rows.to_vec(),
+            constraint_mv: constraint.value(),
+        })
+        .collect())
+}
+
+fn policy_cases(constraint: MilliVolts) -> [(&'static str, ReadPolicy); 3] {
+    [
+        ("Standard/FCFS", ReadPolicy::standard()),
+        ("IR-aware/FCFS", ReadPolicy::ir_aware_fcfs(constraint)),
+        ("IR-aware/DistR", ReadPolicy::ir_aware_distr(constraint)),
+    ]
 }
 
 /// Runs one policy over a request stream against a prebuilt LUT.
@@ -184,6 +245,38 @@ mod tests {
             t.ir_fcfs().runtime_us
         );
         assert!(t.ir_fcfs().bandwidth > t.standard().bandwidth);
+    }
+
+    #[test]
+    fn seed_sweep_is_thread_invariant_and_seed_ordered() {
+        let mut workload = WorkloadSpec::paper_ddr3();
+        workload.count = 800;
+        let seeds = [1u64, 2, 3];
+        let run_at = |threads: usize| {
+            let options = MeshOptions {
+                threads,
+                ..MeshOptions::coarse()
+            };
+            run_seeds(&options, workload.clone(), MilliVolts(24.0), &seeds).unwrap()
+        };
+        let one = run_at(1);
+        let four = run_at(4);
+        assert_eq!(one.len(), seeds.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.rows.len(), 3);
+            for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(ra.policy, rb.policy);
+                assert_eq!(ra.runtime_us, rb.runtime_us, "{}", ra.policy);
+                assert_eq!(ra.max_ir_mv, rb.max_ir_mv, "{}", ra.policy);
+            }
+        }
+        // Different seeds produce different workloads, hence (almost
+        // surely) different drain times.
+        assert!(
+            one[0].rows[0].runtime_us != one[1].rows[0].runtime_us
+                || one[0].rows[1].runtime_us != one[1].rows[1].runtime_us,
+            "seed sweep returned identical tables for different seeds"
+        );
     }
 
     #[test]

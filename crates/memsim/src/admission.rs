@@ -1,0 +1,203 @@
+//! Admission-check caching for the event-driven controller.
+//!
+//! The IR-drop-aware policies consult the [`IrDropLut`] on every
+//! scheduling decision — up to one lookup per queued request per cycle.
+//! Each raw lookup hashes a `Vec<u8>` state key and interpolates in
+//! activity, which dominates the simulator's profile. This module
+//! memoizes those lookups behind integer keys:
+//!
+//! * the memory state is packed into a `u64` (one nibble per die, bottom
+//!   die first), maintained incrementally by the controller;
+//! * the I/O activity is keyed by the *integer* busy-cycle counts of the
+//!   sliding [`ActivityWindow`](crate::controller), not the derived
+//!   `f64` utilization — two cycles with the same busy counts produce
+//!   bit-identical utilizations, so caching on the integers is exact.
+//!
+//! The cached value is the LUT result itself (`Option<MilliVolts>`), so
+//! a hit costs one hash of a few integers instead of a `Vec` hash plus
+//! linear interpolation. Keyspace is tiny (states × busy levels), so the
+//! maps stay small for arbitrarily long runs.
+
+use crate::lut::IrDropLut;
+use pi3d_layout::units::MilliVolts;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV/SplitMix-style hasher for small integer keys: the std SipHash is
+/// noticeably slower on the (u64, u64) keys this cache uses, and the
+/// keys are attacker-free simulator state.
+#[derive(Debug, Default)]
+pub(crate) struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = self.0 ^ v;
+        h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+type Map<K> = HashMap<K, Option<MilliVolts>, BuildHasherDefault<KeyHasher>>;
+
+/// Per-run memo of LUT admission lookups (see module docs).
+#[derive(Debug)]
+pub(crate) struct AdmissionCache {
+    window: u64,
+    data_cycles: u32,
+    /// `(state_key, busy_max)` → LUT value at the window-max utilization.
+    at_max: Map<(u64, u64)>,
+    /// `(state_key, busy_die, busy_max)` → LUT value at the prospective
+    /// utilization a read to the die would produce.
+    read: Map<(u64, u64, u64)>,
+    /// Scratch buffer for decoding a packed state on a miss.
+    scratch: Vec<u8>,
+    /// Lookups served from the memo.
+    pub(crate) hits: u64,
+    /// Lookups that fell through to the LUT.
+    pub(crate) misses: u64,
+}
+
+impl AdmissionCache {
+    pub(crate) fn new(dies: usize, window: u64, data_cycles: u32) -> Self {
+        AdmissionCache {
+            window,
+            data_cycles,
+            at_max: Map::default(),
+            read: Map::default(),
+            scratch: vec![0; dies],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn decode(scratch: &mut [u8], key: u64) {
+        for (die, c) in scratch.iter_mut().enumerate() {
+            *c = ((key >> (4 * die)) & 0xF) as u8;
+        }
+    }
+
+    /// LUT value for the packed state at the window-max utilization
+    /// (`busy_max / window`, clamped to 1) — the exact lookup the
+    /// reference stepper performs for activate admission and per-cycle
+    /// IR tracking.
+    pub(crate) fn state_ir_at_max(
+        &mut self,
+        lut: &IrDropLut,
+        state_key: u64,
+        busy_max: u64,
+    ) -> Option<MilliVolts> {
+        if let Some(&v) = self.at_max.get(&(state_key, busy_max)) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        Self::decode(&mut self.scratch, state_key);
+        let act = (busy_max as f64 / self.window as f64).min(1.0);
+        let v = lut.lookup(&self.scratch, act);
+        self.at_max.insert((state_key, busy_max), v);
+        v
+    }
+
+    /// LUT value for the packed state at the prospective utilization a
+    /// read to a die would produce: the die's utilization plus one burst,
+    /// floored at the current window max, clamped to 1 — term for term
+    /// the reference `read_allowed` computation.
+    pub(crate) fn read_ir(
+        &mut self,
+        lut: &IrDropLut,
+        state_key: u64,
+        busy_die: u64,
+        busy_max: u64,
+    ) -> Option<MilliVolts> {
+        if let Some(&v) = self.read.get(&(state_key, busy_die, busy_max)) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        Self::decode(&mut self.scratch, state_key);
+        let w = self.window as f64;
+        let prospective = (busy_die as f64 / w + f64::from(self.data_cycles) / w)
+            .max(busy_max as f64 / w)
+            .min(1.0);
+        let v = lut.lookup(&self.scratch, prospective);
+        self.read.insert((state_key, busy_die, busy_max), v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut() -> IrDropLut {
+        let mut l = IrDropLut::new(4);
+        l.insert(&[0, 0, 0, 2], 0.25, MilliVolts(23.0));
+        l.insert(&[0, 0, 0, 2], 1.0, MilliVolts(30.0));
+        l.insert(&[1, 0, 0, 0], 0.25, MilliVolts(12.0));
+        l
+    }
+
+    fn key(counts: &[u8]) -> u64 {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| u64::from(c) << (4 * d))
+            .sum()
+    }
+
+    #[test]
+    fn cached_values_match_direct_lookups() {
+        let lut = lut();
+        let window = 64;
+        let mut cache = AdmissionCache::new(4, window, 4);
+        for busy in [0u64, 16, 32, 64, 80] {
+            let direct = lut.lookup(&[0, 0, 0, 2], (busy as f64 / window as f64).min(1.0));
+            assert_eq!(
+                cache.state_ir_at_max(&lut, key(&[0, 0, 0, 2]), busy),
+                direct,
+                "busy {busy}"
+            );
+            // Second call must hit.
+            assert_eq!(
+                cache.state_ir_at_max(&lut, key(&[0, 0, 0, 2]), busy),
+                direct
+            );
+        }
+        assert_eq!(cache.misses, 5);
+        assert_eq!(cache.hits, 5);
+        // Unknown state is a (cached) miss returning None.
+        assert_eq!(cache.state_ir_at_max(&lut, key(&[2, 2, 0, 0]), 10), None);
+        assert_eq!(cache.state_ir_at_max(&lut, key(&[2, 2, 0, 0]), 10), None);
+    }
+
+    #[test]
+    fn read_prospective_matches_reference_formula() {
+        let lut = lut();
+        let window = 64u64;
+        let data = 4u32;
+        let mut cache = AdmissionCache::new(4, window, data);
+        for (busy_die, busy_max) in [(0u64, 0u64), (12, 20), (60, 60), (64, 64)] {
+            let w = window as f64;
+            let prospective = (busy_die as f64 / w + f64::from(data) / w)
+                .max(busy_max as f64 / w)
+                .min(1.0);
+            let direct = lut.lookup(&[0, 0, 0, 2], prospective);
+            assert_eq!(
+                cache.read_ir(&lut, key(&[0, 0, 0, 2]), busy_die, busy_max),
+                direct,
+                "busy ({busy_die}, {busy_max})"
+            );
+        }
+    }
+}

@@ -46,16 +46,18 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_debug_implementations)]
 
+mod admission;
 mod bank;
 mod controller;
 mod lut;
 mod policy;
+mod reference;
 mod request;
 mod stats;
 mod timing;
 
 pub use bank::{Bank, BankPhase};
-pub use controller::{MemorySimulator, SimConfig, SimulateError};
+pub use controller::{MemorySimulator, SimConfig, SimulateError, StallLutEntry, StallSnapshot};
 pub use lut::{IrDropLut, ParseLutError};
 pub use policy::{IrPolicy, ReadPolicy, SchedulingPolicy};
 pub use request::{parse_trace, ParseTraceError, ReadRequest, WorkloadSpec};

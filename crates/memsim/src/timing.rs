@@ -120,6 +120,13 @@ impl TimingParams {
     pub fn cycles_to_us(&self, cycles: u64) -> f64 {
         cycles as f64 * self.clock_ns * 1e-3
     }
+
+    /// Watchdog horizon for stall detection, shared by both run loops: a
+    /// healthy controller never goes this many cycles without issuing a
+    /// command (the longest legal gap is a few row cycles).
+    pub(crate) fn stall_horizon(&self) -> u64 {
+        100 * (self.t_ras + self.t_rp + self.t_rcd + self.t_cl) as u64 + 1_000
+    }
 }
 
 impl Default for TimingParams {

@@ -291,7 +291,7 @@ mod tests {
         let a = grid_2d(4, 4, 0.1);
         let system = PreparedSystem::new(a, Preconditioner::Jacobi).unwrap();
         assert_eq!(system.solve_count(), 0);
-        let _ = system.solve(&vec![1.0; 16], None).unwrap();
+        let _ = system.solve(&[1.0; 16], None).unwrap();
         let _ = system.solve_batch(&[vec![1.0; 16], vec![0.5; 16]]).unwrap();
         assert_eq!(system.solve_count(), 3);
     }

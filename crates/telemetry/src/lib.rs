@@ -22,9 +22,13 @@
 //! feature (on by default); with the feature off, call sites compile to
 //! nothing, so the Fig. 4 speedup numbers stay honest.
 //!
-//! The crate also hosts [`rng`], a seeded SplitMix64 generator replacing
-//! the `rand` crate for the synthetic-workload generator and the
-//! randomized property tests.
+//! The crate also hosts two substrate utilities that want the same
+//! "everything already depends on it" home: [`rng`], a seeded SplitMix64
+//! generator replacing the `rand` crate for the synthetic-workload
+//! generator and the randomized property tests, and [`par`], the
+//! deterministic order-preserving `parallel_map` over
+//! `std::thread::scope` used by the solver's batch RHS solves and the
+//! experiment-level policy sweeps.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod par;
 pub mod report;
 pub mod rng;
 pub mod span;

@@ -1,0 +1,126 @@
+//! Std-only deterministic fan-out: [`parallel_map`] spreads independent
+//! work items over a scoped worker pool and returns results in input
+//! order, so parallel callers (batch solves, policy sweeps, design-space
+//! walks) produce bit-identical output regardless of the thread count.
+//!
+//! This lives in the telemetry crate — the one crate every other
+//! workspace member already depends on — so `pi3d-core` and `pi3d-memsim`
+//! can fan out work without growing a solver dependency. `pi3d-solver`
+//! re-exports it under its historical path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item of `items` using up to `threads` scoped OS
+/// threads, returning the results in input order.
+///
+/// Work is dispatched by an atomic next-index counter (better load balance
+/// than fixed chunking when item costs vary, as CG iteration counts do),
+/// but each result is keyed by its input index and merged back in order, so
+/// the output is deterministic: `parallel_map(items, t, f)` returns the
+/// same `Vec` as `items.iter().enumerate().map(...)` for every `t`.
+///
+/// With `threads <= 1` or fewer than two items the items are mapped inline
+/// on the calling thread with no pool at all.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_telemetry::par::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4], 2, |_, &v| v * v);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+
+    for worker in &per_worker {
+        crate::metrics::histogram("par.items_per_worker").record(worker.len() as u64);
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index dispatched exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|&v| v * 3 + 1).collect();
+        for threads in [1, 2, 4, 16, 200] {
+            let got = parallel_map(&items, threads, |_, &v| v * 3 + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c", "d"];
+        let got = parallel_map(&items, 3, |i, &s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &v| v).is_empty());
+        assert_eq!(parallel_map(&[7u8], 8, |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // Make early items slow so late items finish first on other workers.
+        let items: Vec<u64> = (0..16).collect();
+        let got = parallel_map(&items, 4, |_, &v| {
+            if v < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            v
+        });
+        assert_eq!(got, items);
+    }
+}
