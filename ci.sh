@@ -53,4 +53,49 @@ echo "==> memsim smoke run (--policy all fan-out)"
 ./target/release/pi3d simulate "$cfg" --policy all --reads 2000 \
     --threads 2 --grid 10
 
+echo "==> fault-sweep smoke run"
+# Thread-count determinism of the sweep itself is pinned by a core test;
+# this exercises the CLI path and the fault_sweep report section.
+fault_report="$(mktemp /tmp/pi3d-faults.XXXXXX.json)"
+dead_cfg="$(mktemp /tmp/pi3d-dead.XXXXXX.cfg)"
+trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg"' EXIT
+./target/release/pi3d faults "$cfg" --trials 8 --threads 2 --grid 8 \
+    --reads 0 --metrics-out "$fault_report"
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$fault_report" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+rows = r["fault_sweep"]
+assert rows, "no fault_sweep rows"
+for row in rows:
+    assert row["trials"] == 8, row
+    assert 0 <= row["survived"] <= row["trials"], row
+print("fault sweep OK:", len(rows), "severity levels")
+PY
+else
+    grep -q '"fault_sweep"' "$fault_report"
+    echo "fault sweep OK (grep check)"
+fi
+
+echo "==> fault-sweep negative test (fully-severed supply)"
+# Opening every TSV severs the upper dies; at severity 1.0 no trial can
+# survive and the CLI must exit non-zero with the typed degraded-supply
+# diagnosis — no panic, no backtrace.
+printf 'benchmark = ddr3-off\nfault_tsv_open = 1.0\n' > "$dead_cfg"
+fault_err="$(mktemp /tmp/pi3d-faults-err.XXXXXX.log)"
+trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err"' EXIT
+if ./target/release/pi3d faults "$dead_cfg" --levels 1.0 --trials 2 \
+    --grid 8 --reads 0 2> "$fault_err"; then
+    echo "FAIL: dead config exited zero" >&2
+    exit 1
+fi
+grep -q 'degraded supply' "$fault_err"
+if grep -qi 'panicked\|backtrace' "$fault_err"; then
+    echo "FAIL: dead config panicked" >&2
+    cat "$fault_err" >&2
+    exit 1
+fi
+echo "negative test OK: $(grep -o 'degraded supply[^;]*' "$fault_err" | head -1)"
+
 echo "==> ci.sh passed"

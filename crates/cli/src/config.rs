@@ -18,10 +18,21 @@
 //! wire_bond     = true
 //! dram_dies     = 4
 //! ```
+//!
+//! An optional fault block describes seeded PDN defects for commands
+//! that inject them (`pi3d faults`); other commands ignore it:
+//!
+//! ```text
+//! fault_seed      = 42
+//! fault_tsv_open  = 0.05
+//! fault_bump_open = 0.01
+//! fault_via_void  = 0.005
+//! fault_em_drift  = 0.2
+//! ```
 
 use pi3d_layout::{
-    Benchmark, BondingStyle, Mounting, PdnSpec, RdlConfig, RdlScope, StackDesign, TsvConfig,
-    TsvPlacement,
+    Benchmark, BondingStyle, FaultSpec, Mounting, PdnSpec, RdlConfig, RdlScope, StackDesign,
+    TsvConfig, TsvPlacement,
 };
 use std::collections::HashMap;
 use std::error::Error;
@@ -96,7 +107,8 @@ pub fn parse_benchmark(text: &str) -> Result<Benchmark, ConfigError> {
     }
 }
 
-/// Parses a full design-configuration file into a [`StackDesign`].
+/// Parses a full design-configuration file into a [`StackDesign`],
+/// ignoring any fault block (see [`parse_design_with_faults`]).
 ///
 /// # Errors
 ///
@@ -104,6 +116,21 @@ pub fn parse_benchmark(text: &str) -> Result<Benchmark, ConfigError> {
 /// problem, including design-rule violations reported by the layout
 /// builder.
 pub fn parse_design(text: &str) -> Result<StackDesign, ConfigError> {
+    parse_design_with_faults(text).map(|(design, _)| design)
+}
+
+/// Parses a design-configuration file together with its optional fault
+/// block (`fault_seed`, `fault_tsv_open`, `fault_bump_open`,
+/// `fault_via_void`, `fault_em_drift`). Returns `None` for the spec when
+/// no fault key is present.
+///
+/// # Errors
+///
+/// As for [`parse_design`]; fault rates outside `[0, 1]` (or a negative
+/// drift scale) are rejected with the offending parameter named.
+pub fn parse_design_with_faults(
+    text: &str,
+) -> Result<(StackDesign, Option<FaultSpec>), ConfigError> {
     let mut pairs = parse_pairs(text)?;
     let mut take = |key: &str| pairs.remove(key);
 
@@ -225,15 +252,49 @@ pub fn parse_design(text: &str) -> Result<StackDesign, ConfigError> {
         builder = builder.dram_dies(dies);
     }
 
+    let mut spec = FaultSpec::none();
+    let mut any_fault = false;
+    if let Some((line, v)) = take("fault_seed") {
+        let seed: u64 = v.parse().map_err(|_| {
+            err(
+                Some(line),
+                format!("fault_seed must be an integer, got {v:?}"),
+            )
+        })?;
+        spec = spec.with_seed(seed);
+        any_fault = true;
+    }
+    if let Some((line, v)) = take("fault_tsv_open") {
+        spec = spec.with_tsv_open(parse_f64(line, "fault_tsv_open", &v)?);
+        any_fault = true;
+    }
+    if let Some((line, v)) = take("fault_bump_open") {
+        spec = spec.with_bump_open(parse_f64(line, "fault_bump_open", &v)?);
+        any_fault = true;
+    }
+    if let Some((line, v)) = take("fault_via_void") {
+        spec = spec.with_via_void(parse_f64(line, "fault_via_void", &v)?);
+        any_fault = true;
+    }
+    if let Some((line, v)) = take("fault_em_drift") {
+        spec = spec.with_em_drift(parse_f64(line, "fault_em_drift", &v)?);
+        any_fault = true;
+    }
+    if any_fault {
+        spec.validate().map_err(|e| err(None, e.to_string()))?;
+    }
+
     if let Some(key) = pairs.keys().next() {
         let (line, _) = pairs[key];
         return Err(err(Some(line), format!("unknown key {key:?}")));
     }
 
-    builder.build().map_err(|e| err(None, e.to_string()))
+    let design = builder.build().map_err(|e| err(None, e.to_string()))?;
+    Ok((design, any_fault.then_some(spec)))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -336,6 +397,97 @@ mod tests {
                 }
             }
             let _ = parse_design(&text);
+        }
+    }
+
+    #[test]
+    fn fault_block_round_trips() {
+        let (design, spec) = parse_design_with_faults(
+            "benchmark = ddr3-off\n\
+             fault_seed = 42\n\
+             fault_tsv_open = 0.05\n\
+             fault_bump_open = 0.01\n\
+             fault_via_void = 0.005\n\
+             fault_em_drift = 0.2\n",
+        )
+        .unwrap();
+        assert_eq!(design.benchmark(), Benchmark::StackedDdr3OffChip);
+        let spec = spec.unwrap();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.tsv_open, 0.05);
+        assert_eq!(spec.bump_open, 0.01);
+        assert_eq!(spec.via_void, 0.005);
+        assert_eq!(spec.em_drift, 0.2);
+
+        // No fault keys -> no spec, and parse_design ignores the block.
+        let (_, none) = parse_design_with_faults("benchmark = hmc\n").unwrap();
+        assert!(none.is_none());
+        assert!(parse_design("fault_tsv_open = 0.1\n").is_ok());
+    }
+
+    #[test]
+    fn fault_rates_are_validated() {
+        let e = parse_design_with_faults("fault_tsv_open = 1.5\n").unwrap_err();
+        assert!(e.to_string().contains("tsv_open"), "{e}");
+        assert!(parse_design_with_faults("fault_em_drift = -1\n").is_err());
+        assert!(parse_design_with_faults("fault_seed = abc\n").is_err());
+        assert!(parse_design_with_faults("fault_bump_open = nan\n").is_err());
+    }
+
+    #[test]
+    fn mutated_valid_configs_never_panic() {
+        // Seeded mutation fuzz: start from valid configs and apply random
+        // edits — byte flips, line duplication, truncation, splices. Every
+        // mutant must parse to Ok or a clean ConfigError, never panic, and
+        // errors must carry a usable message.
+        let seeds = [
+            "benchmark = ddr3-off\nm2_usage = 0.10\nm3_usage = 0.20\ntsv_count = 33\n",
+            "benchmark = wideio\nbonding = f2f\nrdl = all\nwire_bond = true\n",
+            "benchmark = hmc\nmounting = dedicated\ndram_dies = 8\n",
+            "fault_seed = 7\nfault_tsv_open = 0.5\nfault_em_drift = 1.0\n",
+        ];
+        let mut rng = pi3d_telemetry::rng::SplitMix64::new(0x5eed_cf60);
+        for _ in 0..400 {
+            let base = seeds[rng.next_below(seeds.len() as u64) as usize];
+            let mut text: Vec<u8> = base.bytes().collect();
+            for _ in 0..rng.range(1, 6) {
+                match rng.next_below(4) {
+                    0 => {
+                        // Flip one byte to a printable-ish character.
+                        let i = rng.next_below(text.len() as u64) as usize;
+                        text[i] = (rng.range(9, 127)) as u8;
+                    }
+                    1 => {
+                        // Duplicate a line.
+                        let copy = text.clone();
+                        let lines: Vec<&[u8]> = copy.split(|&b| b == b'\n').collect();
+                        let line = lines[rng.next_below(lines.len() as u64) as usize];
+                        text.extend_from_slice(line);
+                        text.push(b'\n');
+                    }
+                    2 => {
+                        // Truncate.
+                        let keep = rng.next_below(text.len() as u64 + 1) as usize;
+                        text.truncate(keep);
+                    }
+                    _ => {
+                        // Splice a random token.
+                        let tokens: [&[u8]; 6] =
+                            [b"=", b"#", b"\n", b"1e308", b"fault_", b"\xf0\x9f\xa6\x80"];
+                        let t = tokens[rng.next_below(6) as usize];
+                        let i = rng.next_below(text.len() as u64 + 1) as usize;
+                        text.splice(i..i, t.iter().copied());
+                    }
+                }
+                if text.is_empty() {
+                    text = base.bytes().collect();
+                }
+            }
+            let text = String::from_utf8_lossy(&text);
+            match parse_design_with_faults(&text) {
+                Ok(_) => {}
+                Err(e) => assert!(!e.message.is_empty(), "empty error for {text:?}"),
+            }
         }
     }
 

@@ -9,6 +9,9 @@
 //!                            [--reads 10000] [--lut lut.txt] [--trace trace.txt]
 //!                            [--threads N] [--grid N]
 //! pi3d optimize <benchmark>  [--alpha 0.3] [--threads N]
+//! pi3d faults   [design.cfg] [--seed N] [--tsv-open P] [--bump-open P] [--via-void P]
+//!                            [--em-drift S] [--levels 0.25,0.5,1.0] [--trials N]
+//!                            [--reads N] [--threads N] [--grid N]
 //! pi3d export   <design.cfg> [--svg out.svg] [--spice out.sp] [--state 0-0-0-2]
 //! ```
 //!
@@ -17,11 +20,14 @@
 //! `--metrics-out FILE` writes a JSON run report — phase timings, metrics,
 //! CG convergence traces, mesh and memory-simulator statistics — on exit.
 
+// User-reachable failures must surface as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+
 mod config;
 
-use pi3d_core::{build_ir_lut, characterize, Platform};
+use pi3d_core::{build_ir_lut, characterize, run_fault_sweep, FaultSweepOptions, Platform};
 use pi3d_layout::units::MilliVolts;
-use pi3d_layout::{render_design_svg, MemoryState, StackDesign};
+use pi3d_layout::{render_design_svg, Benchmark, FaultSpec, MemoryState, StackDesign};
 use pi3d_memsim::{
     parse_trace, IrDropLut, MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec,
 };
@@ -108,6 +114,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         "transient" => transient(&args),
         "simulate" => simulate(&args),
         "optimize" => optimize(&args),
+        "faults" => faults_command(&args),
         "export" => export(&args),
         "help" | "--help" => {
             print_usage();
@@ -145,6 +152,9 @@ fn print_usage() {
          pi3d simulate <design.cfg> [--policy standard|fcfs|distr|all] [--constraint MV]\n  \
                        [--reads N] [--lut FILE] [--trace FILE] [--grid N]\n  \
          pi3d optimize <benchmark>  [--alpha A] [--threads N]\n  \
+         pi3d faults   [design.cfg] [--seed N] [--tsv-open P] [--bump-open P]\n  \
+                       [--via-void P] [--em-drift S] [--levels L1,L2,..]\n  \
+                       [--trials N] [--reads N] [--grid N]\n  \
          pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n\
          global flags: [--threads N] [--log-level off|error|warn|info|debug|trace]\n\
                        [--metrics-out FILE]"
@@ -450,6 +460,114 @@ fn optimize(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Runs the Monte Carlo PDN fault sweep. The design argument is optional
+/// (defaults to the baseline stacked-DDR3 benchmark); fault rates come
+/// from the config's fault block, overridden by flags, falling back to a
+/// representative defect population when neither is given.
+fn faults_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (design, config_spec) = match args.positional.get(1) {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            config::parse_design_with_faults(&text)?
+        }
+        None => (StackDesign::baseline(Benchmark::StackedDdr3OffChip), None),
+    };
+
+    let rate_flags = ["seed", "tsv-open", "bump-open", "via-void", "em-drift"];
+    let mut base = match config_spec {
+        Some(spec) => spec,
+        // Representative defect population so a bare `pi3d faults` still
+        // sweeps something meaningful.
+        None if !rate_flags.iter().any(|f| args.has(f)) => FaultSpec::new(1)
+            .with_tsv_open(0.02)
+            .with_bump_open(0.01)
+            .with_via_void(0.005)
+            .with_em_drift(0.1),
+        None => FaultSpec::none(),
+    };
+    let parse_rate = |name: &str| -> Result<Option<f64>, Box<dyn std::error::Error>> {
+        match args.flag(name) {
+            Some(v) => {
+                Ok(Some(v.parse().map_err(|_| {
+                    format!("--{name} must be a number, got {v}")
+                })?))
+            }
+            None => Ok(None),
+        }
+    };
+    if let Some(seed) = args.flag("seed") {
+        base = base.with_seed(
+            seed.parse()
+                .map_err(|_| format!("--seed must be an integer, got {seed}"))?,
+        );
+    }
+    if let Some(p) = parse_rate("tsv-open")? {
+        base = base.with_tsv_open(p);
+    }
+    if let Some(p) = parse_rate("bump-open")? {
+        base = base.with_bump_open(p);
+    }
+    if let Some(p) = parse_rate("via-void")? {
+        base = base.with_via_void(p);
+    }
+    if let Some(s) = parse_rate("em-drift")? {
+        base = base.with_em_drift(s);
+    }
+    base.validate()?;
+
+    let mut options = FaultSweepOptions::new(base);
+    options.mesh = mesh_options(args)?;
+    options.threads = options.mesh.threads;
+    if let Some(levels) = args.flag("levels") {
+        options.levels = levels
+            .split(',')
+            .map(|l| {
+                l.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("--levels entries must be numbers, got {l}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if options.levels.is_empty() {
+            return Err("--levels needs at least one severity multiplier".into());
+        }
+    }
+    if let Some(trials) = args.flag("trials") {
+        let n: usize = trials
+            .parse()
+            .map_err(|_| format!("--trials must be an integer, got {trials}"))?;
+        if !(1..=100_000).contains(&n) {
+            return Err("--trials must be between 1 and 100000".into());
+        }
+        options.trials = n;
+    }
+    if let Some(reads) = args.flag("reads") {
+        options.reads = reads
+            .parse()
+            .map_err(|_| format!("--reads must be an integer, got {reads}"))?;
+    }
+
+    let sweep = run_fault_sweep(&design, &options)?;
+    println!("{sweep}");
+
+    // A population this severe never yields a usable stack: surface the
+    // typed degradation (rebuilding the first trial's defect set is exact
+    // — same seed, same draws) and fail the command.
+    if sweep.levels.iter().all(|l| l.survived == 0) {
+        let first = &sweep.trials[0];
+        let spec = base.scaled(first.level).with_seed(first.seed);
+        StackMesh::new(
+            &design,
+            MeshOptions {
+                faults: Some(spec),
+                threads: 1,
+                ..options.mesh
+            },
+        )?;
+        return Err("no trial survived the fault sweep".into());
+    }
+    Ok(())
+}
+
 fn export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let design = load_design(args)?;
     let mut wrote = false;
@@ -481,6 +599,7 @@ fn export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

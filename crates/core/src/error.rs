@@ -1,5 +1,6 @@
 use pi3d_layout::LayoutError;
 use pi3d_memsim::SimulateError;
+use pi3d_mesh::MeshError;
 use pi3d_solver::SolverError;
 use std::error::Error;
 use std::fmt;
@@ -10,6 +11,9 @@ use std::fmt;
 pub enum CoreError {
     /// A linear-solver failure bubbled up from the R-Mesh engine.
     Solver(SolverError),
+    /// A mesh-assembly failure, including typed supply degradation from
+    /// fault-injected builds.
+    Mesh(MeshError),
     /// An invalid design configuration.
     Layout(LayoutError),
     /// A memory-controller simulation failure.
@@ -30,6 +34,7 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Solver(e) => write!(f, "solver error: {e}"),
+            CoreError::Mesh(e) => write!(f, "mesh error: {e}"),
             CoreError::Layout(e) => write!(f, "layout error: {e}"),
             CoreError::Simulate(e) => write!(f, "simulation error: {e}"),
             CoreError::Regression { reason } => write!(f, "regression failed: {reason}"),
@@ -44,6 +49,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Solver(e) => Some(e),
+            CoreError::Mesh(e) => Some(e),
             CoreError::Layout(e) => Some(e),
             CoreError::Simulate(e) => Some(e),
             _ => None,
@@ -54,6 +60,12 @@ impl Error for CoreError {
 impl From<SolverError> for CoreError {
     fn from(e: SolverError) -> Self {
         CoreError::Solver(e)
+    }
+}
+
+impl From<MeshError> for CoreError {
+    fn from(e: MeshError) -> Self {
+        CoreError::Mesh(e)
     }
 }
 
@@ -77,6 +89,10 @@ mod tests {
     fn conversions_preserve_sources() {
         let e: CoreError = SolverError::FloatingNode { row: 3 }.into();
         assert!(e.to_string().contains("node 3"));
+        assert!(e.source().is_some());
+
+        let e: CoreError = MeshError::Solver(SolverError::FloatingNode { row: 3 }).into();
+        assert!(matches!(e, CoreError::Mesh(_)));
         assert!(e.source().is_some());
 
         let e: CoreError = LayoutError::TooManyActiveBanks {

@@ -37,6 +37,7 @@
 mod design_space;
 mod error;
 pub mod experiments;
+mod faults;
 mod lut_builder;
 mod optimize;
 mod platform;
@@ -45,7 +46,11 @@ pub mod report;
 
 pub use design_space::{CategoricalCombo, DesignPoint, DesignSpace};
 pub use error::CoreError;
-pub use lut_builder::{build_ir_lut, LUT_ACTIVITIES};
+pub use faults::{
+    run_fault_sweep, FaultLevelSummary, FaultSweepOptions, FaultSweepReport, FaultTrial,
+    PolicyUnderFaults, TrialOutcome,
+};
+pub use lut_builder::{build_ir_lut, build_ir_lut_from_mesh, LUT_ACTIVITIES};
 pub use optimize::{
     characterize, ir_cost, BestSolution, Characterization, ComboModel, ParetoPoint,
 };

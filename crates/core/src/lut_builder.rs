@@ -61,10 +61,25 @@ pub fn build_ir_lut(
     eval: &mut DesignEvaluation,
     max_banks_per_die: usize,
 ) -> Result<IrDropLut, CoreError> {
+    build_ir_lut_from_mesh(eval.analysis().mesh(), max_banks_per_die)
+}
+
+/// As [`build_ir_lut`], building directly from a [`StackMesh`] — the
+/// entry point for meshes that did not come from a
+/// [`Platform`](crate::Platform) evaluation, such as the fault-injected
+/// meshes of a [`fault sweep`](crate::run_fault_sweep). The resulting
+/// table reflects whatever defects the mesh was assembled with.
+///
+/// # Errors
+///
+/// As for [`build_ir_lut`].
+pub fn build_ir_lut_from_mesh(
+    mesh: &StackMesh,
+    max_banks_per_die: usize,
+) -> Result<IrDropLut, CoreError> {
     #[cfg(feature = "telemetry")]
     let _span = pi3d_telemetry::span::span("lut_build");
-    let dies = eval.design().dram_die_count();
-    let mesh = eval.analysis().mesh();
+    let dies = mesh.design().dram_die_count();
 
     // Basis right-hand sides: all-idle background, then per (die, count)
     // the activity-independent and per-unit-activity load contributions,

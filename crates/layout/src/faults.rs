@@ -1,0 +1,215 @@
+//! Layout-level fault specifications for the power-delivery network.
+//!
+//! Real 3D-DRAM PDNs lose TSVs and bumps to manufacturing defects and see
+//! electromigration-driven resistance drift over their lifetime; the
+//! paper's packaging tables all assume a defect-free network. A
+//! [`FaultSpec`] describes a *statistical* defect population — open
+//! probabilities per discrete vertical element class plus an EM-style
+//! resistance-drift scale — together with the seed that makes any drawn
+//! defect set reproducible. The R-Mesh assembler (`pi3d-mesh`) consumes
+//! the spec and injects the concrete defects during stamping.
+//!
+//! The spec lives in `pi3d-layout` so that every layer of the stack
+//! (mesh, core sweeps, CLI) can speak about faults without depending on
+//! the mesh crate.
+
+use crate::LayoutError;
+
+/// A seeded, statistical description of PDN defects to inject into a
+/// stack's R-Mesh.
+///
+/// All rates are probabilities in `[0, 1]` applied independently per
+/// element site; `em_drift` is a non-negative scale factor for the
+/// per-segment series-resistance multiplier (0 disables drift). Equal
+/// specs (including the seed) always produce identical defect sets.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_layout::FaultSpec;
+///
+/// let spec = FaultSpec::new(42).with_tsv_open(0.1).with_em_drift(0.2);
+/// assert!(spec.is_active());
+/// assert!(spec.validate().is_ok());
+/// assert!(!FaultSpec::none().is_active());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the defect draws; equal seeds give equal defect sets.
+    pub seed: u64,
+    /// Probability that a power TSV site (any die-to-die interface,
+    /// including B2B pad stacks) is fully open.
+    pub tsv_open: f64,
+    /// Probability that a supply contact — C4 bump, package ball /
+    /// supply-entry site, or bond wire — is fully open.
+    pub bump_open: f64,
+    /// Probability that one intra-die via cell (M2↔M3 or F2F micro-via)
+    /// is voided.
+    pub via_void: f64,
+    /// Electromigration-style resistance drift scale: each surviving
+    /// vertical element's series resistance is multiplied by
+    /// `1 + em_drift · e` with `e` an exponential(1) draw.
+    pub em_drift: f64,
+}
+
+impl FaultSpec {
+    /// A spec with every rate zero (no faults) and the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            tsv_open: 0.0,
+            bump_open: 0.0,
+            via_void: 0.0,
+            em_drift: 0.0,
+        }
+    }
+
+    /// The canonical "no faults" spec.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// Sets the TSV-open probability.
+    #[must_use]
+    pub fn with_tsv_open(mut self, rate: f64) -> Self {
+        self.tsv_open = rate;
+        self
+    }
+
+    /// Sets the supply-contact open probability.
+    #[must_use]
+    pub fn with_bump_open(mut self, rate: f64) -> Self {
+        self.bump_open = rate;
+        self
+    }
+
+    /// Sets the via-void probability.
+    #[must_use]
+    pub fn with_via_void(mut self, rate: f64) -> Self {
+        self.via_void = rate;
+        self
+    }
+
+    /// Sets the EM resistance-drift scale.
+    #[must_use]
+    pub fn with_em_drift(mut self, scale: f64) -> Self {
+        self.em_drift = scale;
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether any fault mechanism is enabled.
+    pub fn is_active(&self) -> bool {
+        self.tsv_open > 0.0 || self.bump_open > 0.0 || self.via_void > 0.0 || self.em_drift > 0.0
+    }
+
+    /// Returns a copy with every rate scaled by `factor` (clamped to
+    /// `[0, 1]` for the open probabilities). Used by Monte Carlo sweeps
+    /// that walk a severity axis.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        FaultSpec {
+            seed: self.seed,
+            tsv_open: (self.tsv_open * factor).clamp(0.0, 1.0),
+            bump_open: (self.bump_open * factor).clamp(0.0, 1.0),
+            via_void: (self.via_void * factor).clamp(0.0, 1.0),
+            em_drift: (self.em_drift * factor).max(0.0),
+        }
+    }
+
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::ParameterOutOfRange`] for a rate outside
+    /// `[0, 1]`, a negative drift scale, or any non-finite value.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        let rate = |parameter: &'static str, value: f64| -> Result<(), LayoutError> {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(LayoutError::ParameterOutOfRange {
+                    parameter,
+                    value,
+                    min: 0.0,
+                    max: 1.0,
+                });
+            }
+            Ok(())
+        };
+        rate("tsv_open", self.tsv_open)?;
+        rate("bump_open", self.bump_open)?;
+        rate("via_void", self.via_void)?;
+        if !self.em_drift.is_finite() || self.em_drift < 0.0 {
+            return Err(LayoutError::ParameterOutOfRange {
+                parameter: "em_drift",
+                value: self.em_drift,
+                min: 0.0,
+                max: f64::INFINITY,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_valid() {
+        let spec = FaultSpec::none();
+        assert!(!spec.is_active());
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let spec = FaultSpec::new(7)
+            .with_tsv_open(0.25)
+            .with_bump_open(0.5)
+            .with_via_void(0.1)
+            .with_em_drift(1.5);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.tsv_open, 0.25);
+        assert_eq!(spec.bump_open, 0.5);
+        assert_eq!(spec.via_void, 0.1);
+        assert_eq!(spec.em_drift, 1.5);
+        assert!(spec.is_active());
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_rates_are_rejected() {
+        assert!(FaultSpec::new(0).with_tsv_open(1.5).validate().is_err());
+        assert!(FaultSpec::new(0).with_bump_open(-0.1).validate().is_err());
+        assert!(FaultSpec::new(0)
+            .with_via_void(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(FaultSpec::new(0).with_em_drift(-1.0).validate().is_err());
+    }
+
+    #[test]
+    fn scaling_clamps_rates_but_not_drift() {
+        let spec = FaultSpec::new(3)
+            .with_tsv_open(0.8)
+            .with_em_drift(0.5)
+            .scaled(2.0);
+        assert_eq!(spec.tsv_open, 1.0);
+        assert_eq!(spec.em_drift, 1.0);
+        assert_eq!(spec.seed, 3);
+        let off = spec.scaled(0.0);
+        assert!(!off.is_active());
+    }
+}

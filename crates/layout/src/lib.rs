@@ -29,6 +29,7 @@ mod benchmarks;
 mod bonding;
 mod cost;
 mod error;
+mod faults;
 mod floorplan;
 mod pdn;
 mod powermap;
@@ -44,6 +45,7 @@ pub use benchmarks::{Benchmark, BenchmarkSpec};
 pub use bonding::{BondingStyle, Mounting};
 pub use cost::{CostBreakdown, CostModel};
 pub use error::LayoutError;
+pub use faults::FaultSpec;
 pub use floorplan::{Block, BlockKind, Floorplan, Rect};
 pub use pdn::{PdnSpec, PowerNet};
 pub use powermap::{OpKind, PowerMap, PowerModel};

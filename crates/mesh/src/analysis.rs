@@ -1,4 +1,5 @@
 use crate::build::StackMesh;
+use crate::error::MeshError;
 use crate::grid::{GridId, GridKind, GridRegistry};
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::MemoryState;
@@ -128,11 +129,12 @@ impl IrAnalysis {
     ///
     /// # Errors
     ///
-    /// Propagates assembly errors from [`StackMesh::new`].
+    /// Propagates assembly errors from [`StackMesh::new`], including
+    /// [`MeshError::DegradedSupply`] for fault-disconnected meshes.
     pub fn new(
         design: &pi3d_layout::StackDesign,
         options: crate::MeshOptions,
-    ) -> Result<Self, SolverError> {
+    ) -> Result<Self, MeshError> {
         Ok(IrAnalysis {
             mesh: StackMesh::new(design, options)?,
         })
@@ -241,6 +243,7 @@ impl IrAnalysis {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::MeshOptions;

@@ -36,10 +36,12 @@
 //! resistance proportional to its distance from the nearest C4 bump or
 //! package ball, unless the design's TSV placement is alignment-optimized.
 
+use crate::error::{DegradedSupplyReport, MeshError};
+use crate::faults::{FaultInjector, FaultReport, FaultSite};
 use crate::grid::{GridId, GridKind, GridRegistry};
 use pi3d_layout::{
-    bump_grid, BondingStyle, MemoryState, PowerMap, PowerNet, StackDesign, TsvConfig, TsvPlacement,
-    C4_PITCH_MM,
+    bump_grid, BondingStyle, FaultSpec, MemoryState, PowerMap, PowerNet, StackDesign, TsvConfig,
+    TsvPlacement, C4_PITCH_MM,
 };
 use pi3d_solver::{CgSolver, CooBuilder, CsrMatrix, Preconditioner, PreparedSystem, SolverError};
 use std::sync::Arc;
@@ -141,6 +143,11 @@ pub struct MeshOptions {
     /// every solve on the calling thread; results are bit-identical for
     /// every value (see [`pi3d_solver::PreparedSystem`]).
     pub threads: usize,
+    /// Seeded PDN defects to inject during assembly (`None` = pristine
+    /// mesh). The draw order is fixed by the single-threaded assembly
+    /// walk, so equal specs always produce the identical defect set —
+    /// regardless of [`threads`](Self::threads).
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for MeshOptions {
@@ -156,6 +163,7 @@ impl Default for MeshOptions {
             net: PowerNet::Vdd,
             pad_row_tsvs: 10,
             threads: 1,
+            faults: None,
         }
     }
 }
@@ -256,17 +264,28 @@ pub struct StackMesh {
     /// Per-grid effective edge conductances `(g_x, g_y)`, summed over
     /// stamped sheets (index = grid id).
     sheet_conductances: Vec<(f64, f64)>,
+    /// Defect tally when the mesh was assembled with fault injection.
+    fault_report: Option<FaultReport>,
 }
 
 impl StackMesh {
     /// Builds the mesh for a design.
     ///
+    /// Before factoring, a union-find connectivity audit classifies every
+    /// node as supplied or islanded. A pristine or partially-faulted mesh
+    /// whose nodes all still reach the supply proceeds normally; islanded
+    /// nodes make the conductance matrix singular, so that case returns
+    /// [`MeshError::DegradedSupply`] with the full diagnostic instead of
+    /// surfacing as a CG divergence or preconditioner breakdown later.
+    ///
     /// # Errors
     ///
-    /// Returns a [`SolverError`] if matrix assembly detects a floating node
-    /// or an invalid stamp — both indicate an internal topology bug rather
-    /// than a user error.
-    pub fn new(design: &StackDesign, options: MeshOptions) -> Result<Self, SolverError> {
+    /// Returns [`MeshError::DegradedSupply`] when the audit finds nodes
+    /// with no path to the supply (only reachable with fault injection),
+    /// or [`MeshError::Solver`] if matrix assembly detects a floating node
+    /// or an invalid stamp — the latter indicate an internal topology bug
+    /// rather than a user error.
+    pub fn new(design: &StackDesign, options: MeshOptions) -> Result<Self, MeshError> {
         #[cfg(feature = "telemetry")]
         let _build_span = pi3d_telemetry::span::span("mesh_build");
         let mut builder = MeshAssembler::new(design, &options);
@@ -275,11 +294,42 @@ impl StackMesh {
             let _stamp_span = pi3d_telemetry::span::span("stamping");
             builder.assemble();
         }
+        let fault_report = builder.faults.as_ref().map(FaultInjector::report);
+        #[cfg(feature = "telemetry")]
+        if let Some(r) = fault_report {
+            use pi3d_telemetry::metrics;
+            metrics::counter("faults.injected.tsv_open").incr(r.tsv_opens as u64);
+            metrics::counter("faults.injected.bump_open").incr(r.contact_opens as u64);
+            metrics::counter("faults.injected.via_void").incr(r.via_voids as u64);
+            metrics::counter("faults.injected.em_drift").incr(r.drifted as u64);
+            pi3d_telemetry::debug!(
+                "faults injected: {} opens / {} drifts over {} sites",
+                r.total_opens(),
+                r.drifted,
+                r.total_sites()
+            );
+        }
         let matrix = {
             #[cfg(feature = "telemetry")]
             let _csr_span = pi3d_telemetry::span::span("csr_assembly");
-            builder.coo.into_csr()?
+            std::mem::take(&mut builder.coo).into_csr()?
         };
+        {
+            #[cfg(feature = "telemetry")]
+            let _audit_span = pi3d_telemetry::span::span("connectivity_audit");
+            let (islanded, islands) = audit_connectivity(&matrix, &builder.supply_nodes);
+            let islanded_count = islanded.iter().filter(|&&i| i).count();
+            #[cfg(feature = "telemetry")]
+            pi3d_telemetry::metrics::gauge("mesh.islanded_nodes").set(islanded_count as f64);
+            if islanded_count > 0 {
+                return Err(MeshError::DegradedSupply(Box::new(degradation_report(
+                    &builder,
+                    &islanded,
+                    islands,
+                    fault_report,
+                ))));
+            }
+        }
         #[cfg(feature = "telemetry")]
         {
             use pi3d_telemetry::{metrics, report};
@@ -321,7 +371,14 @@ impl StackMesh {
             warm_cache: WarmStartCache::default(),
             elements: builder.elements,
             sheet_conductances: builder.sheets,
+            fault_report,
         })
+    }
+
+    /// The defect tally from assembly, when the mesh was built with a
+    /// [`MeshOptions::faults`] spec.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.fault_report
     }
 
     /// The discrete vertical elements (TSVs, entries, bond wires, bumps)
@@ -553,6 +610,10 @@ struct MeshAssembler<'d> {
     tsv_sites: Vec<(f64, f64)>,
     elements: Vec<Element>,
     sheets: Vec<(f64, f64)>,
+    faults: Option<FaultInjector>,
+    /// Nodes tied directly to the ideal supply, for the connectivity
+    /// audit.
+    supply_nodes: Vec<usize>,
 }
 
 impl<'d> MeshAssembler<'d> {
@@ -573,6 +634,11 @@ impl<'d> MeshAssembler<'d> {
             tsv_sites,
             elements: Vec::new(),
             sheets: Vec::new(),
+            faults: options
+                .faults
+                .filter(FaultSpec::is_active)
+                .map(FaultInjector::new),
+            supply_nodes: Vec::new(),
         }
     }
 
@@ -708,11 +774,17 @@ impl<'d> MeshAssembler<'d> {
     }
 
     /// DRAM dies that carry an RDL on their supply-facing backside.
+    ///
+    /// F2F pairs have no per-die backside interface above the bottom die —
+    /// pair faces bond through micro-vias and pair backs through B2B pads
+    /// — so only the bottom RDL exists there; registering the others would
+    /// leave unconnected grids (flagged by the connectivity audit).
     fn rdl_dies(&self) -> Vec<usize> {
+        let upper_rdls = self.design.bonding() == BondingStyle::F2B;
         match self.design.rdl() {
             r if !r.is_enabled() => Vec::new(),
             r => (0..self.design.dram_die_count())
-                .filter(|&d| r.applies_to_die(d))
+                .filter(|&d| r.applies_to_die(d) && (d == 0 || upper_rdls))
                 .collect(),
         }
     }
@@ -744,9 +816,26 @@ impl<'d> MeshAssembler<'d> {
         }
     }
 
+    /// Draws the fate of one element of `kind` with nominal conductance
+    /// `g`: `None` when the defect model opens it, otherwise the surviving
+    /// (possibly drifted) conductance. Fault-free meshes pass through.
+    fn surviving_conductance(&mut self, kind: ElementKind, g: f64) -> Option<f64> {
+        let site = match kind {
+            ElementKind::Tsv { .. } | ElementKind::B2b => FaultSite::Tsv,
+            ElementKind::SupplyEntry | ElementKind::C4Bump | ElementKind::WireBond { .. } => {
+                FaultSite::Contact
+            }
+        };
+        match &mut self.faults {
+            Some(injector) => injector.draw(site, g),
+            None => Some(g),
+        }
+    }
+
     /// Ties the point `(x, y)` of a grid to the ideal supply through
     /// conductance `g`, spread bilinearly over the surrounding nodes, and
-    /// records the element for current-density analysis.
+    /// records the element for current-density analysis. An element opened
+    /// by the fault model is neither stamped nor recorded.
     fn tie_to_ground(
         &mut self,
         grid: &crate::grid::GridSpec,
@@ -755,9 +844,13 @@ impl<'d> MeshAssembler<'d> {
         g: f64,
         kind: ElementKind,
     ) {
+        let Some(g) = self.surviving_conductance(kind, g) else {
+            return;
+        };
         let mut branches = Vec::new();
         for (node, w) in grid.bilinear(x, y) {
             self.coo.stamp_to_ground(node, g * w);
+            self.supply_nodes.push(node);
             branches.push((node, None, g * w));
         }
         self.elements.push(Element {
@@ -769,7 +862,8 @@ impl<'d> MeshAssembler<'d> {
 
     /// Connects point `(xa, ya)` of grid `a` to point `(xb, yb)` of grid
     /// `b` through conductance `g`, spread bilinearly on both sides (a
-    /// 4×4 resistor bundle summing to `g`).
+    /// 4×4 resistor bundle summing to `g`). An element opened by the fault
+    /// model is neither stamped nor recorded.
     fn connect_points(
         &mut self,
         a: &crate::grid::GridSpec,
@@ -779,6 +873,9 @@ impl<'d> MeshAssembler<'d> {
         g: f64,
         kind: ElementKind,
     ) {
+        let Some(g) = self.surviving_conductance(kind, g) else {
+            return;
+        };
         let wa = a.bilinear(xa, ya);
         let wb = b.bilinear(xb, yb);
         let mut branches = Vec::new();
@@ -797,7 +894,8 @@ impl<'d> MeshAssembler<'d> {
         });
     }
 
-    /// Connects two same-geometry grids node-by-node (via mesh / F2F vias).
+    /// Connects two same-geometry grids node-by-node (via mesh / F2F
+    /// vias). Each node's via cell draws its own void fate.
     fn stamp_plane_connection(&mut self, a: GridId, b: GridId, g: f64) {
         let ga = self.registry.grid(a).clone();
         let gb = self.registry.grid(b).clone();
@@ -808,6 +906,13 @@ impl<'d> MeshAssembler<'d> {
         );
         for iy in 0..ga.ny {
             for ix in 0..ga.nx {
+                let g = match &mut self.faults {
+                    Some(injector) => match injector.draw(FaultSite::Via, g) {
+                        Some(g) => g,
+                        None => continue,
+                    },
+                    None => g,
+                };
                 self.coo
                     .stamp_conductance(ga.node(ix, iy), gb.node(ix, iy), g);
             }
@@ -1160,6 +1265,108 @@ impl<'d> MeshAssembler<'d> {
     }
 }
 
+/// Union-find connectivity audit over the assembled conductance matrix:
+/// classifies every node as supplied (some resistive path reaches a
+/// supply-tied node) or islanded. Returns the per-node islanded flags and
+/// the number of disconnected islands.
+///
+/// Runs in near-linear `O(nnz · α)` time, a negligible cost next to the
+/// preconditioner factorization it guards.
+fn audit_connectivity(matrix: &CsrMatrix, supply_nodes: &[usize]) -> (Vec<bool>, usize) {
+    let n = matrix.dim();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut i: u32) -> u32 {
+        while parent[i as usize] != i {
+            // Path halving keeps the traversal near-constant amortized.
+            parent[i as usize] = parent[parent[i as usize] as usize];
+            i = parent[i as usize];
+        }
+        i
+    }
+    for r in 0..n {
+        for (c, g) in matrix.row(r) {
+            if c > r && g != 0.0 {
+                let (a, b) = (find(&mut parent, r as u32), find(&mut parent, c as u32));
+                if a != b {
+                    parent[a as usize] = b;
+                }
+            }
+        }
+    }
+    let mut supplied = vec![false; n];
+    for &s in supply_nodes {
+        let root = find(&mut parent, s as u32);
+        supplied[root as usize] = true;
+    }
+    let mut islanded = vec![false; n];
+    let mut island_roots = Vec::new();
+    for i in 0..n {
+        let root = find(&mut parent, i as u32);
+        if !supplied[root as usize] {
+            islanded[i] = true;
+            if !island_roots.contains(&root) {
+                island_roots.push(root);
+            }
+        }
+    }
+    (islanded, island_roots.len())
+}
+
+/// Builds the [`DegradedSupplyReport`] for a failed audit.
+fn degradation_report(
+    builder: &MeshAssembler<'_>,
+    islanded: &[bool],
+    islands: usize,
+    faults: Option<FaultReport>,
+) -> DegradedSupplyReport {
+    let mut affected_dies = Vec::new();
+    let mut logic_affected = false;
+    for (_, grid) in builder.registry.iter() {
+        let hit = (0..grid.node_count()).any(|i| islanded[grid.base + i]);
+        if !hit {
+            continue;
+        }
+        match grid.kind.dram_die() {
+            Some(die) if !affected_dies.contains(&die) => affected_dies.push(die),
+            Some(_) => {}
+            None => logic_affected = true,
+        }
+    }
+    affected_dies.sort_unstable();
+    let is_contact = |kind: ElementKind| {
+        matches!(
+            kind,
+            ElementKind::SupplyEntry | ElementKind::C4Bump | ElementKind::WireBond { .. }
+        )
+    };
+    let surviving: Vec<&Element> = builder
+        .elements
+        .iter()
+        .filter(|e| is_contact(e.kind))
+        .collect();
+    let opened = faults.map_or(0, |r| r.contact_opens);
+    let worst = surviving
+        .iter()
+        .map(|e| {
+            let g: f64 = e.branches.iter().map(|&(_, _, g)| g).sum();
+            1.0 / g
+        })
+        .fold(None, |acc: Option<f64>, r| {
+            Some(acc.map_or(r, |a| a.max(r)))
+        });
+    DegradedSupplyReport {
+        islanded_nodes: islanded.iter().filter(|&&i| i).count(),
+        total_nodes: islanded.len(),
+        islands,
+        affected_dies,
+        logic_affected,
+        surviving_supply_paths: surviving.len(),
+        total_supply_paths: surviving.len() + opened,
+        worst_surviving_path_ohms: worst,
+        faults,
+    }
+}
+
 /// Where the bottom interface terminates.
 enum SupplyTarget {
     /// Directly at the ideal supply (package balls or dedicated TSVs).
@@ -1169,6 +1376,7 @@ enum SupplyTarget {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pi3d_layout::{Benchmark, RdlConfig, RdlScope, StackDesign};
@@ -1287,6 +1495,106 @@ mod tests {
         let near = m.warm_cache.nearest(&[2, 0, 0, 1]).unwrap();
         let direct = m.warm_cache.nearest(&WarmStartCache::key(&other)).unwrap();
         assert!(Arc::ptr_eq(near, direct));
+    }
+
+    #[test]
+    fn faulted_but_connected_mesh_solves_normally() {
+        let d = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let spec = FaultSpec::new(42)
+            .with_tsv_open(0.05)
+            .with_via_void(0.02)
+            .with_em_drift(0.1);
+        let mut m = StackMesh::new(
+            &d,
+            MeshOptions {
+                faults: Some(spec),
+                ..MeshOptions::coarse()
+            },
+        )
+        .expect("lightly faulted mesh still builds");
+        let report = m.fault_report().expect("fault report recorded");
+        assert!(report.total_sites() > 0);
+        assert!(report.drifted > 0);
+
+        let state: MemoryState = "0-0-0-2".parse().unwrap();
+        let faulted = m.solve(&state, 1.0).expect("connected mesh solves");
+        let pristine = mesh(&d).solve(&state, 1.0).unwrap();
+        let max_f = faulted.iter().cloned().fold(0.0f64, f64::max);
+        let max_p = pristine.iter().cloned().fold(0.0f64, f64::max);
+        // Losing TSVs and drifting resistances can only hurt.
+        assert!(max_f > max_p, "faulted {max_f} !> pristine {max_p}");
+        assert!(max_f < 0.5, "faulted drop {max_f} V is implausible");
+    }
+
+    #[test]
+    fn fault_injection_is_reproducible() {
+        let d = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let opts = MeshOptions {
+            faults: Some(FaultSpec::new(7).with_tsv_open(0.2).with_em_drift(0.3)),
+            ..MeshOptions::coarse()
+        };
+        let a = StackMesh::new(&d, opts.clone()).unwrap();
+        let b = StackMesh::new(&d, opts).unwrap();
+        assert_eq!(a.fault_report(), b.fault_report());
+        assert_eq!(a.matrix(), b.matrix());
+    }
+
+    #[test]
+    fn inactive_fault_spec_leaves_the_mesh_pristine() {
+        let d = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let faulted = StackMesh::new(
+            &d,
+            MeshOptions {
+                faults: Some(FaultSpec::none()),
+                ..MeshOptions::coarse()
+            },
+        )
+        .unwrap();
+        assert!(faulted.fault_report().is_none());
+        assert_eq!(faulted.matrix(), mesh(&d).matrix());
+    }
+
+    #[test]
+    fn severed_stack_reports_degraded_supply() {
+        // Opening every TSV cuts dies 2..4 off the supply; die 1 still
+        // reaches the package balls directly.
+        let d = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let err = StackMesh::new(
+            &d,
+            MeshOptions {
+                faults: Some(FaultSpec::new(1).with_tsv_open(1.0)),
+                ..MeshOptions::coarse()
+            },
+        )
+        .expect_err("severed stack must not build");
+        let report = err.degraded_supply().expect("typed degradation");
+        assert_eq!(report.affected_dies, vec![1, 2, 3]);
+        assert!(!report.logic_affected);
+        assert!(report.islanded_nodes > 0);
+        assert!(report.islanded_nodes < report.total_nodes);
+        assert!(report.surviving_supply_paths > 0);
+        assert!(report.worst_surviving_path_ohms.unwrap() > 0.0);
+        assert!(report.faults.unwrap().tsv_opens > 0);
+        let msg = err.to_string();
+        assert!(msg.starts_with("degraded supply:"), "{msg}");
+    }
+
+    #[test]
+    fn all_supply_contacts_open_islands_everything() {
+        let d = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+        let err = StackMesh::new(
+            &d,
+            MeshOptions {
+                faults: Some(FaultSpec::new(1).with_bump_open(1.0)),
+                ..MeshOptions::coarse()
+            },
+        )
+        .expect_err("supply-less mesh must not build");
+        let report = err.degraded_supply().unwrap();
+        assert_eq!(report.islanded_nodes, report.total_nodes);
+        assert_eq!(report.surviving_supply_paths, 0);
+        assert_eq!(report.worst_surviving_path_ohms, None);
+        assert_eq!(report.affected_dies, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -163,6 +163,7 @@ impl CurrentReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::MeshOptions;

@@ -88,6 +88,7 @@ pub fn decompose_ir(report: &IrDropReport) -> Vec<DieDecomposition> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{IrAnalysis, MeshOptions};

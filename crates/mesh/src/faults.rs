@@ -1,0 +1,218 @@
+//! Seeded defect injection for stack-mesh assembly.
+//!
+//! A [`FaultInjector`] turns a [`pi3d_layout::FaultSpec`] into concrete
+//! per-element defect draws while the assembler stamps the mesh: TSV and
+//! B2B opens, supply-contact (C4 / ball / bond-wire) opens, intra-die and
+//! F2F via voids, and electromigration-style resistance drift on the
+//! survivors.
+//!
+//! # Determinism
+//!
+//! Assembly is single-threaded and walks the design in a fixed order, so
+//! each defect class gets its own [`SplitMix64`] stream seeded from the
+//! spec: draws for one class never shift another class's stream, and equal
+//! specs always reproduce the identical defect set — independent of
+//! `MeshOptions::threads`, which only affects solves *after* assembly.
+
+use pi3d_layout::FaultSpec;
+use pi3d_telemetry::rng::SplitMix64;
+
+/// The defect class of one stamping site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A die-to-die power TSV or B2B pad stack (rate: `tsv_open`).
+    Tsv,
+    /// A supply contact: package ball / supply entry, C4 bump, or bond
+    /// wire (rate: `bump_open`).
+    Contact,
+    /// An intra-die via cell or F2F micro-via (rate: `via_void`).
+    Via,
+}
+
+/// Tally of the defects actually injected into one mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// TSV / B2B sites drawn.
+    pub tsv_sites: usize,
+    /// TSV / B2B sites opened.
+    pub tsv_opens: usize,
+    /// Supply-contact sites drawn.
+    pub contact_sites: usize,
+    /// Supply-contact sites opened.
+    pub contact_opens: usize,
+    /// Via cells drawn.
+    pub via_sites: usize,
+    /// Via cells voided.
+    pub via_voids: usize,
+    /// Surviving elements whose resistance was EM-drifted.
+    pub drifted: usize,
+}
+
+impl FaultReport {
+    /// Total sites of every class that went through a defect draw.
+    pub fn total_sites(&self) -> usize {
+        self.tsv_sites + self.contact_sites + self.via_sites
+    }
+
+    /// Total opens and voids across every class.
+    pub fn total_opens(&self) -> usize {
+        self.tsv_opens + self.contact_opens + self.via_voids
+    }
+}
+
+/// Stateful defect sampler consumed by the mesh assembler.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    // One independent stream per FaultSite discriminant.
+    streams: [SplitMix64; 3],
+    report: FaultReport,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a spec. The spec's rates are assumed
+    /// validated ([`FaultSpec::validate`]).
+    pub fn new(spec: FaultSpec) -> Self {
+        // Derive the per-class stream seeds from one parent stream so
+        // classes are decorrelated even for small seeds.
+        let mut parent = SplitMix64::new(spec.seed);
+        let streams = [
+            SplitMix64::new(parent.next_u64()),
+            SplitMix64::new(parent.next_u64()),
+            SplitMix64::new(parent.next_u64()),
+        ];
+        FaultInjector {
+            spec,
+            streams,
+            report: FaultReport::default(),
+        }
+    }
+
+    /// The spec driving the draws.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Draws the fate of one element with nominal conductance `g`:
+    /// `None` if the defect opens it, otherwise the surviving (possibly
+    /// EM-drifted) conductance.
+    pub fn draw(&mut self, site: FaultSite, g: f64) -> Option<f64> {
+        let (rate, idx) = match site {
+            FaultSite::Tsv => (self.spec.tsv_open, 0),
+            FaultSite::Contact => (self.spec.bump_open, 1),
+            FaultSite::Via => (self.spec.via_void, 2),
+        };
+        match site {
+            FaultSite::Tsv => self.report.tsv_sites += 1,
+            FaultSite::Contact => self.report.contact_sites += 1,
+            FaultSite::Via => self.report.via_sites += 1,
+        }
+        let stream = &mut self.streams[idx];
+        if rate > 0.0 && stream.chance(rate) {
+            match site {
+                FaultSite::Tsv => self.report.tsv_opens += 1,
+                FaultSite::Contact => self.report.contact_opens += 1,
+                FaultSite::Via => self.report.via_voids += 1,
+            }
+            return None;
+        }
+        let mut g = g;
+        if self.spec.em_drift > 0.0 {
+            // Exponential(1) draw; 1 - u is in (0, 1] so the log is finite.
+            let e = -(1.0 - stream.next_f64()).ln();
+            g /= 1.0 + self.spec.em_drift * e;
+            self.report.drifted += 1;
+        }
+        Some(g)
+    }
+
+    /// The defect tally so far.
+    pub fn report(&self) -> FaultReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn run(spec: FaultSpec, draws: usize) -> (Vec<Option<f64>>, FaultReport) {
+        let mut inj = FaultInjector::new(spec);
+        let fates: Vec<Option<f64>> = (0..draws)
+            .map(|i| {
+                let site = match i % 3 {
+                    0 => FaultSite::Tsv,
+                    1 => FaultSite::Contact,
+                    _ => FaultSite::Via,
+                };
+                inj.draw(site, 1.0)
+            })
+            .collect();
+        (fates, inj.report())
+    }
+
+    #[test]
+    fn equal_specs_reproduce_identical_defect_sets() {
+        let spec = FaultSpec::new(99)
+            .with_tsv_open(0.3)
+            .with_bump_open(0.2)
+            .with_via_void(0.1)
+            .with_em_drift(0.4);
+        let (a, ra) = run(spec, 300);
+        let (b, rb) = run(spec, 300);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert!(ra.total_opens() > 0);
+        assert!(ra.drifted > 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = FaultSpec::new(1).with_tsv_open(0.5);
+        let (a, _) = run(spec, 90);
+        let (b, _) = run(spec.with_seed(2), 90);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn classes_use_independent_streams() {
+        // Drawing extra Contact sites must not change the Tsv fates.
+        let spec = FaultSpec::new(5).with_tsv_open(0.5).with_bump_open(0.5);
+        let mut plain = FaultInjector::new(spec);
+        let baseline: Vec<_> = (0..50).map(|_| plain.draw(FaultSite::Tsv, 1.0)).collect();
+        let mut interleaved = FaultInjector::new(spec);
+        let mixed: Vec<_> = (0..50)
+            .map(|_| {
+                let _ = interleaved.draw(FaultSite::Contact, 1.0);
+                interleaved.draw(FaultSite::Tsv, 1.0)
+            })
+            .collect();
+        assert_eq!(baseline, mixed);
+    }
+
+    #[test]
+    fn open_rate_one_opens_everything() {
+        let (fates, report) = run(FaultSpec::new(0).with_tsv_open(1.0), 30);
+        for (i, fate) in fates.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(fate.is_none(), "tsv draw {i} survived");
+            } else {
+                assert_eq!(*fate, Some(1.0));
+            }
+        }
+        assert_eq!(report.tsv_opens, report.tsv_sites);
+        assert_eq!(report.contact_opens + report.via_voids, 0);
+    }
+
+    #[test]
+    fn drift_only_reduces_conductance_without_opens() {
+        let (fates, report) = run(FaultSpec::new(0).with_em_drift(0.5), 30);
+        assert_eq!(report.total_opens(), 0);
+        assert_eq!(report.drifted, 30);
+        for fate in fates {
+            let g = fate.unwrap();
+            assert!(g > 0.0 && g <= 1.0, "drifted g {g}");
+        }
+    }
+}

@@ -30,11 +30,15 @@
 // (parallel arrays with shared indices).
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_debug_implementations)]
+// User-reachable failures must surface as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
 
 mod analysis;
 mod build;
 mod current;
 mod decompose;
+mod error;
+mod faults;
 mod grid;
 mod noise;
 mod spice;
@@ -45,6 +49,8 @@ pub use analysis::{GridIrStats, IrAnalysis, IrDropReport};
 pub use build::{Element, ElementKind, MeshOptions, StackMesh};
 pub use current::{CurrentReport, ElementCurrentStats, LayerCurrentStats};
 pub use decompose::{decompose_ir, DieDecomposition};
+pub use error::{DegradedSupplyReport, MeshError};
+pub use faults::{FaultInjector, FaultReport, FaultSite};
 pub use grid::{GridId, GridKind, GridRegistry, GridSpec};
 pub use noise::{SupplyNoiseAnalysis, SupplyNoiseReport};
 pub use spice::export_spice;

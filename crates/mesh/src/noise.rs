@@ -9,6 +9,7 @@
 
 use crate::analysis::{IrAnalysis, IrDropReport};
 use crate::build::MeshOptions;
+use crate::error::MeshError;
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{MemoryState, PowerNet, StackDesign};
 use pi3d_solver::SolverError;
@@ -76,7 +77,7 @@ impl SupplyNoiseAnalysis {
     /// # Errors
     ///
     /// Propagates mesh-assembly failures.
-    pub fn new(design: &StackDesign, options: MeshOptions) -> Result<Self, SolverError> {
+    pub fn new(design: &StackDesign, options: MeshOptions) -> Result<Self, MeshError> {
         let vdd_options = MeshOptions {
             net: PowerNet::Vdd,
             ..options.clone()
@@ -109,6 +110,7 @@ impl SupplyNoiseAnalysis {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pi3d_layout::{Benchmark, PdnSpec};

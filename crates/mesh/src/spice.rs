@@ -19,11 +19,9 @@ use std::io::{self, Write};
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
-///
-/// # Panics
-///
-/// Panics if `loads.len()` differs from the mesh's node count.
+/// Propagates I/O errors from the writer, and rejects a load vector whose
+/// length differs from the mesh's node count with
+/// [`io::ErrorKind::InvalidInput`].
 ///
 /// # Examples
 ///
@@ -51,7 +49,12 @@ pub fn export_spice<W: Write>(
 ) -> io::Result<()> {
     let matrix = mesh.matrix();
     let n = matrix.dim();
-    assert_eq!(loads.len(), n, "load vector length mismatch");
+    if loads.len() != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("load vector has {} entries for {n} mesh nodes", loads.len()),
+        ));
+    }
 
     writeln!(writer, "* {title}")?;
     writeln!(
@@ -98,6 +101,7 @@ pub fn export_spice<W: Write>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::MeshOptions;

@@ -16,8 +16,9 @@
 //! handles every time step (with warm starts from the previous step).
 
 use crate::build::{ElementKind, MeshOptions, StackMesh};
+use crate::error::MeshError;
 use pi3d_layout::{MemoryState, StackDesign};
-use pi3d_solver::{CgSolver, CooBuilder, CsrMatrix, PreparedSystem, SolverError};
+use pi3d_solver::{CgSolver, CooBuilder, CsrMatrix, PreparedSystem};
 
 /// Decoupling-capacitance configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,7 +135,7 @@ pub fn run_transient(
     mesh_options: MeshOptions,
     options: TransientOptions,
     state: &MemoryState,
-) -> Result<TransientResult, SolverError> {
+) -> Result<TransientResult, MeshError> {
     #[cfg(feature = "telemetry")]
     let _span = pi3d_telemetry::span::span("transient");
     let mut mesh = StackMesh::new(design, mesh_options)?;
@@ -241,6 +242,7 @@ fn max_dram_drop(mesh: &StackMesh, v: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pi3d_layout::Benchmark;

@@ -8,9 +8,10 @@
 //! iterative production path and the dense direct path.
 
 use crate::build::{MeshOptions, StackMesh};
+use crate::error::MeshError;
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{MemoryState, StackDesign};
-use pi3d_solver::{DenseMatrix, SolverError};
+use pi3d_solver::DenseMatrix;
 use std::time::{Duration, Instant};
 
 /// Result of validating the sparse R-Mesh path against the dense golden
@@ -73,7 +74,7 @@ pub fn validate_against_golden(
     options: MeshOptions,
     state: &MemoryState,
     io_activity: f64,
-) -> Result<ValidationReport, SolverError> {
+) -> Result<ValidationReport, MeshError> {
     let mut mesh = StackMesh::new(design, options)?;
     let loads = mesh.load_vector(state, io_activity);
 
@@ -116,6 +117,7 @@ pub fn validate_against_golden(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pi3d_layout::Benchmark;

@@ -285,15 +285,25 @@ impl CgSolver {
                 self.tolerance
             );
         }
-        Err(SolverError::ConvergenceFailure {
+        // The final iterate is still the best available approximation;
+        // hand it back so callers can warm-start a retry or fall back to
+        // a direct solve instead of discarding the work.
+        Err(SolverError::NonConverged {
             iterations: self.max_iterations,
             residual: relres,
             tolerance: self.tolerance,
+            partial: Box::new(CgSolution {
+                x,
+                iterations: self.max_iterations,
+                relative_residual: relres,
+                residual_trace,
+            }),
         })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{CooBuilder, DenseMatrix};
@@ -440,10 +450,20 @@ mod tests {
             .with_max_iterations(2)
             .solve(&a, &b, Preconditioner::Identity)
             .unwrap_err();
-        assert!(matches!(
-            err,
-            SolverError::ConvergenceFailure { iterations: 2, .. }
-        ));
+        let SolverError::NonConverged {
+            iterations: 2,
+            partial,
+            ..
+        } = err
+        else {
+            panic!("expected NonConverged, got {err:?}");
+        };
+        // The partial iterate is preserved, not discarded.
+        assert_eq!(partial.x.len(), 256);
+        assert!(partial.x.iter().any(|&v| v != 0.0));
+        assert_eq!(partial.iterations, 2);
+        #[cfg(feature = "telemetry")]
+        assert_eq!(partial.residual_trace.len(), 2);
     }
 
     #[test]

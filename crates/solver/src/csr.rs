@@ -371,6 +371,7 @@ impl CsrMatrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -197,6 +197,7 @@ impl CholeskyFactor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::CooBuilder;

@@ -1,3 +1,4 @@
+use crate::CgSolution;
 use std::error::Error;
 use std::fmt;
 
@@ -30,13 +31,20 @@ pub enum SolverError {
         value: f64,
     },
     /// The iterative solver failed to reach the requested tolerance.
-    ConvergenceFailure {
+    ///
+    /// The work already performed is not discarded: `partial` carries the
+    /// best iterate, its residual trace, and the iteration count, so
+    /// callers can inspect how the solve diverged, warm-start a retry, or
+    /// hand the iterate to a fallback solver.
+    NonConverged {
         /// Number of iterations performed before giving up.
         iterations: usize,
         /// Relative residual norm at the final iteration.
         residual: f64,
         /// Tolerance that was requested.
         tolerance: f64,
+        /// The final iterate and its per-iteration residual trace.
+        partial: Box<CgSolution>,
     },
     /// A matrix value was NaN or infinite.
     NonFiniteValue {
@@ -73,10 +81,11 @@ impl fmt::Display for SolverError {
                     "matrix not positive definite: pivot {value:.3e} at index {index}"
                 )
             }
-            SolverError::ConvergenceFailure {
+            SolverError::NonConverged {
                 iterations,
                 residual,
                 tolerance,
+                ..
             } => {
                 write!(
                     f,
@@ -100,6 +109,7 @@ impl fmt::Display for SolverError {
 impl Error for SolverError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -119,10 +129,16 @@ mod tests {
         assert!(e.to_string().contains("length 4"));
         assert!(e.to_string().contains("dimension 5"));
 
-        let e = SolverError::ConvergenceFailure {
+        let e = SolverError::NonConverged {
             iterations: 10,
             residual: 1e-3,
             tolerance: 1e-9,
+            partial: Box::new(CgSolution {
+                x: vec![0.0; 4],
+                iterations: 10,
+                relative_residual: 1e-3,
+                residual_trace: vec![1e-1, 1e-2, 1e-3],
+            }),
         };
         assert!(e.to_string().contains("10 iterations"));
     }

@@ -45,6 +45,8 @@
 // (parallel arrays with shared indices).
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_debug_implementations)]
+// User-reachable failures must surface as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
 
 mod cg;
 mod csr;

@@ -241,6 +241,7 @@ impl IncompleteCholesky {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::CooBuilder;

@@ -50,6 +50,7 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -33,6 +33,8 @@ pub const MAX_MESH_RECORDS: usize = 64;
 pub const MAX_POLICY_RECORDS: usize = 256;
 /// Most experiment wall-clock records kept per run.
 pub const MAX_EXPERIMENTS: usize = 256;
+/// Most fault-sweep level records kept per run.
+pub const MAX_FAULT_RECORDS: usize = 64;
 
 /// One CG solve's convergence history.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +83,28 @@ pub struct PolicyStatsRecord {
     pub stall_cycles: u64,
     /// Worst IR drop observed, in millivolts.
     pub max_ir_mv: f64,
+}
+
+/// Survival statistics for one severity level of a Monte Carlo PDN fault
+/// sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepRecord {
+    /// Which benchmark/design was swept.
+    pub label: String,
+    /// Severity multiplier applied to the base fault rates.
+    pub level: f64,
+    /// Trials run at this level.
+    pub trials: u64,
+    /// Trials whose mesh stayed fully supplied and solved.
+    pub survived: u64,
+    /// Mean injected opens (TSV + contact + via) per trial.
+    pub mean_opens: f64,
+    /// Mean max DRAM IR drop over surviving trials, mV (0 when none).
+    pub mean_max_ir_mv: f64,
+    /// Worst max DRAM IR drop over surviving trials, mV.
+    pub worst_max_ir_mv: f64,
+    /// Mean islanded-node count over degraded trials (0 when none).
+    pub mean_islanded_nodes: f64,
 }
 
 /// Wall clock for one experiment (a paper table or figure).
@@ -143,6 +167,7 @@ fn sinks() -> &'static Sinks {
         mesh: Sink::new(MAX_MESH_RECORDS),
         policies: Sink::new(MAX_POLICY_RECORDS),
         experiments: Sink::new(MAX_EXPERIMENTS),
+        faults: Sink::new(MAX_FAULT_RECORDS),
     })
 }
 
@@ -151,6 +176,7 @@ struct Sinks {
     mesh: Sink<MeshStatsRecord>,
     policies: Sink<PolicyStatsRecord>,
     experiments: Sink<ExperimentRecord>,
+    faults: Sink<FaultSweepRecord>,
 }
 
 /// Records one solve's convergence history (dropped once the per-run cap
@@ -183,6 +209,11 @@ pub fn record_experiment(name: &str, wall_secs: f64, ok: bool) {
     });
 }
 
+/// Records one fault-sweep severity level's survival statistics.
+pub fn record_fault_sweep(record: FaultSweepRecord) {
+    sinks().faults.push(|| record);
+}
+
 /// Clears every sink, the metrics registry, and the span tree — call at
 /// the start of a run (the CLIs do) so reports cover exactly one run.
 pub fn reset_run() {
@@ -191,6 +222,7 @@ pub fn reset_run() {
     s.mesh.reset();
     s.policies.reset();
     s.experiments.reset();
+    s.faults.reset();
     metrics::reset();
     span::reset();
 }
@@ -212,6 +244,8 @@ pub struct RunReport {
     pub memsim: Vec<PolicyStatsRecord>,
     /// Experiment wall clocks.
     pub experiments: Vec<ExperimentRecord>,
+    /// Fault-sweep survival statistics, one record per severity level.
+    pub fault_sweep: Vec<FaultSweepRecord>,
 }
 
 impl RunReport {
@@ -226,6 +260,7 @@ impl RunReport {
             mesh: s.mesh.lock().clone(),
             memsim: s.policies.lock().clone(),
             experiments: s.experiments.lock().clone(),
+            fault_sweep: s.faults.lock().clone(),
         }
     }
 
@@ -298,6 +333,18 @@ impl RunReport {
                 ("max_ir_mv", Json::num(p.max_ir_mv)),
             ])
         });
+        let fault_sweep = self.fault_sweep.iter().map(|r| {
+            Json::obj([
+                ("label", Json::str(r.label.clone())),
+                ("level", Json::num(r.level)),
+                ("trials", Json::num(r.trials as f64)),
+                ("survived", Json::num(r.survived as f64)),
+                ("mean_opens", Json::num(r.mean_opens)),
+                ("mean_max_ir_mv", Json::num(r.mean_max_ir_mv)),
+                ("worst_max_ir_mv", Json::num(r.worst_max_ir_mv)),
+                ("mean_islanded_nodes", Json::num(r.mean_islanded_nodes)),
+            ])
+        });
         let experiments = self.experiments.iter().map(|e| {
             Json::obj([
                 ("name", Json::str(e.name.clone())),
@@ -318,6 +365,7 @@ impl RunReport {
             ),
             ("mesh", Json::Arr(mesh.collect())),
             ("memsim", Json::Arr(memsim.collect())),
+            ("fault_sweep", Json::Arr(fault_sweep.collect())),
             ("experiments", Json::Arr(experiments.collect())),
         ])
     }
@@ -357,6 +405,16 @@ mod tests {
             max_ir_mv: 42.0,
         });
         record_experiment("unit_exp", 0.25, true);
+        record_fault_sweep(FaultSweepRecord {
+            label: "unit".into(),
+            level: 0.5,
+            trials: 16,
+            survived: 12,
+            mean_opens: 3.25,
+            mean_max_ir_mv: 88.0,
+            worst_max_ir_mv: 120.0,
+            mean_islanded_nodes: 240.0,
+        });
         metrics::counter("test.report.counter").incr(7);
 
         let report = RunReport::collect();
@@ -377,6 +435,9 @@ mod tests {
             policy.get("stall_cycles").and_then(Json::as_num),
             Some(120.0)
         );
+        let sweep = &doc.get("fault_sweep").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(sweep.get("level").and_then(Json::as_num), Some(0.5));
+        assert_eq!(sweep.get("survived").and_then(Json::as_num), Some(12.0));
         let counters = doc.get("counters").unwrap();
         assert_eq!(
             counters.get("test.report.counter").and_then(Json::as_num),

@@ -26,7 +26,7 @@ fn run_report_json_matches_the_documented_schema() {
         dram_ny: 10,
         ..MeshOptions::coarse()
     };
-    let mut analysis = IrAnalysis::new(&design, options).expect("mesh builds");
+    let mut analysis = IrAnalysis::new(&design, options.clone()).expect("mesh builds");
     let state: MemoryState = "0-0-0-2".parse().unwrap();
     let ir = analysis.run(&state, 1.0).expect("solve converges");
     assert!(ir.max_dram().value() > 0.0);
@@ -46,6 +46,18 @@ fn run_report_json_matches_the_documented_schema() {
         lut,
     );
     sim.run(&workload.generate()).expect("simulation completes");
+
+    // A tiny fault sweep populates the fault_sweep section and the
+    // faults.injected.* counters.
+    let sweep_options = pi3d::core::FaultSweepOptions {
+        levels: vec![1.0],
+        trials: 2,
+        reads: 0,
+        mesh: options,
+        ..pi3d::core::FaultSweepOptions::new(pi3d::layout::FaultSpec::new(9).with_em_drift(0.2))
+    };
+    let sweep = pi3d::core::run_fault_sweep(&design, &sweep_options).expect("sweep completes");
+    assert_eq!(sweep.levels[0].survived, 2);
 
     report::record_experiment("golden_shape", 0.01, true);
 
@@ -67,6 +79,7 @@ fn run_report_json_matches_the_documented_schema() {
             "convergence_dropped",
             "mesh",
             "memsim",
+            "fault_sweep",
             "experiments",
         ],
         "top-level key set or order changed"
@@ -181,6 +194,17 @@ fn run_report_json_matches_the_documented_schema() {
     let hit_rate = policy.get("row_hit_rate").unwrap().as_num().unwrap();
     assert!((0.0..=1.0).contains(&hit_rate));
     assert!(policy.get("stall_cycles").unwrap().as_num().unwrap() >= 0.0);
+
+    // Fault sweep: one record per severity level, with the EM-drift-only
+    // population surviving every trial.
+    let sweep_rows = json.get("fault_sweep").unwrap().as_arr().unwrap();
+    assert_eq!(sweep_rows.len(), 1);
+    let row = &sweep_rows[0];
+    assert_eq!(row.get("level").unwrap().as_num(), Some(1.0));
+    assert_eq!(row.get("trials").unwrap().as_num(), Some(2.0));
+    assert_eq!(row.get("survived").unwrap().as_num(), Some(2.0));
+    assert!(row.get("mean_max_ir_mv").unwrap().as_num().unwrap() > 0.0);
+    assert!(counter("faults.injected.em_drift") >= 1.0);
 
     // Experiments: wall-clock entries survive the round trip.
     let experiments = json.get("experiments").unwrap().as_arr().unwrap();
