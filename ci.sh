@@ -98,4 +98,73 @@ if grep -qi 'panicked\|backtrace' "$fault_err"; then
 fi
 echo "negative test OK: $(grep -o 'degraded supply[^;]*' "$fault_err" | head -1)"
 
+echo "==> kill-and-resume smoke (journaled fault sweep, SIGINT mid-sweep)"
+jobdir="$(mktemp -d /tmp/pi3d-jobs.XXXXXX)"
+trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err"; rm -rf "$jobdir"' EXIT
+# Enough trials that the sweep cannot finish before the interrupt lands.
+sweep_flags="--levels 0.5,1.0 --trials 120 --grid 12 --reads 0"
+./target/release/pi3d faults "$cfg" $sweep_flags --threads 2 \
+    --journal "$jobdir/sweep.journal" --metrics-out "$jobdir/cancel.json" \
+    > "$jobdir/cancelled.out" 2> "$jobdir/cancelled.err" &
+sweep_pid=$!
+# Wait for the journal to hold the header plus at least two fsync'd
+# records, then interrupt the worker mid-sweep.
+i=0
+while [ "$( (wc -l < "$jobdir/sweep.journal") 2>/dev/null || echo 0)" -lt 3 ]; do
+    i=$((i+1))
+    if [ "$i" -gt 1200 ]; then
+        echo "FAIL: journal never reached two records" >&2
+        kill "$sweep_pid" 2>/dev/null || true
+        exit 1
+    fi
+    if ! kill -0 "$sweep_pid" 2>/dev/null; then
+        echo "FAIL: sweep finished before the interrupt" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -INT "$sweep_pid"
+sweep_status=0
+wait "$sweep_pid" || sweep_status=$?
+if [ "$sweep_status" -ne 130 ]; then
+    echo "FAIL: cancelled sweep exited $sweep_status, expected 130" >&2
+    cat "$jobdir/cancelled.err" >&2
+    exit 1
+fi
+grep -q 'cancelled' "$jobdir/cancelled.err"
+# The partial run report must be valid JSON whose outcome block records
+# the cooperative cancellation (not a truncated or missing file).
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$jobdir/cancel.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema"] == "pi3d.run_report.v1", r["schema"]
+o = r["outcome"]
+assert o["status"] == "cancelled", o
+assert o["exit_code"] == 130, o
+assert o["stage"] == "faults", o
+assert "resume" in o["error"], o
+print("partial report OK:", o["error"])
+PY
+else
+    grep -q '"status": "cancelled"' "$jobdir/cancel.json"
+    grep -q '"exit_code": 130' "$jobdir/cancel.json"
+    echo "partial report OK (grep check)"
+fi
+grep -q '"journal":"pi3d.jobs.v1"' "$jobdir/sweep.journal"
+# Resume at two thread counts (from identical copies of the interrupted
+# journal) and run once clean; all three reports must be byte-identical.
+interrupted_units=$(( $(wc -l < "$jobdir/sweep.journal") - 1 ))
+cp "$jobdir/sweep.journal" "$jobdir/sweep8.journal"
+./target/release/pi3d faults "$cfg" $sweep_flags --threads 2 \
+    --resume "$jobdir/sweep.journal" > "$jobdir/resumed2.out"
+./target/release/pi3d faults "$cfg" $sweep_flags --threads 8 \
+    --resume "$jobdir/sweep8.journal" > "$jobdir/resumed8.out"
+./target/release/pi3d faults "$cfg" $sweep_flags --threads 4 \
+    > "$jobdir/clean.out"
+diff "$jobdir/clean.out" "$jobdir/resumed2.out"
+diff "$jobdir/clean.out" "$jobdir/resumed8.out"
+echo "kill-and-resume OK: interrupted after $interrupted_units units, resumed reports byte-identical"
+
 echo "==> ci.sh passed"

@@ -113,6 +113,10 @@ fn main() {
         ("median_speedup", Json::num(overall)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_memsim.json");
-    std::fs::write(path, doc.to_pretty_string()).expect("write BENCH_memsim.json");
+    pi3d_telemetry::fsio::atomic_write(
+        std::path::Path::new(path),
+        doc.to_pretty_string().as_bytes(),
+    )
+    .expect("write BENCH_memsim.json");
     println!("  wrote {path}");
 }

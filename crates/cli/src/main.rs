@@ -18,35 +18,94 @@
 //! Global flags (any command): `--log-level off|error|warn|info|debug|trace`
 //! sets the stderr log threshold (overrides `PI3D_LOG`), and
 //! `--metrics-out FILE` writes a JSON run report — phase timings, metrics,
-//! CG convergence traces, mesh and memory-simulator statistics — on exit.
+//! CG convergence traces, mesh and memory-simulator statistics — on exit,
+//! including error, cancelled, and deadline exits (the report's `outcome`
+//! block carries the failure stage and exit code).
+//!
+//! Durable execution (faults / optimize / simulate --policy all):
+//! `--journal FILE` records each completed work unit to an fsync'd
+//! append-only journal; `--resume FILE` continues an interrupted run,
+//! skipping journaled units and reproducing the uninterrupted output
+//! bit-identically. `--deadline SECS` bounds wall-clock time, Ctrl-C
+//! (or `--cancel-file FILE` appearing) requests a cooperative stop.
+//!
+//! Exit codes: `0` success, `1` error, `124` deadline or cycle budget
+//! exceeded (matching `timeout(1)`), `130` cancelled (128 + SIGINT).
 
 // User-reachable failures must surface as typed errors, not panics.
 #![warn(clippy::unwrap_used)]
 
 mod config;
 
-use pi3d_core::{build_ir_lut, characterize, run_fault_sweep, FaultSweepOptions, Platform};
+use pi3d_core::jobs::{config_hash_of, fnv1a64, journaled_sweep};
+use pi3d_core::{
+    build_ir_lut, characterize_with, run_fault_sweep_with, CoreError, FaultSweepOptions,
+    JobContext, Platform,
+};
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{render_design_svg, Benchmark, FaultSpec, MemoryState, StackDesign};
 use pi3d_memsim::{
-    parse_trace, IrDropLut, MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec,
+    parse_trace, IrDropLut, MemorySimulator, ReadPolicy, SimConfig, SimStats, SimulateError,
+    TimingParams, WorkloadSpec,
 };
 use pi3d_mesh::{
     decompose_ir, export_spice, run_transient, CurrentReport, MeshOptions, StackMesh,
     SupplyNoiseAnalysis, TransientOptions,
 };
-use pi3d_telemetry::par::parallel_map;
+use pi3d_solver::SolverError;
+use pi3d_telemetry::fsio::atomic_write;
+use pi3d_telemetry::{CancelToken, Json};
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Exit code for cooperative cancellation: 128 + SIGINT, the shell
+/// convention for "killed by Ctrl-C".
+const EXIT_CANCELLED: u8 = 130;
+/// Exit code for an exhausted deadline or cycle budget, matching
+/// `timeout(1)`.
+const EXIT_DEADLINE: u8 = 124;
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(1)
+            ExitCode::from(exit_code_for(e.as_ref()))
         }
     }
+}
+
+/// Maps an error chain to the documented exit codes by walking `source()`
+/// links for the typed interruption variants of any layer.
+fn exit_code_for(error: &(dyn std::error::Error + 'static)) -> u8 {
+    let mut current = Some(error);
+    while let Some(e) = current {
+        if let Some(core) = e.downcast_ref::<CoreError>() {
+            match core {
+                CoreError::Cancelled { .. } => return EXIT_CANCELLED,
+                CoreError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
+                _ => {}
+            }
+        }
+        if let Some(solver) = e.downcast_ref::<SolverError>() {
+            match solver {
+                SolverError::Cancelled { .. } => return EXIT_CANCELLED,
+                SolverError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
+                _ => {}
+            }
+        }
+        if let Some(sim) = e.downcast_ref::<SimulateError>() {
+            match sim {
+                SimulateError::Cancelled { .. } => return EXIT_CANCELLED,
+                SimulateError::CycleBudgetExceeded { .. } => return EXIT_DEADLINE,
+                _ => {}
+            }
+        }
+        current = e.source();
+    }
+    1
 }
 
 /// Minimal flag parser: positional arguments plus `--flag [value]` pairs.
@@ -93,29 +152,83 @@ impl Args {
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     #[cfg(feature = "telemetry")]
+    pi3d_telemetry::report::reset_run();
+    let _stage = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "startup".to_owned());
+
+    let _started = Instant::now();
+    let result = dispatch(&args);
+
+    // The run report is written on *every* exit path — success, error,
+    // cancellation, deadline — tagged with the failure stage and exit
+    // code, so an interrupted campaign still leaves a valid partial
+    // report next to its journal.
+    #[cfg(feature = "telemetry")]
     {
-        if let Some(level) = args.flag("log-level") {
-            let parsed: pi3d_telemetry::Level =
-                level.parse().map_err(|e| format!("bad --log-level: {e}"))?;
-            pi3d_telemetry::log::set_level(parsed);
+        pi3d_telemetry::report::record_experiment(
+            &_stage,
+            _started.elapsed().as_secs_f64(),
+            result.is_ok(),
+        );
+        let (exit_code, error) = match &result {
+            Ok(()) => (0u8, String::new()),
+            Err(e) => (exit_code_for(e.as_ref()), e.to_string()),
+        };
+        let status = match exit_code {
+            0 => "ok",
+            EXIT_CANCELLED => "cancelled",
+            EXIT_DEADLINE => "deadline",
+            _ => "error",
+        };
+        pi3d_telemetry::report::set_outcome(pi3d_telemetry::report::RunOutcome {
+            status: status.to_owned(),
+            stage: _stage.clone(),
+            exit_code,
+            error,
+        });
+        if let Some(path) = args.flag("metrics-out") {
+            match pi3d_telemetry::RunReport::collect().write_json(Path::new(path)) {
+                Ok(()) => eprintln!("wrote run report to {path}"),
+                Err(e) if result.is_ok() => return Err(format!("cannot write {path}: {e}").into()),
+                // Don't let a report-write failure mask the run's error.
+                Err(e) => eprintln!("error: cannot write {path}: {e}"),
+            }
         }
-        pi3d_telemetry::report::reset_run();
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    #[cfg(feature = "telemetry")]
+    if let Some(level) = args.flag("log-level") {
+        let parsed: pi3d_telemetry::Level =
+            level.parse().map_err(|e| format!("bad --log-level: {e}"))?;
+        pi3d_telemetry::log::set_level(parsed);
+    }
+    // Ctrl-C requests a cooperative stop (long loops flush their journal
+    // and return typed Cancelled errors); a second Ctrl-C kills outright.
+    // The flag-file watcher is the scriptable/portable alternative.
+    pi3d_telemetry::cancel::install_sigint();
+    if let Some(path) = args.flag("cancel-file") {
+        pi3d_telemetry::cancel::watch_flag_file(path.into(), Duration::from_millis(100));
     }
     let Some(command) = args.positional.first().map(String::as_str) else {
         print_usage();
         return Err("no command given".into());
     };
 
-    let _started = std::time::Instant::now();
-    let result = match command {
-        "analyze" => analyze(&args),
-        "currents" => currents(&args),
-        "lut" => lut_command(&args),
-        "transient" => transient(&args),
-        "simulate" => simulate(&args),
-        "optimize" => optimize(&args),
-        "faults" => faults_command(&args),
-        "export" => export(&args),
+    match command {
+        "analyze" => analyze(args),
+        "currents" => currents(args),
+        "lut" => lut_command(args),
+        "transient" => transient(args),
+        "simulate" => simulate(args),
+        "optimize" => optimize(args),
+        "faults" => faults_command(args),
+        "export" => export(args),
         "help" | "--help" => {
             print_usage();
             Ok(())
@@ -124,22 +237,32 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             print_usage();
             Err(format!("unknown command {other:?}").into())
         }
-    };
-    #[cfg(feature = "telemetry")]
-    {
-        pi3d_telemetry::report::record_experiment(
-            command,
-            _started.elapsed().as_secs_f64(),
-            result.is_ok(),
-        );
-        if let Some(path) = args.flag("metrics-out") {
-            pi3d_telemetry::RunReport::collect()
-                .write_json(std::path::Path::new(path))
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!("wrote run report to {path}");
-        }
     }
-    result
+}
+
+/// Builds the durable-execution context shared by the sweep commands from
+/// the `--journal` / `--resume` / `--deadline` flags plus the global
+/// cancellation flag (SIGINT / `--cancel-file`).
+fn job_context(args: &Args) -> Result<JobContext, Box<dyn std::error::Error>> {
+    let mut ctx = JobContext::new().with_cancel(CancelToken::global());
+    match (args.flag("journal"), args.flag("resume")) {
+        (Some(_), Some(_)) => {
+            return Err("--journal and --resume are mutually exclusive".into());
+        }
+        (Some(path), None) => ctx = ctx.with_journal(path),
+        (None, Some(path)) => ctx = ctx.with_resume(path),
+        (None, None) => {}
+    }
+    if let Some(secs) = args.flag("deadline") {
+        let s: f64 = secs
+            .parse()
+            .map_err(|_| format!("--deadline must be a number of seconds, got {secs}"))?;
+        if !s.is_finite() || s <= 0.0 {
+            return Err("--deadline must be a positive number of seconds".into());
+        }
+        ctx = ctx.with_deadline(Instant::now() + Duration::from_secs_f64(s));
+    }
+    Ok(ctx)
 }
 
 fn print_usage() {
@@ -150,14 +273,17 @@ fn print_usage() {
          pi3d lut      <design.cfg> --out FILE [--grid N] [--threads N]\n  \
          pi3d transient <design.cfg> [--state S] [--steps N]\n  \
          pi3d simulate <design.cfg> [--policy standard|fcfs|distr|all] [--constraint MV]\n  \
-                       [--reads N] [--lut FILE] [--trace FILE] [--grid N]\n  \
+                       [--reads N] [--lut FILE] [--trace FILE] [--grid N] [--max-cycles N]\n  \
          pi3d optimize <benchmark>  [--alpha A] [--threads N]\n  \
          pi3d faults   [design.cfg] [--seed N] [--tsv-open P] [--bump-open P]\n  \
                        [--via-void P] [--em-drift S] [--levels L1,L2,..]\n  \
                        [--trials N] [--reads N] [--grid N]\n  \
          pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n\
          global flags: [--threads N] [--log-level off|error|warn|info|debug|trace]\n\
-                       [--metrics-out FILE]"
+                       [--metrics-out FILE]\n\
+         durable runs (faults/optimize/simulate): [--journal FILE] [--resume FILE]\n\
+                       [--deadline SECS] [--cancel-file FILE]\n\
+         exit codes:   0 ok, 1 error, 124 deadline/cycle budget, 130 cancelled"
     );
 }
 
@@ -332,9 +458,80 @@ fn lut_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut eval = platform.evaluate(&design)?;
     eprintln!("building IR-drop lookup table ...");
     let lut = build_ir_lut(&mut eval, SimConfig::paper_ddr3().max_powered_per_die)?;
-    fs::write(out, lut.to_text())?;
+    atomic_write(Path::new(out), lut.to_text().as_bytes())?;
     println!("wrote {out} ({} states)", lut.state_count());
     Ok(())
+}
+
+/// Finite floats travel as JSON numbers; non-finite ones (an
+/// `avg_queue_depth` of NaN from a zero-cycle run) as strings, which
+/// `str::parse::<f64>` round-trips exactly.
+fn f64_to_json(v: f64) -> Json {
+    if v.is_finite() {
+        Json::num(v)
+    } else {
+        Json::str(format!("{v}"))
+    }
+}
+
+fn f64_from_json(j: &Json) -> Option<f64> {
+    match j.as_num() {
+        Some(v) => Some(v),
+        None => j.as_str()?.parse().ok(),
+    }
+}
+
+/// u64 counters can exceed f64's exact-integer range; decimal strings are
+/// lossless.
+fn u64_to_json(v: u64) -> Json {
+    Json::str(v.to_string())
+}
+
+fn u64_from_json(j: &Json) -> Option<u64> {
+    j.as_str()?.parse().ok()
+}
+
+fn stats_to_json(policy: &ReadPolicy, stats: &SimStats) -> Json {
+    Json::obj([
+        ("policy", Json::str(policy.name())),
+        ("cycles", u64_to_json(stats.cycles)),
+        ("runtime_us", f64_to_json(stats.runtime_us)),
+        ("completed", u64_to_json(stats.completed)),
+        (
+            "bandwidth_reads_per_clk",
+            f64_to_json(stats.bandwidth_reads_per_clk),
+        ),
+        ("max_ir_mv", f64_to_json(stats.max_ir.value())),
+        ("refreshes", u64_to_json(stats.refreshes)),
+        ("activates", u64_to_json(stats.activates)),
+        ("precharges", u64_to_json(stats.precharges)),
+        ("row_hits", u64_to_json(stats.row_hits)),
+        ("avg_latency_cycles", f64_to_json(stats.avg_latency_cycles)),
+        ("avg_queue_depth", f64_to_json(stats.avg_queue_depth)),
+        ("stall_cycles", u64_to_json(stats.stall_cycles)),
+    ])
+}
+
+/// Rebuilds journaled simulation results, rejecting records whose policy
+/// label does not match the unit they claim to be.
+fn stats_from_json(policy: &ReadPolicy, payload: &Json) -> Option<SimStats> {
+    if payload.get("policy")?.as_str()? != policy.name() {
+        return None;
+    }
+    Some(SimStats {
+        cycles: u64_from_json(payload.get("cycles")?)?,
+        runtime_us: f64_from_json(payload.get("runtime_us")?)?,
+        completed: u64_from_json(payload.get("completed")?)?,
+        bandwidth_reads_per_clk: f64_from_json(payload.get("bandwidth_reads_per_clk")?)?,
+        max_ir: MilliVolts(f64_from_json(payload.get("max_ir_mv")?)?),
+        refreshes: u64_from_json(payload.get("refreshes")?)?,
+        activates: u64_from_json(payload.get("activates")?)?,
+        precharges: u64_from_json(payload.get("precharges")?)?,
+        row_hits: u64_from_json(payload.get("row_hits")?)?,
+        avg_latency_cycles: f64_from_json(payload.get("avg_latency_cycles")?)?,
+        avg_queue_depth: f64_from_json(payload.get("avg_queue_depth")?)?,
+        stall_cycles: u64_from_json(payload.get("stall_cycles")?)?,
+    })
 }
 
 fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -408,18 +605,48 @@ fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     sim_config.dies = design.dram_die_count();
     sim_config.banks_per_die = design.banks_per_die();
     sim_config.channels = spec.channels;
+    if let Some(mc) = args.flag("max-cycles") {
+        sim_config.max_cycles = mc
+            .parse()
+            .map_err(|_| format!("--max-cycles must be an integer, got {mc}"))?;
+    }
+
+    // Everything a simulation's outcome depends on feeds the journal's
+    // config hash (thread count deliberately excluded — results are
+    // bit-identical across worker counts).
+    let config_hash = config_hash_of(&[
+        "simulate",
+        args.flag("policy").unwrap_or("distr"),
+        &format!("{}", constraint.value()),
+        &lut.to_text(),
+        &format!("{timing:?}"),
+        &format!("{sim_config:?}"),
+        &format!("{:016x}", fnv1a64(format!("{requests:?}").as_bytes())),
+    ]);
 
     // With `--policy all` the three independent simulations fan across
     // `--threads` workers; results come back in policy order either way.
-    let results = parallel_map(&policies, options.threads, |_, &policy| {
-        let sim = MemorySimulator::new(timing, sim_config.clone(), policy, lut.clone());
-        sim.run(&requests)
-    });
-    for (i, (policy, result)) in policies.iter().zip(results).enumerate() {
+    // Each one is a journaled work unit, so `--resume` after a crash or
+    // Ctrl-C reruns only the policies that had not finished.
+    let ctx = job_context(args)?;
+    let results = journaled_sweep(
+        "simulate",
+        config_hash,
+        &policies,
+        options.threads,
+        &ctx,
+        |unit, stats| stats_to_json(&policies[unit], stats),
+        |unit, payload| stats_from_json(&policies[unit], payload),
+        |_, &policy| {
+            let sim = MemorySimulator::new(timing, sim_config.clone(), policy, lut.clone())
+                .with_cancel(CancelToken::global());
+            sim.run(&requests).map_err(CoreError::from)
+        },
+    )?;
+    for (i, (policy, stats)) in policies.iter().zip(results).enumerate() {
         if i > 0 {
             println!();
         }
-        let stats = result?;
         println!("policy    : {}", policy.name());
         println!("runtime   : {:.2} us", stats.runtime_us);
         println!("bandwidth : {:.3} reads/clk", stats.bandwidth_reads_per_clk);
@@ -445,7 +672,7 @@ fn optimize(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     let platform = Platform::new(MeshOptions::coarse());
     eprintln!("characterizing {benchmark} ({threads} threads) ...");
-    let characterization = characterize(&platform, benchmark, threads)?;
+    let characterization = characterize_with(&platform, benchmark, threads, &job_context(args)?)?;
     let best = characterization.optimize(alpha, &platform)?;
     println!(
         "best at alpha={alpha}: M2={:.0}% M3={:.0}% TC={} {}",
@@ -546,7 +773,7 @@ fn faults_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .map_err(|_| format!("--reads must be an integer, got {reads}"))?;
     }
 
-    let sweep = run_fault_sweep(&design, &options)?;
+    let sweep = run_fault_sweep_with(&design, &options, &job_context(args)?)?;
     println!("{sweep}");
 
     // A population this severe never yields a usable stack: surface the
@@ -573,7 +800,7 @@ fn export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut wrote = false;
     if let Some(path) = args.flag("svg") {
         let svg = render_design_svg(&design, &design.benchmark().to_string());
-        fs::write(path, svg)?;
+        atomic_write(Path::new(path), svg.as_bytes())?;
         println!("wrote {path}");
         wrote = true;
     }
@@ -588,7 +815,7 @@ fn export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             &format!("{} state {state}", design.benchmark()),
             &mut deck,
         )?;
-        fs::write(path, deck)?;
+        atomic_write(Path::new(path), &deck)?;
         println!("wrote {path}");
         wrote = true;
     }

@@ -28,6 +28,68 @@ pub enum CoreError {
         /// The benchmark searched.
         benchmark: String,
     },
+    /// The run was cancelled cooperatively (SIGINT or a programmatic
+    /// [`CancelToken`](pi3d_telemetry::CancelToken)) between work units.
+    ///
+    /// Completed units were already journaled (when a journal is attached)
+    /// so a `--resume` run picks up exactly where this one stopped.
+    Cancelled {
+        /// Work units finished (and journaled) before the stop.
+        completed: usize,
+        /// Total work units in the sweep.
+        total: usize,
+    },
+    /// The run's wall-clock deadline passed between work units.
+    ///
+    /// As with [`Cancelled`](Self::Cancelled), completed units are durable
+    /// in the journal and a resumed run skips them.
+    DeadlineExceeded {
+        /// Work units finished (and journaled) before the deadline.
+        completed: usize,
+        /// Total work units in the sweep.
+        total: usize,
+    },
+    /// A work item panicked inside a panic-isolated worker.
+    ///
+    /// The panic was contained by
+    /// [`parallel_map_catch`](pi3d_telemetry::par::parallel_map_catch);
+    /// the other items of the sweep completed (and were journaled) before
+    /// this error was raised.
+    WorkerPanic {
+        /// Index of the poisoned work unit.
+        unit: usize,
+        /// The captured panic message.
+        message: String,
+    },
+    /// A work journal could not be created, read, or appended to.
+    Journal {
+        /// Path of the journal file.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// True when this error reports a cooperative interruption — cancel,
+    /// deadline, or cycle budget — at *any* layer, rather than a
+    /// computational failure. Interrupted work is retryable (rerun with
+    /// `--resume`); failures are not.
+    pub fn is_interruption(&self) -> bool {
+        match self {
+            CoreError::Cancelled { .. } | CoreError::DeadlineExceeded { .. } => true,
+            CoreError::Solver(e) => matches!(
+                e,
+                SolverError::Cancelled { .. } | SolverError::DeadlineExceeded { .. }
+            ),
+            CoreError::Mesh(e) => e.is_interruption(),
+            CoreError::Simulate(e) => matches!(
+                e,
+                SimulateError::Cancelled { .. } | SimulateError::CycleBudgetExceeded { .. }
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +102,26 @@ impl fmt::Display for CoreError {
             CoreError::Regression { reason } => write!(f, "regression failed: {reason}"),
             CoreError::EmptyDesignSpace { benchmark } => {
                 write!(f, "no valid design point for benchmark {benchmark}")
+            }
+            CoreError::Cancelled { completed, total } => {
+                write!(
+                    f,
+                    "run cancelled after {completed} of {total} work units \
+                     (completed units are journaled; rerun with --resume)"
+                )
+            }
+            CoreError::DeadlineExceeded { completed, total } => {
+                write!(
+                    f,
+                    "run deadline exceeded after {completed} of {total} work units \
+                     (completed units are journaled; rerun with --resume)"
+                )
+            }
+            CoreError::WorkerPanic { unit, message } => {
+                write!(f, "work unit {unit} panicked: {message}")
+            }
+            CoreError::Journal { path, reason } => {
+                write!(f, "journal {path}: {reason}")
             }
         }
     }

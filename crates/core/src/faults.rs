@@ -21,14 +21,15 @@
 //! [`FaultSweepOptions::threads`].
 
 use crate::error::CoreError;
+use crate::jobs::{config_hash_of, journaled_sweep, JobContext};
 use crate::lut_builder::build_ir_lut_from_mesh;
 use crate::report::{mv, TextTable};
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{Benchmark, DieState, FaultSpec, MemoryState, StackDesign};
 use pi3d_memsim::{MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec};
 use pi3d_mesh::{MeshError, MeshOptions, StackMesh};
-use pi3d_telemetry::par::parallel_map;
 use pi3d_telemetry::rng::SplitMix64;
+use pi3d_telemetry::Json;
 use std::fmt;
 
 /// Configuration for [`run_fault_sweep`].
@@ -245,6 +246,99 @@ fn trial_seed(base: u64, level_idx: usize, trial: usize) -> u64 {
     .next_u64()
 }
 
+/// The journal config hash of a sweep: everything that changes trial
+/// *results* (design, rates, seed, levels, trial count, mesh resolution,
+/// probe state, policy-stage reads), deliberately excluding the thread
+/// count so a journal written at `--threads 8` resumes at `--threads 1`.
+fn sweep_config_hash(design: &StackDesign, options: &FaultSweepOptions) -> u64 {
+    let mesh = MeshOptions {
+        threads: 1,
+        ..options.mesh.clone()
+    };
+    config_hash_of(&[
+        "fault_sweep",
+        &format!("{design:?}"),
+        &format!("{:?}", options.base),
+        &format!("{:?}", options.levels),
+        &options.trials.to_string(),
+        &format!("{mesh:?}"),
+        &options.max_banks_per_die.to_string(),
+        &options.reads.to_string(),
+    ])
+}
+
+/// Journal payload of one trial. `usize` counts fit `f64` exactly (mesh
+/// node counts are far below 2^53); the seed is a full `u64`, so it
+/// travels as a decimal string.
+fn trial_to_json(t: &FaultTrial) -> Json {
+    let outcome = match &t.outcome {
+        TrialOutcome::Solved {
+            max_ir_mv,
+            opens,
+            drifted,
+        } => Json::obj([
+            ("kind", Json::str("solved")),
+            ("max_ir_mv", Json::num(*max_ir_mv)),
+            ("opens", Json::num(*opens as f64)),
+            ("drifted", Json::num(*drifted as f64)),
+        ]),
+        TrialOutcome::Degraded {
+            islanded_nodes,
+            islands,
+            affected_dies,
+            opens,
+        } => Json::obj([
+            ("kind", Json::str("degraded")),
+            ("islanded_nodes", Json::num(*islanded_nodes as f64)),
+            ("islands", Json::num(*islands as f64)),
+            (
+                "affected_dies",
+                Json::arr(affected_dies.iter().map(|&d| Json::num(d as f64))),
+            ),
+            ("opens", Json::num(*opens as f64)),
+        ]),
+    };
+    Json::obj([
+        ("level", Json::num(t.level)),
+        ("trial", Json::num(t.trial as f64)),
+        ("seed", Json::str(t.seed.to_string())),
+        ("outcome", outcome),
+    ])
+}
+
+fn trial_from_json(payload: &Json) -> Option<FaultTrial> {
+    let as_usize = |j: &Json| j.as_num().filter(|v| *v >= 0.0).map(|v| v as usize);
+    let level = payload.get("level")?.as_num()?;
+    let trial = as_usize(payload.get("trial")?)?;
+    let seed: u64 = payload.get("seed")?.as_str()?.parse().ok()?;
+    let o = payload.get("outcome")?;
+    let outcome = match o.get("kind")?.as_str()? {
+        "solved" => TrialOutcome::Solved {
+            max_ir_mv: o.get("max_ir_mv")?.as_num()?,
+            opens: as_usize(o.get("opens")?)?,
+            drifted: as_usize(o.get("drifted")?)?,
+        },
+        "degraded" => TrialOutcome::Degraded {
+            islanded_nodes: as_usize(o.get("islanded_nodes")?)?,
+            islands: as_usize(o.get("islands")?)?,
+            affected_dies: o
+                .get("affected_dies")?
+                .as_arr()?
+                .iter()
+                .map(as_usize)
+                .collect::<Option<Vec<_>>>()?,
+            opens: as_usize(o.get("opens")?)?,
+        },
+        _ => return None,
+    };
+    Some(FaultTrial {
+        level,
+        trial,
+        seed,
+        outcome,
+    })
+}
+
 /// The probe state: every die active with the configured bank count, at
 /// its zero-bubble implied I/O activity — the worst sustained load the
 /// controller can enter.
@@ -449,29 +543,71 @@ pub fn run_fault_sweep(
     design: &StackDesign,
     options: &FaultSweepOptions,
 ) -> Result<FaultSweepReport, CoreError> {
+    run_fault_sweep_with(design, options, &JobContext::new())
+}
+
+/// [`run_fault_sweep`] with durable execution: a [`JobContext`] supplies
+/// an optional work journal (each finished trial is fsync'd and a rerun
+/// skips it), a cancellation token, and a wall-clock deadline, all polled
+/// between trials. Trials run panic-isolated, so one poisoned defect draw
+/// surfaces as [`CoreError::WorkerPanic`] after the other trials finish
+/// (and are journaled) instead of aborting the process.
+///
+/// Because trial seeds are positional — derived from `(base seed, level
+/// index, trial index)` alone — a resumed sweep recomputes only the
+/// missing trials yet reproduces the uninterrupted report bit-identically
+/// at any thread count.
+///
+/// # Errors
+///
+/// As [`run_fault_sweep`], plus [`CoreError::Cancelled`],
+/// [`CoreError::DeadlineExceeded`], [`CoreError::WorkerPanic`], and
+/// [`CoreError::Journal`] from the durability layer.
+pub fn run_fault_sweep_with(
+    design: &StackDesign,
+    options: &FaultSweepOptions,
+    ctx: &JobContext,
+) -> Result<FaultSweepReport, CoreError> {
     #[cfg(feature = "telemetry")]
     let _span = pi3d_telemetry::span::span("fault_sweep");
     options.base.validate()?;
 
-    // Flat trial descriptors so one parallel_map covers the whole sweep.
+    // Flat trial descriptors so one journaled sweep covers all levels.
     let mut descriptors = Vec::with_capacity(options.levels.len() * options.trials);
     for (level_idx, &level) in options.levels.iter().enumerate() {
         for trial in 0..options.trials {
             descriptors.push((level_idx, level, trial));
         }
     }
-    let outcomes = parallel_map(&descriptors, options.threads, |_, &(idx, level, trial)| {
-        let seed = trial_seed(options.base.seed, idx, trial);
-        let spec = options.base.scaled(level).with_seed(seed);
-        run_trial(design, options, spec).map(|outcome| FaultTrial {
-            level,
-            trial,
-            seed,
-            outcome,
-        })
-    })
-    .into_iter()
-    .collect::<Result<Vec<_>, _>>()?;
+    let config_hash = sweep_config_hash(design, options);
+    let outcomes = journaled_sweep(
+        "fault_sweep",
+        config_hash,
+        &descriptors,
+        options.threads,
+        ctx,
+        |_, trial| trial_to_json(trial),
+        |unit, payload| {
+            // Journaled trials must match what this sweep would compute:
+            // same position and same positional seed.
+            let (idx, level, trial) = descriptors[unit];
+            trial_from_json(payload).filter(|t| {
+                t.level == level
+                    && t.trial == trial
+                    && t.seed == trial_seed(options.base.seed, idx, trial)
+            })
+        },
+        |_, &(idx, level, trial)| {
+            let seed = trial_seed(options.base.seed, idx, trial);
+            let spec = options.base.scaled(level).with_seed(seed);
+            run_trial(design, options, spec).map(|outcome| FaultTrial {
+                level,
+                trial,
+                seed,
+                outcome,
+            })
+        },
+    )?;
 
     let levels: Vec<FaultLevelSummary> = options
         .levels

@@ -1,0 +1,980 @@
+//! Durable execution for long sweeps: append-only work journals, run
+//! budgets, cooperative cancellation, and panic-isolated fan-out.
+//!
+//! A multi-hour Monte Carlo fault sweep or design-space characterization
+//! should survive a SIGINT, a wall-clock budget, or one poisoned work
+//! item without losing the trials it already finished. This module makes
+//! every such sweep *resumable*: each completed work unit is appended to
+//! an fsync'd [`Journal`] line keyed by a content hash of the run
+//! configuration, and a rerun with the same journal skips the journaled
+//! units and reproduces the uninterrupted result bit-identically (unit
+//! seeds are positional, so recomputing only the missing units yields
+//! exactly the bytes the uninterrupted run would have produced).
+//!
+//! # Crash-consistency argument
+//!
+//! A journal record is one compact JSON value followed by `\n`, written
+//! with a single `write_all` and flushed with `sync_data` before the unit
+//! is considered durable. String escaping guarantees the only `\n` in the
+//! record is the terminator, and a torn write is a *prefix* of the
+//! record, so a crash can only ever leave one non-newline-terminated
+//! fragment at the tail of the file. [`Journal::open`] therefore drops an
+//! unterminated (or unparseable unterminated) final fragment silently and
+//! truncates it away before appending, while any *newline-terminated*
+//! line that fails to parse or validate is real corruption and fails the
+//! resume with a typed [`CoreError::Journal`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pi3d_core::jobs::{config_hash_of, journaled_sweep, JobContext};
+//! use pi3d_telemetry::Json;
+//!
+//! let ctx = JobContext::new().with_journal("sweep.journal");
+//! let hash = config_hash_of(&["squares", "n=4"]);
+//! let squares = journaled_sweep(
+//!     "squares",
+//!     hash,
+//!     &[1u64, 2, 3, 4],
+//!     2,
+//!     &ctx,
+//!     |_, &r| Json::num(r as f64),
+//!     |_, payload| payload.as_num().map(|v| v as u64),
+//!     |_, &v| Ok(v * v),
+//! )?;
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! # Ok::<(), pi3d_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use pi3d_telemetry::{CancelToken, Json};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Schema marker on the first line of every work journal.
+pub const JOURNAL_SCHEMA: &str = "pi3d.jobs.v1";
+
+/// 64-bit FNV-1a hash — the workspace's content hash for journal keys.
+///
+/// Chosen because it is tiny, dependency-free, stable across platforms,
+/// and good enough to detect configuration mismatches (it is *not* a
+/// cryptographic hash and is not used for integrity against adversaries).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Hashes a canonical list of configuration fragments into one journal
+/// config hash.
+///
+/// Callers must include everything that changes the sweep's *results*
+/// (seeds, levels, trial counts, mesh resolution) and must exclude
+/// anything that does not (thread counts, journal paths, deadlines), so
+/// a journal written at `--threads 8` resumes cleanly at `--threads 1`.
+pub fn config_hash_of(parts: &[&str]) -> u64 {
+    let mut joined = String::new();
+    for p in parts {
+        joined.push_str(p);
+        joined.push('\x1f'); // unit separator: unambiguous join
+    }
+    fnv1a64(joined.as_bytes())
+}
+
+/// Per-entry key: ties a record to both the run configuration and its
+/// unit index, so mixing journals across configs is detected line by
+/// line, not just at the header.
+fn unit_key(config_hash: u64, unit: usize) -> u64 {
+    fnv1a64(format!("{config_hash:016x}:{unit}").as_bytes())
+}
+
+fn journal_error(path: &Path, reason: impl Into<String>) -> CoreError {
+    CoreError::Journal {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// How [`Journal::open`] treats a missing file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalMode {
+    /// Create the journal if missing; resume it if present (the
+    /// `--journal` flag).
+    CreateOrResume,
+    /// The journal must already exist (the `--resume` flag) — a missing
+    /// file is an error rather than a silent fresh start.
+    ResumeExisting,
+}
+
+/// An append-only, fsync-per-record work journal.
+///
+/// Line 1 is a header `{"journal":"pi3d.jobs.v1","kind":...,
+/// "config_hash":...}`; every subsequent line is one completed work unit
+/// `{"unit":N,"key":...,"payload":...}`. See the module docs for the
+/// crash-consistency argument.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for a run identified by
+    /// `kind` and `config_hash`, returning the journal plus every work
+    /// unit already recorded in it.
+    ///
+    /// An existing journal must carry the same schema, kind, and config
+    /// hash; an unterminated final fragment (torn write from a crash) is
+    /// dropped and truncated away, while any complete line that fails to
+    /// parse or validate fails the open.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] on I/O failure, schema/kind/hash
+    /// mismatch, mid-file corruption, or (with
+    /// [`JournalMode::ResumeExisting`]) a missing file.
+    pub fn open(
+        path: &Path,
+        kind: &str,
+        config_hash: u64,
+        mode: JournalMode,
+    ) -> Result<(Journal, Vec<(usize, Json)>), CoreError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(journal_error(path, format!("cannot read: {e}"))),
+        };
+        match text {
+            None if mode == JournalMode::ResumeExisting => Err(journal_error(
+                path,
+                "cannot resume: journal does not exist (use --journal to start one)",
+            )),
+            None => Self::create(path, kind, config_hash).map(|j| (j, Vec::new())),
+            Some(text) if text.is_empty() => {
+                Self::create(path, kind, config_hash).map(|j| (j, Vec::new()))
+            }
+            Some(text) => Self::resume(path, kind, config_hash, &text),
+        }
+    }
+
+    /// Writes a fresh journal containing only the fsync'd header line.
+    fn create(path: &Path, kind: &str, config_hash: u64) -> Result<Journal, CoreError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| journal_error(path, format!("cannot create: {e}")))?;
+        let header = Json::obj([
+            ("journal", Json::str(JOURNAL_SCHEMA)),
+            ("kind", Json::str(kind)),
+            ("config_hash", Json::str(format!("{config_hash:016x}"))),
+        ]);
+        let line = format!("{}\n", header.to_compact_string());
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| journal_error(path, format!("cannot write header: {e}")))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Validates an existing journal and loads its completed units.
+    fn resume(
+        path: &Path,
+        kind: &str,
+        config_hash: u64,
+        text: &str,
+    ) -> Result<(Journal, Vec<(usize, Json)>), CoreError> {
+        // Complete lines are newline-terminated; a trailing fragment
+        // without a terminator is a torn final write (see module docs).
+        let (complete, fragment) = match text.rfind('\n') {
+            Some(last) => (&text[..last], &text[last + 1..]),
+            None => ("", text),
+        };
+        if !fragment.is_empty() {
+            #[cfg(feature = "telemetry")]
+            pi3d_telemetry::metrics::counter("jobs.torn_tail_dropped").incr(1);
+        }
+        let mut lines = complete.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| journal_error(path, "no complete header line"))?;
+        let header = Json::parse(header_line)
+            .map_err(|e| journal_error(path, format!("corrupt header: {e}")))?;
+        let schema = header.get("journal").and_then(Json::as_str);
+        if schema != Some(JOURNAL_SCHEMA) {
+            return Err(journal_error(
+                path,
+                format!("unsupported schema {schema:?} (expected {JOURNAL_SCHEMA:?})"),
+            ));
+        }
+        let found_kind = header.get("kind").and_then(Json::as_str).unwrap_or("");
+        if found_kind != kind {
+            return Err(journal_error(
+                path,
+                format!("journal is for a {found_kind:?} run, not {kind:?}"),
+            ));
+        }
+        let expected_hash = format!("{config_hash:016x}");
+        let found_hash = header
+            .get("config_hash")
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        if found_hash != expected_hash {
+            return Err(journal_error(
+                path,
+                format!(
+                    "journal was written for config hash {found_hash}, this run is \
+                     {expected_hash} — refusing to mix results from different sweeps"
+                ),
+            ));
+        }
+
+        let mut entries = Vec::new();
+        for (line_no, line) in lines.enumerate() {
+            let record = Json::parse(line).map_err(|e| {
+                journal_error(path, format!("corrupt record on line {}: {e}", line_no + 2))
+            })?;
+            let unit = record
+                .get("unit")
+                .and_then(Json::as_num)
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .map(|v| v as usize)
+                .ok_or_else(|| {
+                    journal_error(path, format!("record on line {} has no unit", line_no + 2))
+                })?;
+            let key = record.get("key").and_then(Json::as_str).unwrap_or("");
+            let expected_key = format!("{:016x}", unit_key(config_hash, unit));
+            if key != expected_key {
+                return Err(journal_error(
+                    path,
+                    format!("record for unit {unit} carries key {key}, expected {expected_key}"),
+                ));
+            }
+            let payload = record.get("payload").ok_or_else(|| {
+                journal_error(
+                    path,
+                    format!(
+                        "record for unit {unit} has no payload (line {})",
+                        line_no + 2
+                    ),
+                )
+            })?;
+            entries.push((unit, payload.clone()));
+        }
+
+        // Reopen for appending, truncating away any torn tail fragment so
+        // the next record starts on a clean line.
+        let valid_len = complete.len() + usize::from(!complete.is_empty());
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| journal_error(path, format!("cannot reopen: {e}")))?;
+        file.set_len(valid_len as u64)
+            .and_then(|()| file.seek(SeekFrom::End(0)).map(drop))
+            .map_err(|e| journal_error(path, format!("cannot truncate torn tail: {e}")))?;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+            },
+            entries,
+        ))
+    }
+
+    /// Durably records one completed work unit: a single `write_all` of
+    /// the record line followed by `sync_data`. Safe to call from worker
+    /// threads; records land in completion order (resume re-indexes by
+    /// `unit`, so on-disk order never affects results).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] if the write or flush fails.
+    pub fn append(&self, unit: usize, config_hash: u64, payload: Json) -> Result<(), CoreError> {
+        let record = Json::obj([
+            ("unit", Json::num(unit as f64)),
+            (
+                "key",
+                Json::str(format!("{:016x}", unit_key(config_hash, unit))),
+            ),
+            ("payload", payload),
+        ]);
+        let line = format!("{}\n", record.to_compact_string());
+        // A poisoned lock only means another worker panicked *between*
+        // whole-line writes; the file itself is still line-consistent.
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| journal_error(&self.path, format!("cannot append unit {unit}: {e}")))
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Resource limits for one run: wall-clock deadline, CG iteration cap,
+/// and simulated-cycle cap.
+///
+/// This is a *carrier* the CLI threads down into the layers that enforce
+/// each limit: the deadline lands in [`JobContext`] (checked between
+/// work units) and in [`pi3d_solver::SolveBudget`] (checked inside the
+/// CG iteration), the iteration cap in the CG solver configuration, and
+/// the cycle cap in `SimConfig::max_cycles` of the memory simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunBudget {
+    /// Wall-clock allowance for the whole run (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Cap on CG iterations per solve (`None` = solver default).
+    pub max_cg_iterations: Option<usize>,
+    /// Cap on simulated memory-controller cycles (`0` = unlimited).
+    pub max_sim_cycles: u64,
+}
+
+impl RunBudget {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Sets the wall-clock allowance.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-solve CG iteration cap.
+    #[must_use]
+    pub fn with_max_cg_iterations(mut self, iterations: usize) -> Self {
+        self.max_cg_iterations = Some(iterations);
+        self
+    }
+
+    /// Sets the simulated-cycle cap (`0` = unlimited).
+    #[must_use]
+    pub fn with_max_sim_cycles(mut self, cycles: u64) -> Self {
+        self.max_sim_cycles = cycles;
+        self
+    }
+
+    /// Converts the relative allowance into an absolute deadline starting
+    /// now.
+    pub fn starts_now(&self) -> Option<Instant> {
+        self.deadline.map(|d| Instant::now() + d)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct JournalSpec {
+    path: PathBuf,
+    mode: JournalMode,
+}
+
+/// Everything [`journaled_sweep`] needs beyond the work itself: where to
+/// journal (if anywhere), the cancellation flag to poll, and the
+/// absolute wall-clock deadline.
+///
+/// The default context journals nowhere, never cancels, and has no
+/// deadline — plain in-memory sweeps pass [`JobContext::default`] and
+/// behave exactly as before the durability layer existed.
+#[derive(Debug, Clone, Default)]
+pub struct JobContext {
+    journal: Option<JournalSpec>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl JobContext {
+    /// A context with no journal, no cancellation source, and no
+    /// deadline.
+    pub fn new() -> Self {
+        JobContext::default()
+    }
+
+    /// Attaches a journal at `path`, created if missing and resumed if
+    /// present.
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(JournalSpec {
+            path: path.into(),
+            mode: JournalMode::CreateOrResume,
+        });
+        self
+    }
+
+    /// Attaches a journal at `path` that must already exist (the
+    /// `--resume` flag's strict semantics).
+    #[must_use]
+    pub fn with_resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(JournalSpec {
+            path: path.into(),
+            mode: JournalMode::ResumeExisting,
+        });
+        self
+    }
+
+    /// Sets the cancellation token polled between work units.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Sets the absolute wall-clock deadline checked between work units.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The cancellation token, if one is attached.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True once the attached token (if any) has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// True once the deadline (if any) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The equivalent in-solve budget, for threading the same limits into
+    /// individual CG solves via [`pi3d_solver::CgSolver::with_budget`].
+    pub fn solve_budget(&self) -> pi3d_solver::SolveBudget {
+        let mut budget = pi3d_solver::SolveBudget::unlimited();
+        if let Some(d) = self.deadline {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(c) = &self.cancel {
+            budget = budget.with_cancel(c.clone());
+        }
+        budget
+    }
+}
+
+/// Runs `compute` over every item, journaling each completed unit and
+/// skipping units already journaled, with cooperative cancellation, a
+/// wall-clock deadline, and panic isolation per unit.
+///
+/// * Work fans across `threads` panic-isolated workers
+///   ([`parallel_map_catch`](pi3d_telemetry::par::parallel_map_catch));
+///   results merge back in unit order, so output is bit-identical for
+///   every thread count *and* for every resume point.
+/// * When `ctx` carries a journal, units recorded in it are decoded
+///   instead of recomputed, and each fresh unit is fsync'd to it the
+///   moment it completes — even when the sweep later fails.
+/// * The cancel token and deadline are polled before each unit starts;
+///   units already running finish (and are journaled) normally.
+///
+/// # Errors
+///
+/// With strict priority (a real failure is never masked by the shutdown
+/// it triggered): a `compute` error for the lowest unit, then
+/// [`CoreError::WorkerPanic`] for the lowest panicked unit, then
+/// [`CoreError::Cancelled`], then [`CoreError::DeadlineExceeded`] —
+/// matching [`pi3d_solver::SolveBudget::interruption`], where an explicit
+/// cancel outranks a deadline. Journal failures surface as
+/// [`CoreError::Journal`].
+#[allow(clippy::too_many_arguments)]
+pub fn journaled_sweep<T, R, E, D, C>(
+    kind: &str,
+    config_hash: u64,
+    items: &[T],
+    threads: usize,
+    ctx: &JobContext,
+    encode: E,
+    decode: D,
+    compute: C,
+) -> Result<Vec<R>, CoreError>
+where
+    T: Sync,
+    R: Send,
+    E: Fn(usize, &R) -> Json + Sync,
+    D: Fn(usize, &Json) -> Option<R>,
+    C: Fn(usize, &T) -> Result<R, CoreError> + Sync,
+{
+    let (journal, preloaded) = match &ctx.journal {
+        Some(spec) => {
+            let (journal, entries) = Journal::open(&spec.path, kind, config_hash, spec.mode)?;
+            (Some(journal), entries)
+        }
+        None => (None, Vec::new()),
+    };
+
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let mut resumed = 0u64;
+    for (unit, payload) in preloaded {
+        if unit >= items.len() {
+            let journal = journal.as_ref().map_or(Path::new("<none>"), Journal::path);
+            return Err(journal_error(
+                journal,
+                format!(
+                    "journaled unit {unit} is out of range for this {}-unit sweep",
+                    items.len()
+                ),
+            ));
+        }
+        let decoded = decode(unit, &payload).ok_or_else(|| {
+            let journal = journal.as_ref().map_or(Path::new("<none>"), Journal::path);
+            journal_error(journal, format!("cannot decode payload of unit {unit}"))
+        })?;
+        if slots[unit].is_none() {
+            resumed += 1;
+        }
+        slots[unit] = Some(decoded);
+    }
+    #[cfg(feature = "telemetry")]
+    if resumed > 0 {
+        pi3d_telemetry::metrics::counter("jobs.resumed_units").incr(resumed);
+    }
+    let _ = resumed;
+
+    let pending: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    let cancelled = AtomicBool::new(false);
+    let deadline_hit = AtomicBool::new(false);
+    let journal_ref = journal.as_ref();
+    let results = pi3d_telemetry::par::parallel_map_catch(&pending, threads, |_, &unit| {
+        if ctx.is_cancelled() {
+            cancelled.store(true, Ordering::Relaxed);
+            return Ok(None);
+        }
+        if ctx.deadline_exceeded() {
+            deadline_hit.store(true, Ordering::Relaxed);
+            return Ok(None);
+        }
+        let result = compute(unit, &items[unit])?;
+        if let Some(journal) = journal_ref {
+            journal.append(unit, config_hash, encode(unit, &result))?;
+        }
+        Ok(Some(result))
+    });
+
+    let mut first_error: Option<CoreError> = None;
+    let mut first_panic: Option<(usize, String)> = None;
+    for (slot, result) in pending.iter().zip(results) {
+        match result {
+            Ok(Ok(Some(r))) => slots[*slot] = Some(r),
+            Ok(Ok(None)) => {} // interrupted before this unit started
+            Ok(Err(e)) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some((*slot, p.message));
+                }
+            }
+        }
+    }
+    let completed = slots.iter().filter(|s| s.is_some()).count();
+    if let Some(e) = first_error {
+        // A cancel or deadline that lands *inside* a unit's solve or
+        // simulation surfaces as that unit's error; report it as the
+        // sweep-level interruption it is (completed units are journaled,
+        // `--resume` applies) instead of a per-unit failure.
+        if e.is_interruption() && ctx.is_cancelled() {
+            cancelled.store(true, Ordering::Relaxed);
+        } else if e.is_interruption() && ctx.deadline_exceeded() {
+            deadline_hit.store(true, Ordering::Relaxed);
+        } else {
+            return Err(e);
+        }
+    } else if let Some((unit, message)) = first_panic {
+        return Err(CoreError::WorkerPanic { unit, message });
+    }
+    if cancelled.load(Ordering::Relaxed) {
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::counter("jobs.sweeps_cancelled").incr(1);
+        return Err(CoreError::Cancelled {
+            completed,
+            total: items.len(),
+        });
+    }
+    if deadline_hit.load(Ordering::Relaxed) {
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::counter("jobs.sweeps_deadline_exceeded").incr(1);
+        return Err(CoreError::DeadlineExceeded {
+            completed,
+            total: items.len(),
+        });
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("uninterrupted sweep fills every slot"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pi3d-jobs-{}-{name}", std::process::id()))
+    }
+
+    fn sweep_squares(
+        ctx: &JobContext,
+        items: &[u64],
+        threads: usize,
+        calls: &AtomicUsize,
+    ) -> Result<Vec<u64>, CoreError> {
+        journaled_sweep(
+            "squares",
+            config_hash_of(&["squares"]),
+            items,
+            threads,
+            ctx,
+            |_, &r| Json::num(r as f64),
+            |_, payload| payload.as_num().map(|v| v as u64),
+            |_, &v| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(v * v)
+            },
+        )
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn sweep_without_journal_matches_plain_map() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..10).collect();
+        let got = sweep_squares(&JobContext::new(), &items, 4, &calls).unwrap();
+        assert_eq!(got, items.iter().map(|v| v * v).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn resume_skips_journaled_units_and_reproduces_results() {
+        let path = temp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<u64> = (0..12).collect();
+        let ctx = JobContext::new().with_journal(&path);
+
+        let calls = AtomicUsize::new(0);
+        let first = sweep_squares(&ctx, &items, 3, &calls).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+
+        // A rerun over the same journal recomputes nothing.
+        let calls = AtomicUsize::new(0);
+        let second = sweep_squares(&ctx, &items, 1, &calls).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert_eq!(second, first);
+
+        // Strict --resume semantics also succeed on the existing file.
+        let strict = JobContext::new().with_resume(&path);
+        let calls = AtomicUsize::new(0);
+        assert_eq!(sweep_squares(&strict, &items, 8, &calls).unwrap(), first);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn strict_resume_requires_an_existing_journal() {
+        let path = temp_path("strict-missing");
+        let _ = std::fs::remove_file(&path);
+        let ctx = JobContext::new().with_resume(&path);
+        let err = sweep_squares(&ctx, &[1, 2], 1, &AtomicUsize::new(0)).unwrap_err();
+        assert!(matches!(err, CoreError::Journal { .. }), "{err}");
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_midfile_corruption_is_fatal() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<u64> = (0..6).collect();
+        let ctx = JobContext::new().with_journal(&path);
+        sweep_squares(&ctx, &items, 2, &AtomicUsize::new(0)).unwrap();
+
+        // Simulate a crash mid-append: chop the final record in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        let torn = &text[..text.len() - 7];
+        std::fs::write(&path, torn).unwrap();
+        let calls = AtomicUsize::new(0);
+        let again = sweep_squares(&ctx, &items, 2, &calls).unwrap();
+        assert_eq!(again, items.iter().map(|v| v * v).collect::<Vec<_>>());
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "only the torn unit reruns"
+        );
+        // The rerun's append starts on a clean line: the file parses whole.
+        for line in std::fs::read_to_string(&path).unwrap().lines() {
+            Json::parse(line).unwrap();
+        }
+
+        // Corruption *before* the tail is an error, not a silent skip.
+        let mut lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        lines[2] = "{\"unit\": garbage".to_owned();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = sweep_squares(&ctx, &items, 2, &AtomicUsize::new(0)).unwrap_err();
+        assert!(matches!(err, CoreError::Journal { .. }), "{err}");
+        assert!(err.to_string().contains("corrupt record"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_config_hash_refuses_to_resume() {
+        let path = temp_path("hash-mismatch");
+        let _ = std::fs::remove_file(&path);
+        let ctx = JobContext::new().with_journal(&path);
+        sweep_squares(&ctx, &[1, 2, 3], 1, &AtomicUsize::new(0)).unwrap();
+
+        let err = journaled_sweep(
+            "squares",
+            config_hash_of(&["squares", "different-seed"]),
+            &[1u64, 2, 3],
+            1,
+            &ctx,
+            |_, &r: &u64| Json::num(r as f64),
+            |_, payload| payload.as_num().map(|v| v as u64),
+            |_, &v| Ok(v * v),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("config hash"), "{err}");
+
+        let err = journaled_sweep(
+            "cubes",
+            config_hash_of(&["squares"]),
+            &[1u64, 2, 3],
+            1,
+            &ctx,
+            |_, &r: &u64| Json::num(r as f64),
+            |_, payload| payload.as_num().map(|v| v as u64),
+            |_, &v| Ok(v * v),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("\"squares\""), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cancelled_sweep_returns_typed_error_and_journals_completed_units() {
+        let path = temp_path("cancel");
+        let _ = std::fs::remove_file(&path);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = JobContext::new().with_journal(&path).with_cancel(token);
+        let err =
+            sweep_squares(&ctx, &(0..8).collect::<Vec<_>>(), 2, &AtomicUsize::new(0)).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::Cancelled {
+                completed: 0,
+                total: 8
+            }
+        );
+        // The journal survives with just its header: resumable.
+        let fresh = JobContext::new().with_resume(&path);
+        let calls = AtomicUsize::new(0);
+        let got = sweep_squares(&fresh, &(0..8).collect::<Vec<_>>(), 2, &calls).unwrap();
+        assert_eq!(got.len(), 8);
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_sweep_cancel_preserves_finished_units() {
+        let path = temp_path("mid-cancel");
+        let _ = std::fs::remove_file(&path);
+        let token = CancelToken::new();
+        let ctx = JobContext::new()
+            .with_journal(&path)
+            .with_cancel(token.clone());
+        let items: Vec<u64> = (0..32).collect();
+        let err = journaled_sweep(
+            "squares",
+            config_hash_of(&["squares"]),
+            &items,
+            1,
+            &ctx,
+            |_, &r: &u64| Json::num(r as f64),
+            |_, payload| payload.as_num().map(|v| v as u64),
+            |unit, &v| {
+                if unit == 5 {
+                    token.cancel();
+                }
+                Ok(v * v)
+            },
+        )
+        .unwrap_err();
+        // Single-threaded: units 0..=5 complete, the rest are skipped.
+        assert_eq!(
+            err,
+            CoreError::Cancelled {
+                completed: 6,
+                total: 32
+            }
+        );
+        let calls = AtomicUsize::new(0);
+        let resumed =
+            sweep_squares(&JobContext::new().with_resume(&path), &items, 4, &calls).unwrap();
+        assert_eq!(resumed, items.iter().map(|v| v * v).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 32 - 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn passed_deadline_stops_before_any_unit() {
+        let ctx = JobContext::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        let calls = AtomicUsize::new(0);
+        let err = sweep_squares(&ctx, &[1, 2, 3], 2, &calls).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::DeadlineExceeded {
+                completed: 0,
+                total: 3
+            }
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn panicking_unit_becomes_worker_panic_and_others_are_journaled() {
+        let path = temp_path("panic");
+        let _ = std::fs::remove_file(&path);
+        let ctx = JobContext::new().with_journal(&path);
+        let items: Vec<u64> = (0..10).collect();
+        let run = |calls: &AtomicUsize, poison: bool| {
+            journaled_sweep(
+                "squares",
+                config_hash_of(&["squares"]),
+                &items,
+                3,
+                &ctx,
+                |_, &r: &u64| Json::num(r as f64),
+                |_, payload| payload.as_num().map(|v| v as u64),
+                |unit, &v| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    assert!(!(poison && unit == 4), "poisoned unit 4");
+                    Ok(v * v)
+                },
+            )
+        };
+        let calls = AtomicUsize::new(0);
+        let err = run(&calls, true).unwrap_err();
+        assert_eq!(calls.load(Ordering::Relaxed), 10, "all units attempted");
+        match err {
+            CoreError::WorkerPanic { unit, ref message } => {
+                assert_eq!(unit, 4);
+                assert!(message.contains("poisoned unit 4"), "{message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The 9 healthy units are durable: only unit 4 reruns.
+        let calls = AtomicUsize::new(0);
+        let fixed = run(&calls, false).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(fixed, items.iter().map(|v| v * v).collect::<Vec<_>>());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_budget_carries_limits() {
+        let b = RunBudget::unlimited()
+            .with_deadline(Duration::from_secs(5))
+            .with_max_cg_iterations(100)
+            .with_max_sim_cycles(1_000);
+        assert_eq!(b.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(b.max_cg_iterations, Some(100));
+        assert_eq!(b.max_sim_cycles, 1_000);
+        assert!(b.starts_now().is_some());
+        assert_eq!(RunBudget::unlimited().starts_now(), None);
+    }
+
+    #[test]
+    fn job_context_builds_an_equivalent_solve_budget() {
+        let plain = JobContext::new();
+        assert!(plain.solve_budget().is_unlimited());
+        let token = CancelToken::new();
+        let ctx = JobContext::new()
+            .with_cancel(token.clone())
+            .with_deadline(Instant::now() + Duration::from_secs(60));
+        let budget = ctx.solve_budget();
+        assert!(!budget.is_unlimited());
+        assert!(!budget.cancelled());
+        token.cancel();
+        assert!(budget.cancelled());
+        assert!(ctx.is_cancelled());
+    }
+
+    #[test]
+    fn interruption_inside_a_unit_is_reported_as_sweep_cancellation() {
+        use pi3d_solver::{CgSolution, SolverError};
+        let token = CancelToken::new();
+        let ctx = JobContext::new().with_cancel(token.clone());
+        let items: Vec<u64> = (0..4).collect();
+        let err = journaled_sweep(
+            "midunit",
+            config_hash_of(&["midunit"]),
+            &items,
+            1,
+            &ctx,
+            |_, &r: &u64| Json::num(r as f64),
+            |_, payload| payload.as_num().map(|v| v as u64),
+            |unit, &v| {
+                if unit == 2 {
+                    // The cancel lands mid-solve: the unit surfaces the
+                    // solver's typed interruption instead of a result.
+                    token.cancel();
+                    return Err(CoreError::Solver(SolverError::Cancelled {
+                        iterations: 5,
+                        residual: 0.1,
+                        partial: Box::new(CgSolution {
+                            x: vec![0.0],
+                            iterations: 5,
+                            relative_residual: 0.1,
+                            residual_trace: Vec::new(),
+                        }),
+                    }));
+                }
+                Ok(v * v)
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::Cancelled {
+                completed: 2,
+                total: 4
+            }
+        );
+    }
+}

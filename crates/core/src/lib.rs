@@ -38,6 +38,7 @@ mod design_space;
 mod error;
 pub mod experiments;
 mod faults;
+pub mod jobs;
 mod lut_builder;
 mod optimize;
 mod platform;
@@ -47,12 +48,14 @@ pub mod report;
 pub use design_space::{CategoricalCombo, DesignPoint, DesignSpace};
 pub use error::CoreError;
 pub use faults::{
-    run_fault_sweep, FaultLevelSummary, FaultSweepOptions, FaultSweepReport, FaultTrial,
-    PolicyUnderFaults, TrialOutcome,
+    run_fault_sweep, run_fault_sweep_with, FaultLevelSummary, FaultSweepOptions, FaultSweepReport,
+    FaultTrial, PolicyUnderFaults, TrialOutcome,
 };
+pub use jobs::{JobContext, Journal, JournalMode, RunBudget};
 pub use lut_builder::{build_ir_lut, build_ir_lut_from_mesh, LUT_ACTIVITIES};
 pub use optimize::{
-    characterize, ir_cost, BestSolution, Characterization, ComboModel, ParetoPoint,
+    characterize, characterize_with, ir_cost, BestSolution, Characterization, ComboModel,
+    ParetoPoint,
 };
 pub use platform::{DesignEvaluation, Platform};
 pub use regression::{ir_features, LogIrModel, RegressionModel};

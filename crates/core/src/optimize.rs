@@ -1,8 +1,10 @@
 use crate::design_space::{CategoricalCombo, DesignPoint, DesignSpace};
 use crate::error::CoreError;
+use crate::jobs::{config_hash_of, journaled_sweep, JobContext};
 use crate::platform::Platform;
-use crate::regression::LogIrModel;
+use crate::regression::{LogIrModel, RegressionModel};
 use pi3d_layout::Benchmark;
+use pi3d_telemetry::Json;
 
 /// The paper's Equation (1): `IR-cost = IR-drop^α × Cost^(1−α)`.
 ///
@@ -68,6 +70,88 @@ pub fn characterize(
     benchmark: Benchmark,
     threads: usize,
 ) -> Result<Characterization, CoreError> {
+    characterize_with(platform, benchmark, threads, &JobContext::new())
+}
+
+/// The journal config hash of a characterization: the benchmark plus the
+/// mesh discretization (thread count normalized away — it never changes
+/// the fitted models).
+fn characterize_config_hash(platform: &Platform, benchmark: Benchmark) -> u64 {
+    let mesh = pi3d_mesh::MeshOptions {
+        threads: 1,
+        ..platform.options().clone()
+    };
+    config_hash_of(&["characterize", &benchmark.to_string(), &format!("{mesh:?}")])
+}
+
+/// Journal payload of one fitted combo: the log-space coefficients plus
+/// both fit-quality pairs, with the combo label as a positional sanity
+/// check (the combo list itself is derived from the benchmark, so only
+/// the label needs to travel).
+fn combo_to_json(model: &ComboModel) -> Json {
+    Json::obj([
+        ("combo", Json::str(model.combo.label())),
+        (
+            "coefficients",
+            Json::arr(
+                model
+                    .model
+                    .model()
+                    .coefficients()
+                    .iter()
+                    .map(|&c| Json::num(c)),
+            ),
+        ),
+        ("log_rmse", Json::num(model.model.model().rmse())),
+        ("log_r_squared", Json::num(model.model.model().r_squared())),
+        ("rmse_mv", Json::num(model.model.rmse_mv())),
+        ("r_squared", Json::num(model.model.r_squared())),
+    ])
+}
+
+fn combo_from_json(combo: CategoricalCombo, payload: &Json) -> Option<ComboModel> {
+    if payload.get("combo")?.as_str()? != combo.label() {
+        return None;
+    }
+    let coefficients = payload
+        .get("coefficients")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_num)
+        .collect::<Option<Vec<_>>>()?;
+    let inner = RegressionModel::from_parts(
+        coefficients,
+        payload.get("log_rmse")?.as_num()?,
+        payload.get("log_r_squared")?.as_num()?,
+    )
+    .ok()?;
+    let model = LogIrModel::from_parts(
+        inner,
+        payload.get("rmse_mv")?.as_num()?,
+        payload.get("r_squared")?.as_num()?,
+    )
+    .ok()?;
+    Some(ComboModel { combo, model })
+}
+
+/// [`characterize`] with durable execution: the [`JobContext`] supplies
+/// an optional work journal (one record per fitted categorical combo, so
+/// an interrupted characterization resumes without re-solving finished
+/// combos), a cancellation token, and a wall-clock deadline. Restored
+/// models are bit-identical to freshly fitted ones: coefficients and fit
+/// quality round-trip exactly through the journal's JSON.
+///
+/// # Errors
+///
+/// As [`characterize`], plus [`CoreError::Cancelled`],
+/// [`CoreError::DeadlineExceeded`], [`CoreError::WorkerPanic`], and
+/// [`CoreError::Journal`] from the durability layer.
+pub fn characterize_with(
+    platform: &Platform,
+    benchmark: Benchmark,
+    threads: usize,
+    ctx: &JobContext,
+) -> Result<Characterization, CoreError> {
     #[cfg(feature = "telemetry")]
     let _span = pi3d_telemetry::span::span("characterize");
     let space = DesignSpace::new(benchmark);
@@ -78,18 +162,21 @@ pub fn characterize(
             benchmark: benchmark.to_string(),
         });
     }
-    // Each combo fits an independent model; pi3d_solver::parallel_map
-    // dispatches them one at a time (instead of pre-chunking), so a slow
-    // combo no longer serializes the rest of its chunk, and results come
-    // back in combo order regardless of thread count.
-    let results = pi3d_solver::parallel_map(&combos, threads, |_, &combo| {
-        fit_combo(platform, benchmark, &space, combo, &state)
-    });
+    // Each combo fits an independent model and is one journaled work
+    // unit; dispatch is one combo at a time (instead of pre-chunking), so
+    // a slow combo never serializes the rest of its chunk, and results
+    // come back in combo order regardless of thread count.
+    let models = journaled_sweep(
+        "characterize",
+        characterize_config_hash(platform, benchmark),
+        &combos,
+        threads,
+        ctx,
+        |_, model| combo_to_json(model),
+        |unit, payload| combo_from_json(combos[unit], payload),
+        |_, &combo| fit_combo(platform, benchmark, &space, combo, &state),
+    )?;
 
-    let mut models = Vec::with_capacity(results.len());
-    for r in results {
-        models.push(r?);
-    }
     let sample_count = space.sample_points().len();
     Ok(Characterization {
         benchmark,

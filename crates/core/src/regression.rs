@@ -92,6 +92,37 @@ impl RegressionModel {
         })
     }
 
+    /// Reassembles a fitted model from its stored parts — the inverse of
+    /// reading [`coefficients`](Self::coefficients), [`rmse`](Self::rmse),
+    /// and [`r_squared`](Self::r_squared), used when a work journal
+    /// restores characterization results without re-running the mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Regression`] when `coefficients` is empty or
+    /// any part is non-finite (a journal corruption symptom).
+    pub fn from_parts(
+        coefficients: Vec<f64>,
+        rmse: f64,
+        r_squared: f64,
+    ) -> Result<Self, CoreError> {
+        if coefficients.is_empty() || coefficients.iter().any(|c| !c.is_finite()) {
+            return Err(CoreError::Regression {
+                reason: "restored coefficients are empty or non-finite".into(),
+            });
+        }
+        if !rmse.is_finite() || !r_squared.is_finite() {
+            return Err(CoreError::Regression {
+                reason: "restored fit quality is non-finite".into(),
+            });
+        }
+        Ok(RegressionModel {
+            coefficients,
+            rmse,
+            r_squared,
+        })
+    }
+
     /// Predicts the target for one feature vector.
     ///
     /// # Panics
@@ -210,6 +241,44 @@ impl LogIrModel {
         })
     }
 
+    /// Reassembles a fitted model from its stored parts — see
+    /// [`RegressionModel::from_parts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Regression`] when a part is non-finite or the
+    /// inner model has the wrong arity for [`ir_features`].
+    pub fn from_parts(
+        model: RegressionModel,
+        rmse_mv: f64,
+        r_squared: f64,
+    ) -> Result<Self, CoreError> {
+        if model.coefficients().len() != ir_features(0.1, 0.1, 100.0).len() {
+            return Err(CoreError::Regression {
+                reason: format!(
+                    "restored model has {} coefficients, the IR feature map needs {}",
+                    model.coefficients().len(),
+                    ir_features(0.1, 0.1, 100.0).len()
+                ),
+            });
+        }
+        if !rmse_mv.is_finite() || !r_squared.is_finite() {
+            return Err(CoreError::Regression {
+                reason: "restored fit quality is non-finite".into(),
+            });
+        }
+        Ok(LogIrModel {
+            model,
+            rmse_mv,
+            r_squared,
+        })
+    }
+
+    /// The underlying log-space regression model.
+    pub fn model(&self) -> &RegressionModel {
+        &self.model
+    }
+
     /// Predicted IR drop in millivolts.
     pub fn predict(&self, m2: f64, m3: f64, tc: f64) -> f64 {
         self.model.predict(&ir_features(m2, m3, tc)).exp()
@@ -296,6 +365,43 @@ mod tests {
             (pred - truth).abs() / truth < 0.02,
             "pred {pred} vs {truth}"
         );
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_fitted_model() {
+        let mut samples = Vec::new();
+        let mut irs = Vec::new();
+        for &m2 in &[0.10, 0.15, 0.20] {
+            for &m3 in &[0.10, 0.25, 0.40] {
+                for &tc in &[15.0f64, 120.0, 480.0] {
+                    samples.push((m2, m3, tc));
+                    irs.push(5.0 + 2.0 / m2 + 8.0 / m3 + 20.0 / tc.sqrt());
+                }
+            }
+        }
+        let fitted = LogIrModel::fit(&samples, &irs).unwrap();
+        let inner = RegressionModel::from_parts(
+            fitted.model().coefficients().to_vec(),
+            fitted.model().rmse(),
+            fitted.model().r_squared(),
+        )
+        .unwrap();
+        let restored = LogIrModel::from_parts(inner, fitted.rmse_mv(), fitted.r_squared()).unwrap();
+        assert_eq!(restored, fitted);
+        assert_eq!(
+            restored.predict(0.12, 0.3, 200.0).to_bits(),
+            fitted.predict(0.12, 0.3, 200.0).to_bits(),
+            "restored model predicts bit-identically"
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_inputs() {
+        assert!(RegressionModel::from_parts(vec![], 0.0, 1.0).is_err());
+        assert!(RegressionModel::from_parts(vec![1.0, f64::NAN], 0.0, 1.0).is_err());
+        assert!(RegressionModel::from_parts(vec![1.0], f64::INFINITY, 1.0).is_err());
+        let wrong_arity = RegressionModel::from_parts(vec![1.0, 2.0], 0.0, 1.0).unwrap();
+        assert!(LogIrModel::from_parts(wrong_arity, 0.0, 1.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Resume determinism: a fault sweep interrupted at *any* journal prefix
+//! and resumed at *any* thread count must reproduce the uninterrupted
+//! report byte-for-byte (DESIGN.md "Durable execution").
+//!
+//! The test runs a clean sweep, then replays resumes from the full
+//! journal truncated to several prefixes — each also with a torn
+//! half-record appended, as a crash mid-`write` would leave — at 1, 2,
+//! and 8 worker threads, comparing the Display and Debug renderings of
+//! the report (both print f64s shortest-round-trip, so byte equality is
+//! bit equality).
+
+use pi3d_core::{run_fault_sweep, run_fault_sweep_with, FaultSweepOptions, JobContext};
+use pi3d_layout::{Benchmark, FaultSpec, StackDesign};
+use pi3d_mesh::MeshOptions;
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pi3d-resume-{}-{name}", std::process::id()))
+}
+
+fn sweep_options(threads: usize) -> (StackDesign, FaultSweepOptions) {
+    let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+    let mut options = FaultSweepOptions::new(
+        FaultSpec::new(7)
+            .with_tsv_open(0.01)
+            .with_bump_open(0.005)
+            .with_em_drift(0.2),
+    );
+    options.levels = vec![0.5, 1.0];
+    options.trials = 3;
+    options.reads = 0;
+    options.mesh = MeshOptions {
+        dram_nx: 10,
+        dram_ny: 10,
+        threads,
+        ..MeshOptions::coarse()
+    };
+    options.threads = threads;
+    (design, options)
+}
+
+/// Byte-exact fingerprint of a report: the human table plus the full
+/// Debug tree (every trial, seed, and f64 bit pattern).
+fn fingerprint(report: &pi3d_core::FaultSweepReport) -> String {
+    format!("{report}\n{report:?}")
+}
+
+#[test]
+fn resume_reproduces_the_uninterrupted_report_bit_identically() {
+    let (design, options) = sweep_options(1);
+    let baseline = fingerprint(&run_fault_sweep(&design, &options).expect("clean sweep"));
+
+    // A journaled run (different thread count, same config hash — the
+    // hash must normalize thread count away) matches the plain run.
+    let journal = temp_path("full.journal");
+    let _ = std::fs::remove_file(&journal);
+    let (design2, options2) = sweep_options(2);
+    let ctx = JobContext::new().with_journal(&journal);
+    let full = run_fault_sweep_with(&design2, &options2, &ctx).expect("journaled sweep");
+    assert_eq!(fingerprint(&full), baseline, "journaled run diverged");
+
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    let (header, records) = lines.split_first().expect("journal has a header");
+    assert_eq!(records.len(), 6, "2 levels x 3 trials");
+
+    // Resume from several interruption points; `keep` counts completed
+    // records surviving the crash, and each prefix is tried both clean
+    // and with a torn half-record (a crash mid-append leaves a prefix of
+    // one line, which resume must drop and overwrite).
+    for keep in [0, 2, 5] {
+        for torn in [false, true] {
+            let mut prefix = format!("{header}\n");
+            for r in &records[..keep] {
+                prefix.push_str(r);
+                prefix.push('\n');
+            }
+            if torn {
+                let next = records[keep];
+                prefix.push_str(&next[..next.len() / 2]);
+            }
+            for threads in [1usize, 2, 8] {
+                let path = temp_path(&format!("k{keep}-t{torn}-{threads}.journal"));
+                std::fs::write(&path, &prefix).expect("prefix written");
+                let (d, o) = sweep_options(threads);
+                let ctx = JobContext::new().with_resume(&path);
+                let resumed = run_fault_sweep_with(&d, &o, &ctx).expect("resumed sweep");
+                assert_eq!(
+                    fingerprint(&resumed),
+                    baseline,
+                    "resume diverged (keep={keep}, torn={torn}, threads={threads})"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&journal);
+}

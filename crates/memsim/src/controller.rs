@@ -24,11 +24,20 @@ pub struct SimConfig {
     /// Maximum simultaneously powered banks per die (the paper's
     /// interleaving mode caps this at two to protect the charge pumps).
     pub max_powered_per_die: usize,
+    /// Simulation cycle budget enforced by the event loop (`0` =
+    /// unlimited, the default). When the budget runs out before the
+    /// request stream completes, [`MemorySimulator::run`] returns
+    /// [`SimulateError::CycleBudgetExceeded`] carrying the statistics
+    /// accumulated so far. The frozen per-cycle reference stepper ignores
+    /// this field — the event/reference bit-equivalence contract covers
+    /// uninterrupted runs.
+    pub max_cycles: u64,
 }
 
 impl SimConfig {
     /// The paper's stacked-DDR3 system: 4 dies × 8 banks, one channel,
-    /// a 32-entry queue, at most two powered banks per die.
+    /// a 32-entry queue, at most two powered banks per die, no cycle
+    /// budget.
     pub fn paper_ddr3() -> Self {
         SimConfig {
             dies: 4,
@@ -36,6 +45,7 @@ impl SimConfig {
             channels: 1,
             queue_capacity: 32,
             max_powered_per_die: 2,
+            max_cycles: 0,
         }
     }
 }
@@ -107,6 +117,29 @@ pub enum SimulateError {
         /// Memory state and tightest LUT option at the stall point.
         snapshot: Box<StallSnapshot>,
     },
+    /// The [`SimConfig::max_cycles`] budget ran out before the request
+    /// stream completed. The statistics accumulated up to the cutoff are
+    /// preserved in `partial`.
+    CycleBudgetExceeded {
+        /// Cycle at which the budget check fired.
+        cycle: u64,
+        /// Requests completed within the budget.
+        completed: u64,
+        /// The configured budget.
+        max_cycles: u64,
+        /// Statistics over the simulated prefix of the run.
+        partial: Box<SimStats>,
+    },
+    /// The simulation was cancelled cooperatively (SIGINT or programmatic
+    /// cancel) via [`MemorySimulator::with_cancel`].
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+        /// Requests completed before the cancellation.
+        completed: u64,
+        /// Statistics over the simulated prefix of the run.
+        partial: Box<SimStats>,
+    },
 }
 
 impl fmt::Display for SimulateError {
@@ -120,6 +153,22 @@ impl fmt::Display for SimulateError {
                 f,
                 "simulation stalled at cycle {cycle} with {completed} requests completed \
                  (IR-drop constraint likely allows no memory state): {snapshot}"
+            ),
+            SimulateError::CycleBudgetExceeded {
+                cycle,
+                completed,
+                max_cycles,
+                ..
+            } => write!(
+                f,
+                "simulation cycle budget of {max_cycles} exhausted at cycle {cycle} \
+                 with {completed} requests completed"
+            ),
+            SimulateError::Cancelled {
+                cycle, completed, ..
+            } => write!(
+                f,
+                "simulation cancelled at cycle {cycle} with {completed} requests completed"
             ),
         }
     }
@@ -178,6 +227,7 @@ pub struct MemorySimulator {
     pub(crate) config: SimConfig,
     pub(crate) policy: ReadPolicy,
     pub(crate) lut: IrDropLut,
+    pub(crate) cancel: Option<pi3d_telemetry::CancelToken>,
 }
 
 #[derive(Debug)]
@@ -283,7 +333,18 @@ impl MemorySimulator {
             config,
             policy,
             lut,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token polled once per simulated event by
+    /// [`run`](Self::run); on cancellation the loop returns
+    /// [`SimulateError::Cancelled`] carrying the statistics accumulated so
+    /// far. The frozen reference stepper does not poll the token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: pi3d_telemetry::CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// The configured policy.
@@ -416,6 +477,59 @@ impl MemorySimulator {
         let standard = matches!(self.policy.ir, IrPolicy::Standard);
 
         while completed < n {
+            // Budget and cancellation gates, polled once per simulated
+            // event (each event is real scheduling work, so the clock
+            // compare and atomic load are noise). Both exits carry the
+            // statistics accumulated so far.
+            if cfg.max_cycles > 0 && cycle >= cfg.max_cycles {
+                #[cfg(feature = "telemetry")]
+                pi3d_telemetry::metrics::counter("memsim.cycle_budget_exceeded").incr(1);
+                return Err(SimulateError::CycleBudgetExceeded {
+                    cycle,
+                    completed,
+                    max_cycles: cfg.max_cycles,
+                    partial: Box::new(accumulated_stats(
+                        t,
+                        refreshes,
+                        completed,
+                        last_data_end,
+                        activates,
+                        precharges,
+                        row_hits,
+                        latency_sum,
+                        queue_depth_sum,
+                        cycle.max(1),
+                        stall_cycles,
+                        max_ir,
+                    )),
+                });
+            }
+            if self
+                .cancel
+                .as_ref()
+                .is_some_and(pi3d_telemetry::CancelToken::is_cancelled)
+            {
+                #[cfg(feature = "telemetry")]
+                pi3d_telemetry::metrics::counter("memsim.cancelled").incr(1);
+                return Err(SimulateError::Cancelled {
+                    cycle,
+                    completed,
+                    partial: Box::new(accumulated_stats(
+                        t,
+                        refreshes,
+                        completed,
+                        last_data_end,
+                        activates,
+                        precharges,
+                        row_hits,
+                        latency_sum,
+                        queue_depth_sum,
+                        cycle.max(1),
+                        stall_cycles,
+                        max_ir,
+                    )),
+                });
+            }
             simulated_cycles += 1;
             // Set when this cycle mutates scheduler-visible state in a way
             // whose follow-on consequences are not covered by a timing
@@ -858,25 +972,20 @@ impl MemorySimulator {
             }
         }
 
-        let cycles = last_data_end.max(1);
-        let stats = SimStats {
+        let stats = accumulated_stats(
+            t,
             refreshes,
-            cycles,
-            runtime_us: t.cycles_to_us(cycles),
             completed,
-            bandwidth_reads_per_clk: completed as f64 / cycles as f64,
-            max_ir,
+            last_data_end,
             activates,
             precharges,
             row_hits,
-            avg_latency_cycles: if completed > 0 {
-                latency_sum / completed as f64
-            } else {
-                0.0
-            },
-            avg_queue_depth: queue_depth_sum / cycle as f64,
+            latency_sum,
+            queue_depth_sum,
+            cycle,
             stall_cycles,
-        };
+            max_ir,
+        );
         #[cfg(feature = "telemetry")]
         {
             use pi3d_telemetry::{metrics, report};
@@ -1046,6 +1155,45 @@ impl MemorySimulator {
     }
 }
 
+/// Folds the event loop's accumulators into a [`SimStats`]; shared by the
+/// normal completion path and the budget/cancel exits so partial results
+/// use exactly the completed run's arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn accumulated_stats(
+    t: &TimingParams,
+    refreshes: u64,
+    completed: u64,
+    last_data_end: u64,
+    activates: u64,
+    precharges: u64,
+    row_hits: u64,
+    latency_sum: f64,
+    queue_depth_sum: f64,
+    cycle: u64,
+    stall_cycles: u64,
+    max_ir: MilliVolts,
+) -> SimStats {
+    let cycles = last_data_end.max(1);
+    SimStats {
+        refreshes,
+        cycles,
+        runtime_us: t.cycles_to_us(cycles),
+        completed,
+        bandwidth_reads_per_clk: completed as f64 / cycles as f64,
+        max_ir,
+        activates,
+        precharges,
+        row_hits,
+        avg_latency_cycles: if completed > 0 {
+            latency_sum / completed as f64
+        } else {
+            0.0
+        },
+        avg_queue_depth: queue_depth_sum / cycle as f64,
+        stall_cycles,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1160,7 +1308,9 @@ mod tests {
         let err = sim(ReadPolicy::ir_aware_fcfs(MilliVolts(1.0)))
             .run(&reqs)
             .unwrap_err();
-        let SimulateError::Stalled { snapshot, .. } = err;
+        let SimulateError::Stalled { snapshot, .. } = err else {
+            panic!("expected Stalled, got {err:?}");
+        };
         assert_eq!(snapshot.constraint_mv, Some(1.0));
         assert_eq!(snapshot.per_die_powered, vec![0; 4]);
         assert!(snapshot.queue_depth > 0, "queued work was blocked");
@@ -1171,6 +1321,70 @@ mod tests {
             tightest.ir_mv
         );
         assert_eq!(tightest.state.iter().sum::<u8>(), 1, "one-activate state");
+    }
+
+    #[test]
+    fn cycle_budget_exceeded_carries_partial_stats() {
+        let reqs = small_workload(2000);
+        // Measure the unconstrained run, then allow only half its cycles.
+        let full = sim(ReadPolicy::standard()).run(&reqs).expect("completes");
+        let mut config = SimConfig::paper_ddr3();
+        config.max_cycles = full.cycles / 2;
+        let err = MemorySimulator::new(
+            TimingParams::ddr3_1600(),
+            config.clone(),
+            ReadPolicy::standard(),
+            synthetic_lut(4),
+        )
+        .run(&reqs)
+        .expect_err("budget must fire");
+        let SimulateError::CycleBudgetExceeded {
+            cycle,
+            completed,
+            max_cycles,
+            partial,
+        } = err
+        else {
+            panic!("expected CycleBudgetExceeded, got {err:?}");
+        };
+        assert_eq!(max_cycles, config.max_cycles);
+        assert!(cycle >= max_cycles);
+        assert!(completed > 0 && completed < 2000, "completed {completed}");
+        assert_eq!(partial.completed, completed);
+        assert!(partial.activates > 0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_run_immediately() {
+        let reqs = small_workload(500);
+        let token = pi3d_telemetry::CancelToken::new();
+        token.cancel();
+        let err = sim(ReadPolicy::standard())
+            .with_cancel(token)
+            .run(&reqs)
+            .expect_err("cancel must fire");
+        let SimulateError::Cancelled {
+            completed, partial, ..
+        } = err
+        else {
+            panic!("expected Cancelled, got {err:?}");
+        };
+        assert_eq!(completed, 0);
+        assert_eq!(partial.completed, 0);
+    }
+
+    #[test]
+    fn unset_budget_and_token_leave_stats_bit_identical() {
+        // The robustness hooks must be observationally free when unused.
+        let reqs = small_workload(800);
+        let plain = sim(ReadPolicy::ir_aware_distr(MilliVolts(40.0)))
+            .run(&reqs)
+            .expect("completes");
+        let hooked = sim(ReadPolicy::ir_aware_distr(MilliVolts(40.0)))
+            .with_cancel(pi3d_telemetry::CancelToken::new())
+            .run(&reqs)
+            .expect("completes");
+        assert_eq!(plain, hooked);
     }
 
     #[test]

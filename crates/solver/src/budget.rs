@@ -1,0 +1,143 @@
+//! Run budgets for long solves: wall-clock deadlines and cooperative
+//! cancellation.
+//!
+//! A [`SolveBudget`] bounds how long an iterative solve may run. The CG
+//! loop polls it — cancellation every iteration (one atomic load),
+//! deadline every few iterations (a clock read) — and returns a typed
+//! [`SolverError::Cancelled`](crate::SolverError::Cancelled) or
+//! [`SolverError::DeadlineExceeded`](crate::SolverError::DeadlineExceeded)
+//! carrying the partial iterate, so an interrupted campaign keeps every
+//! converged digit it paid for.
+
+use std::time::Instant;
+
+use pi3d_telemetry::CancelToken;
+
+/// Why a budgeted solve stopped before converging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interruption {
+    /// The [`CancelToken`] fired (SIGINT or programmatic cancel).
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+/// Limits applied to a solve: an optional wall-clock deadline and an
+/// optional cancellation token. The default budget is unlimited.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_solver::SolveBudget;
+/// use pi3d_telemetry::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let budget = SolveBudget::unlimited().with_cancel(token.clone());
+/// assert!(budget.interruption().is_none());
+/// token.cancel();
+/// assert!(budget.interruption().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolveBudget {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl SolveBudget {
+    /// A budget with no deadline and no cancel token (never interrupts).
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token polled every iteration.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// True when neither a deadline nor a cancel token is configured —
+    /// polls are skipped entirely on this path.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// True once the attached token (if any) has been cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// True once the deadline (if any) has passed. Reads the clock.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Full check: cancellation first (cheaper and more urgent), then the
+    /// deadline.
+    pub fn interruption(&self) -> Option<Interruption> {
+        if self.cancelled() {
+            Some(Interruption::Cancelled)
+        } else if self.deadline_exceeded() {
+            Some(Interruption::DeadlineExceeded)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_budget_never_interrupts() {
+        let b = SolveBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.cancelled());
+        assert!(!b.deadline_exceeded());
+        assert_eq!(b.interruption(), None);
+    }
+
+    #[test]
+    fn cancel_wins_over_deadline() {
+        let token = CancelToken::new();
+        let b = SolveBudget::unlimited()
+            .with_cancel(token.clone())
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(b.interruption(), Some(Interruption::DeadlineExceeded));
+        token.cancel();
+        assert_eq!(b.interruption(), Some(Interruption::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let b = SolveBudget::unlimited().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(b.interruption(), None);
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn budget_equality_follows_token_identity() {
+        let token = CancelToken::new();
+        let a = SolveBudget::unlimited().with_cancel(token.clone());
+        let b = SolveBudget::unlimited().with_cancel(token);
+        assert_eq!(a, b);
+        assert_ne!(a, SolveBudget::unlimited().with_cancel(CancelToken::new()));
+    }
+}

@@ -1,6 +1,11 @@
+use crate::budget::{Interruption, SolveBudget};
 use crate::precond::AppliedPreconditioner;
 use crate::vecops;
 use crate::{CsrMatrix, Preconditioner, SolverError};
+
+/// The deadline clock is read every this many CG iterations; cancellation
+/// is polled every iteration (a single atomic load).
+const DEADLINE_POLL_STRIDE: usize = 16;
 
 /// Result of a successful conjugate-gradient solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +62,7 @@ fn record_solve(iterations: usize, relres: f64, trace: &[f64]) {
 pub struct CgSolver {
     tolerance: f64,
     max_iterations: usize,
+    budget: SolveBudget,
 }
 
 impl Default for CgSolver {
@@ -64,6 +70,7 @@ impl Default for CgSolver {
         CgSolver {
             tolerance: 1e-10,
             max_iterations: 20_000,
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -100,9 +107,21 @@ impl CgSolver {
         self
     }
 
+    /// Attaches a [`SolveBudget`] (deadline and/or cancel token) polled by
+    /// the iteration loop. The default budget is unlimited.
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Configured relative tolerance.
     pub fn tolerance(&self) -> f64 {
         self.tolerance
+    }
+
+    /// Configured solve budget.
+    pub fn budget(&self) -> &SolveBudget {
+        &self.budget
     }
 
     /// Configured iteration cap.
@@ -195,6 +214,14 @@ impl CgSolver {
         #[cfg(feature = "telemetry")]
         let _solve_span = pi3d_telemetry::span::span("cg_solve");
 
+        // Fail fast when the budget already expired: batch callers drain
+        // their remaining right-hand sides in O(1) each instead of paying
+        // for the initial SpMV and preconditioner application.
+        if let Some(kind) = self.budget.interruption() {
+            let x = guess.map(<[f64]>::to_vec).unwrap_or_else(|| vec![0.0; n]);
+            return Err(interruption_error(kind, x, 0, f64::INFINITY, Vec::new()));
+        }
+
         let norm_b = vecops::norm2(b);
         if norm_b == 0.0 {
             return Ok(CgSolution {
@@ -243,6 +270,24 @@ impl CgSolver {
         let _iter_span = pi3d_telemetry::span::span("cg_iterations");
 
         for iter in 1..=self.max_iterations {
+            if self.budget.cancelled() {
+                return Err(interruption_error(
+                    Interruption::Cancelled,
+                    x,
+                    iter - 1,
+                    relres,
+                    residual_trace,
+                ));
+            }
+            if (iter == 1 || iter % DEADLINE_POLL_STRIDE == 0) && self.budget.deadline_exceeded() {
+                return Err(interruption_error(
+                    Interruption::DeadlineExceeded,
+                    x,
+                    iter - 1,
+                    relres,
+                    residual_trace,
+                ));
+            }
             a.mul_vec_into_threaded(&p, &mut ap, threads);
             let pap = vecops::dot(&p, &ap);
             if pap <= 0.0 || !pap.is_finite() {
@@ -299,6 +344,40 @@ impl CgSolver {
                 residual_trace,
             }),
         })
+    }
+}
+
+/// Builds the typed interruption error carrying the partial iterate.
+fn interruption_error(
+    kind: Interruption,
+    x: Vec<f64>,
+    iterations: usize,
+    residual: f64,
+    residual_trace: Vec<f64>,
+) -> SolverError {
+    #[cfg(feature = "telemetry")]
+    pi3d_telemetry::metrics::counter(match kind {
+        Interruption::Cancelled => "solver.cg.cancelled",
+        Interruption::DeadlineExceeded => "solver.cg.deadline_exceeded",
+    })
+    .incr(1);
+    let partial = Box::new(CgSolution {
+        x,
+        iterations,
+        relative_residual: residual,
+        residual_trace,
+    });
+    match kind {
+        Interruption::Cancelled => SolverError::Cancelled {
+            iterations,
+            residual,
+            partial,
+        },
+        Interruption::DeadlineExceeded => SolverError::DeadlineExceeded {
+            iterations,
+            residual,
+            partial,
+        },
     }
 }
 
@@ -471,5 +550,74 @@ mod tests {
         let s = CgSolver::new().with_tolerance(1e-6).with_max_iterations(50);
         assert_eq!(s.tolerance(), 1e-6);
         assert_eq!(s.max_iterations(), 50);
+        assert!(s.budget().is_unlimited());
+    }
+
+    #[test]
+    fn cancelled_solve_returns_partial_iterate() {
+        use pi3d_telemetry::CancelToken;
+        let a = grid_2d(16, 16, 0.01);
+        let b = hotspot_load(16, 16);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = CgSolver::new()
+            .with_budget(SolveBudget::unlimited().with_cancel(token))
+            .solve(&a, &b, Preconditioner::Jacobi)
+            .unwrap_err();
+        let SolverError::Cancelled {
+            iterations,
+            partial,
+            ..
+        } = err
+        else {
+            panic!("expected Cancelled, got {err:?}");
+        };
+        assert_eq!(iterations, 0);
+        assert_eq!(partial.x.len(), 256);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_solve() {
+        let a = grid_2d(16, 16, 0.01);
+        let b = hotspot_load(16, 16);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let err = CgSolver::new()
+            .with_budget(SolveBudget::unlimited().with_deadline(past))
+            .solve(&a, &b, Preconditioner::Jacobi)
+            .unwrap_err();
+        assert!(
+            matches!(err, SolverError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mid_solve_cancellation_preserves_progress() {
+        // Cancel from another thread while a deliberately slow solve
+        // (tight tolerance, identity preconditioner) is iterating; the
+        // typed error must carry the in-flight iterate.
+        use pi3d_telemetry::CancelToken;
+        let a = grid_2d(24, 24, 1e-6);
+        let b = hotspot_load(24, 24);
+        let token = CancelToken::new();
+        let solver = CgSolver::new()
+            .with_tolerance(1e-15)
+            .with_budget(SolveBudget::unlimited().with_cancel(token.clone()));
+        let result = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| solver.solve(&a, &b, Preconditioner::Identity));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            token.cancel();
+            handle.join().expect("solver thread must not panic")
+        });
+        match result {
+            Err(SolverError::Cancelled { partial, .. }) => {
+                assert_eq!(partial.x.len(), 24 * 24);
+            }
+            // The grid is small enough that the solve may finish (or hit
+            // the NonConverged cap) before the cancel lands; both are
+            // legitimate races, the test only forbids hangs and panics.
+            Ok(_) | Err(SolverError::NonConverged { .. }) => {}
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
     }
 }

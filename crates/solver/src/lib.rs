@@ -48,6 +48,7 @@
 // User-reachable failures must surface as typed errors, not panics.
 #![warn(clippy::unwrap_used)]
 
+mod budget;
 mod cg;
 mod csr;
 mod dense;
@@ -57,6 +58,7 @@ mod precond;
 mod prepared;
 pub mod vecops;
 
+pub use budget::{Interruption, SolveBudget};
 pub use cg::{CgSolution, CgSolver};
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::{CholeskyFactor, DenseMatrix};

@@ -1,0 +1,243 @@
+//! Cooperative cancellation for long-running sweeps.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle to a shared flag that
+//! long loops (CG iterations, memsim event loops, fault sweeps) poll
+//! between work units. Cancellation is *requested*, never forced: each
+//! loop notices the flag at its next poll point, flushes whatever durable
+//! state it owns (work journal, partial run report), and returns a typed
+//! `Cancelled` error instead of dying mid-write.
+//!
+//! Two flavours share one API:
+//!
+//! * [`CancelToken::new`] — a private flag for tests and embedded use.
+//! * [`CancelToken::global`] — the process-wide flag, set by the std-only
+//!   SIGINT shim ([`install_sigint`]) or by a polling flag-file watcher
+//!   ([`watch_flag_file`]) on platforms without the `signal` shim.
+//!
+//! The SIGINT handler is async-signal-safe by construction: it performs
+//! one atomic store and then restores the default disposition, so a
+//! second interrupt kills the process immediately (the documented escape
+//! hatch when a run ignores the first request).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Process-wide cancellation flag backing [`CancelToken::global`].
+static GLOBAL_CANCELLED: AtomicBool = AtomicBool::new(false);
+
+/// A cloneable handle to a shared cancellation flag.
+///
+/// Equality is identity: two tokens compare equal when they observe the
+/// *same* flag (the global flag, or the same local allocation), which is
+/// what solver-configuration equality needs.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_telemetry::cancel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Inner,
+}
+
+#[derive(Clone, Debug)]
+enum Inner {
+    Global,
+    Local(Arc<AtomicBool>),
+}
+
+impl CancelToken {
+    /// Creates a fresh, private token (not connected to SIGINT).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Inner::Local(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// Returns a handle to the process-wide flag set by [`install_sigint`]
+    /// or [`watch_flag_file`].
+    pub fn global() -> Self {
+        CancelToken {
+            inner: Inner::Global,
+        }
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        match &self.inner {
+            Inner::Global => GLOBAL_CANCELLED.store(true, Ordering::Release),
+            Inner::Local(flag) => flag.store(true, Ordering::Release),
+        }
+    }
+
+    /// Returns `true` once cancellation has been requested.
+    ///
+    /// A single atomic load — cheap enough to poll every CG iteration.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            Inner::Global => GLOBAL_CANCELLED.load(Ordering::Acquire),
+            Inner::Local(flag) => flag.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (Inner::Global, Inner::Global) => true,
+            (Inner::Local(a), Inner::Local(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// Resets the process-wide flag. Test-only escape hatch: real runs treat
+/// cancellation as one-way.
+pub fn reset_global_for_tests() {
+    GLOBAL_CANCELLED.store(false, Ordering::Release);
+}
+
+#[cfg(unix)]
+mod sigint_shim {
+    //! Std-only SIGINT hook. `std` already links libc, so declaring the
+    //! C89 `signal` entry point adds no dependency; we deliberately avoid
+    //! `sigaction` (struct layout varies per platform) since `signal`'s
+    //! semantics are sufficient for a one-shot latch.
+
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: one atomic store, then restore the default
+        // disposition so a second Ctrl-C terminates the process.
+        super::GLOBAL_CANCELLED.store(true, Ordering::Release);
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    #[allow(clippy::fn_to_numeric_cast_any, clippy::fn_to_numeric_cast)]
+    pub(super) fn install() -> bool {
+        let handler = on_sigint as extern "C" fn(i32) as usize;
+        let prev = unsafe { signal(SIGINT, handler) };
+        prev != SIG_ERR
+    }
+}
+
+/// Installs a SIGINT handler that sets the [global](CancelToken::global)
+/// cancellation flag, then restores the default disposition so a second
+/// interrupt kills the process outright.
+///
+/// Returns `true` when the handler was installed. On non-Unix platforms
+/// this is a no-op returning `false`; callers should fall back to
+/// [`watch_flag_file`].
+pub fn install_sigint() -> bool {
+    #[cfg(unix)]
+    {
+        sigint_shim::install()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Spawns a daemon thread that polls `path` every `interval` and sets the
+/// global cancellation flag once the file exists — the portable fallback
+/// when no signal shim is available (and a scriptable cancel mechanism
+/// everywhere else).
+///
+/// The watcher thread exits after the flag fires or once the process ends;
+/// it holds no non-daemon resources.
+pub fn watch_flag_file(path: PathBuf, interval: Duration) {
+    std::thread::Builder::new()
+        .name("pi3d-cancel-watch".into())
+        .spawn(move || loop {
+            if GLOBAL_CANCELLED.load(Ordering::Acquire) {
+                return;
+            }
+            if path.exists() {
+                GLOBAL_CANCELLED.store(true, Ordering::Release);
+                return;
+            }
+            std::thread::sleep(interval);
+        })
+        // Thread spawn only fails on resource exhaustion; cancellation is
+        // best-effort by design, so degrade to "no watcher" rather than
+        // aborting the run.
+        .map(drop)
+        .unwrap_or(());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b);
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        assert_ne!(a, b);
+        assert_eq!(CancelToken::global(), CancelToken::global());
+        assert_ne!(CancelToken::global(), a);
+    }
+
+    #[test]
+    fn flag_file_watcher_sets_global() {
+        let _guard = crate::test_support::serial();
+        reset_global_for_tests();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pi3d-cancel-test-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        watch_flag_file(path.clone(), Duration::from_millis(5));
+        let token = CancelToken::global();
+        assert!(!token.is_cancelled());
+        std::fs::write(&path, b"stop").expect("write flag file");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(token.is_cancelled(), "watcher never fired");
+        let _ = std::fs::remove_file(&path);
+        reset_global_for_tests();
+    }
+}

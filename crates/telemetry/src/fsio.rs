@@ -1,0 +1,123 @@
+//! Crash-consistent file output.
+//!
+//! Every JSON artifact the workspace writes (run reports, LUT exports,
+//! bench tables) goes through [`atomic_write`]: the bytes land in a
+//! temporary file in the *same directory* as the target, are fsync'd, and
+//! are then renamed over the destination. POSIX `rename(2)` within one
+//! filesystem is atomic, so a reader — or a run killed at any instant —
+//! observes either the complete old file or the complete new file, never
+//! a truncated hybrid.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, then `rename` over the target (followed by a best-effort
+/// directory fsync so the rename itself is durable).
+///
+/// On any error the temporary file is removed; the destination is either
+/// untouched or fully replaced — never truncated.
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`] from create/write/sync/rename, or
+/// [`io::ErrorKind::InvalidInput`] when `path` has no file name.
+///
+/// # Examples
+///
+/// ```
+/// let dir = std::env::temp_dir();
+/// let path = dir.join(format!("pi3d-fsio-doc-{}.json", std::process::id()));
+/// pi3d_telemetry::fsio::atomic_write(&path, b"{\"ok\": true}").unwrap();
+/// assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\": true}");
+/// std::fs::remove_file(&path).unwrap();
+/// ```
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("atomic_write target has no file name: {}", path.display()),
+        )
+    })?;
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    // Pid-qualified so concurrent processes targeting the same file never
+    // share a temp file; same directory so the rename stays one-filesystem.
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+
+    // Durability of the rename needs the directory entry flushed too; this
+    // is best-effort because some platforms refuse to open directories.
+    if let Ok(dir_handle) = File::open(&dir) {
+        let _ = dir_handle.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_target(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pi3d-fsio-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = temp_target("replace");
+        atomic_write(&path, b"first").expect("first write");
+        assert_eq!(fs::read(&path).expect("read back"), b"first");
+        atomic_write(&path, b"second, longer payload").expect("second write");
+        assert_eq!(
+            fs::read(&path).expect("read back"),
+            b"second, longer payload"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let path = temp_target("clean");
+        atomic_write(&path, b"payload").expect("write");
+        let tmp = std::env::temp_dir().join(format!(
+            ".{}.tmp.{}",
+            path.file_name().expect("file name").to_string_lossy(),
+            std::process::id()
+        ));
+        assert!(!tmp.exists(), "temp file survived: {}", tmp.display());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bare_file_name_writes_to_cwd() {
+        // A path with no parent component must not panic; clean up after.
+        let name = format!("pi3d-fsio-bare-{}.json", std::process::id());
+        atomic_write(Path::new(&name), b"x").expect("bare-name write");
+        assert_eq!(fs::read(&name).expect("read back"), b"x");
+        let _ = fs::remove_file(&name);
+    }
+
+    #[test]
+    fn rejects_directory_like_targets() {
+        let err = atomic_write(Path::new("/tmp/.."), b"x").expect_err("no file name");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

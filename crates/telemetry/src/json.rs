@@ -152,6 +152,49 @@ impl Json {
         }
     }
 
+    /// Serializes on a single line with no insignificant whitespace.
+    ///
+    /// This is the record format of append-only journals, where one value
+    /// must occupy exactly one `\n`-terminated line so a torn final write
+    /// is detectable by line inspection alone. No trailing newline is
+    /// appended; the caller owns the line terminator.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_number(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Parses a JSON document (rejects trailing garbage).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
@@ -427,6 +470,27 @@ mod tests {
     fn non_finite_numbers_become_null() {
         assert_eq!(Json::num(f64::NAN).to_pretty_string().trim(), "null");
         assert_eq!(Json::num(f64::INFINITY).to_pretty_string().trim(), "null");
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let doc = Json::obj([
+            ("unit", Json::num(3.0)),
+            ("seed", Json::str("18446744073709551615")),
+            (
+                "trace",
+                Json::arr([Json::num(1.5), Json::Null, Json::Bool(true)]),
+            ),
+            ("empty", Json::Obj(Vec::new())),
+        ]);
+        let text = doc.to_compact_string();
+        assert!(!text.contains('\n'));
+        assert!(!text.contains("  "));
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        assert_eq!(
+            text,
+            r#"{"unit":3,"seed":"18446744073709551615","trace":[1.5,null,true],"empty":{}}"#
+        );
     }
 
     #[test]

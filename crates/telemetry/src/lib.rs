@@ -22,13 +22,17 @@
 //! feature (on by default); with the feature off, call sites compile to
 //! nothing, so the Fig. 4 speedup numbers stay honest.
 //!
-//! The crate also hosts two substrate utilities that want the same
+//! The crate also hosts substrate utilities that want the same
 //! "everything already depends on it" home: [`rng`], a seeded SplitMix64
 //! generator replacing the `rand` crate for the synthetic-workload
-//! generator and the randomized property tests, and [`par`], the
+//! generator and the randomized property tests; [`par`], the
 //! deterministic order-preserving `parallel_map` over
 //! `std::thread::scope` used by the solver's batch RHS solves and the
-//! experiment-level policy sweeps.
+//! experiment-level policy sweeps (with per-item panic isolation via
+//! [`par::parallel_map_catch`]); [`cancel`], the cooperative
+//! [`CancelToken`] set by the std-only SIGINT shim; and [`fsio`], the
+//! crash-consistent [`fsio::atomic_write`] every JSON artifact goes
+//! through.
 //!
 //! # Examples
 //!
@@ -48,6 +52,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cancel;
+pub mod fsio;
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -56,6 +62,7 @@ pub mod report;
 pub mod rng;
 pub mod span;
 
+pub use cancel::CancelToken;
 pub use json::Json;
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram};

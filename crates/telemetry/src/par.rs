@@ -8,7 +8,40 @@
 //! can fan out work without growing a solver dependency. `pi3d-solver`
 //! re-exports it under its historical path.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A panic captured from one work item of [`parallel_map_catch`].
+///
+/// Carries the input index of the poisoned item and the panic message
+/// (when the payload was a string; the common case for `panic!`/`assert!`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Input index of the item whose closure panicked.
+    pub index: usize,
+    /// Panic payload rendered as text, or a placeholder for non-string
+    /// payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ItemPanic {}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Applies `f` to every item of `items` using up to `threads` scoped OS
 /// threads, returning the results in input order.
@@ -24,7 +57,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins all workers first).
+/// Propagates the first (lowest-index) panic from `f` after every item has
+/// run — one poisoned item no longer aborts the process mid-scope, but the
+/// historical "panics propagate" contract is preserved. Callers that want
+/// per-item errors instead use [`parallel_map_catch`].
 ///
 /// # Examples
 ///
@@ -40,13 +76,84 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    let mut out = Vec::with_capacity(items.len());
+    for slot in run_catching(items, threads, &f) {
+        match slot {
+            Ok(r) => out.push(r),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    out
+}
+
+/// Panic-isolating variant of [`parallel_map`]: every item runs under
+/// [`catch_unwind`], and a panicking item yields `Err(`[`ItemPanic`]`)` in
+/// its slot while the remaining items complete normally.
+///
+/// This is what keeps one poisoned trial from aborting an hours-long
+/// sweep: the caller records the per-item failure and carries on with the
+/// other N-1 results.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_telemetry::par::parallel_map_catch;
+///
+/// let results = parallel_map_catch(&[1u32, 2, 3], 2, |_, &v| {
+///     assert!(v != 2, "poisoned item");
+///     v * 10
+/// });
+/// assert_eq!(results[0].as_ref().ok(), Some(&10));
+/// assert!(results[1].is_err());
+/// assert_eq!(results[2].as_ref().ok(), Some(&30));
+/// ```
+pub fn parallel_map_catch<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, ItemPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_catching(items, threads, &f)
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.map_err(|payload| {
+                crate::metrics::counter("par.item_panics").incr(1);
+                ItemPanic {
+                    index,
+                    message: panic_message(payload.as_ref()),
+                }
+            })
+        })
+        .collect()
+}
+
+/// Shared dispatch loop: every item runs exactly once under
+/// `catch_unwind`, results return in input order with raw panic payloads.
+fn run_catching<T, R, F>(items: &[T], threads: usize, f: &F) -> Vec<Result<R, Box<dyn Any + Send>>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let guarded = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+
     let threads = threads.max(1).min(items.len());
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return (0..items.len()).map(guarded).collect();
     }
 
+    type Slot<R> = (usize, Result<R, Box<dyn Any + Send>>);
     let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let per_worker: Vec<Vec<Slot<R>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -56,7 +163,7 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        local.push((i, guarded(i)));
                     }
                     local
                 })
@@ -64,7 +171,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .map(|h| {
+                h.join()
+                    .expect("parallel_map worker cannot panic: items run under catch_unwind")
+            })
             .collect()
     });
 
@@ -72,7 +182,7 @@ where
         crate::metrics::histogram("par.items_per_worker").record(worker.len() as u64);
     }
 
-    let mut slots: Vec<Option<R>> = Vec::new();
+    let mut slots: Vec<Option<Result<R, Box<dyn Any + Send>>>> = Vec::new();
     slots.resize_with(items.len(), || None);
     for (i, r) in per_worker.into_iter().flatten() {
         slots[i] = Some(r);
@@ -109,6 +219,60 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(parallel_map(&empty, 8, |_, &v| v).is_empty());
         assert_eq!(parallel_map(&[7u8], 8, |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn panicking_item_yields_per_item_error_and_other_results() {
+        // Satellite requirement: a deliberately poisoned work item must
+        // surface as one Err slot while the N-1 healthy items succeed —
+        // the process must not abort.
+        let items: Vec<u32> = (0..12).collect();
+        for threads in [1, 3, 8] {
+            let results = parallel_map_catch(&items, threads, |_, &v| {
+                if v == 5 {
+                    panic!("poisoned trial {v}");
+                }
+                v * 2
+            });
+            assert_eq!(results.len(), items.len());
+            for (i, slot) in results.iter().enumerate() {
+                if i == 5 {
+                    let err = slot.as_ref().expect_err("item 5 must fail");
+                    assert_eq!(err.index, 5);
+                    assert!(err.message.contains("poisoned trial 5"), "{err}");
+                } else {
+                    assert_eq!(slot.as_ref().ok(), Some(&((i as u32) * 2)), "item {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        let results = parallel_map_catch(&[1u8], 1, |_, _| -> u8 {
+            std::panic::panic_any(42u64);
+        });
+        let err = results[0].as_ref().expect_err("must fail");
+        assert_eq!(err.message, "non-string panic payload");
+    }
+
+    #[test]
+    fn parallel_map_still_propagates_first_panic_by_index() {
+        let items: Vec<u32> = (0..8).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |_, &v| {
+                if v >= 6 {
+                    panic!("boom at {v}");
+                }
+                v
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert_eq!(msg, "boom at 6", "lowest-index panic wins");
     }
 
     #[test]

@@ -107,6 +107,22 @@ pub struct FaultSweepRecord {
     pub mean_islanded_nodes: f64,
 }
 
+/// How a run ended: success, typed failure, cooperative cancellation, or
+/// deadline expiry — written into the report so partial artifacts are
+/// self-describing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Terminal status: `"ok"`, `"error"`, `"cancelled"`, or `"deadline"`.
+    pub status: String,
+    /// Pipeline stage that was active when the run ended (e.g.
+    /// `"fault_sweep"`, `"report"`).
+    pub stage: String,
+    /// Process exit code the CLI returned (0 ok, 1 error, 130 cancelled).
+    pub exit_code: u8,
+    /// Rendered error for non-ok statuses, empty otherwise.
+    pub error: String,
+}
+
 /// Wall clock for one experiment (a paper table or figure).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
@@ -179,6 +195,18 @@ struct Sinks {
     faults: Sink<FaultSweepRecord>,
 }
 
+fn outcome_slot() -> &'static Mutex<Option<RunOutcome>> {
+    static OUTCOME: OnceLock<Mutex<Option<RunOutcome>>> = OnceLock::new();
+    OUTCOME.get_or_init(|| Mutex::new(None))
+}
+
+/// Records how the run ended; the last call before collection wins.
+/// Called by the CLIs on *every* exit path — success, typed error,
+/// cancellation, deadline — so partial reports are self-describing.
+pub fn set_outcome(outcome: RunOutcome) {
+    *outcome_slot().lock().expect("outcome slot poisoned") = Some(outcome);
+}
+
 /// Records one solve's convergence history (dropped once the per-run cap
 /// of [`MAX_TRACES`] is reached).
 pub fn record_convergence(label: &str, iterations: u64, final_rel: f64, residuals: &[f64]) {
@@ -223,6 +251,7 @@ pub fn reset_run() {
     s.policies.reset();
     s.experiments.reset();
     s.faults.reset();
+    *outcome_slot().lock().expect("outcome slot poisoned") = None;
     metrics::reset();
     span::reset();
 }
@@ -246,6 +275,8 @@ pub struct RunReport {
     pub experiments: Vec<ExperimentRecord>,
     /// Fault-sweep survival statistics, one record per severity level.
     pub fault_sweep: Vec<FaultSweepRecord>,
+    /// How the run ended, when the CLI recorded it ([`set_outcome`]).
+    pub outcome: Option<RunOutcome>,
 }
 
 impl RunReport {
@@ -261,6 +292,10 @@ impl RunReport {
             memsim: s.policies.lock().clone(),
             experiments: s.experiments.lock().clone(),
             fault_sweep: s.faults.lock().clone(),
+            outcome: outcome_slot()
+                .lock()
+                .expect("outcome slot poisoned")
+                .clone(),
         }
     }
 
@@ -367,12 +402,26 @@ impl RunReport {
             ("memsim", Json::Arr(memsim.collect())),
             ("fault_sweep", Json::Arr(fault_sweep.collect())),
             ("experiments", Json::Arr(experiments.collect())),
+            (
+                "outcome",
+                match &self.outcome {
+                    Some(o) => Json::obj([
+                        ("status", Json::str(o.status.clone())),
+                        ("stage", Json::str(o.stage.clone())),
+                        ("exit_code", Json::num(o.exit_code as f64)),
+                        ("error", Json::str(o.error.clone())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
-    /// Serializes [`Self::to_json`] to `path`.
+    /// Serializes [`Self::to_json`] to `path` via
+    /// [`atomic_write`](crate::fsio::atomic_write), so a crash or kill
+    /// mid-write can never leave a truncated report on disk.
     pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json().to_pretty_string())
+        crate::fsio::atomic_write(path, self.to_json().to_pretty_string().as_bytes())
     }
 }
 
@@ -464,10 +513,69 @@ mod tests {
         let _guard = serial();
         record_convergence("stale", 1, 0.5, &[0.5]);
         record_experiment("stale", 1.0, false);
+        set_outcome(RunOutcome {
+            status: "error".into(),
+            stage: "stale".into(),
+            exit_code: 1,
+            error: "stale".into(),
+        });
         reset_run();
         let report = RunReport::collect();
         assert!(report.convergence.is_empty());
         assert!(report.experiments.is_empty());
         assert_eq!(report.convergence_dropped, 0);
+        assert!(report.outcome.is_none());
+    }
+
+    #[test]
+    fn outcome_serializes_and_last_write_wins() {
+        let _guard = serial();
+        reset_run();
+        let report = RunReport::collect();
+        assert_eq!(report.to_json().get("outcome"), Some(&Json::Null));
+
+        set_outcome(RunOutcome {
+            status: "ok".into(),
+            stage: "report".into(),
+            exit_code: 0,
+            error: String::new(),
+        });
+        set_outcome(RunOutcome {
+            status: "cancelled".into(),
+            stage: "fault_sweep".into(),
+            exit_code: 130,
+            error: "interrupted by SIGINT".into(),
+        });
+        let report = RunReport::collect();
+        let text = report.to_json().to_pretty_string();
+        let doc = Json::parse(&text).unwrap();
+        let outcome = doc.get("outcome").unwrap();
+        assert_eq!(
+            outcome.get("status").and_then(Json::as_str),
+            Some("cancelled")
+        );
+        assert_eq!(outcome.get("exit_code").and_then(Json::as_num), Some(130.0));
+        assert_eq!(
+            outcome.get("stage").and_then(Json::as_str),
+            Some("fault_sweep")
+        );
+        reset_run();
+    }
+
+    #[test]
+    fn write_json_is_atomic_and_parseable() {
+        let _guard = serial();
+        reset_run();
+        record_convergence("unit", 2, 1e-12, &[1e-3, 1e-12]);
+        let path =
+            std::env::temp_dir().join(format!("pi3d-report-atomic-{}.json", std::process::id()));
+        RunReport::collect()
+            .write_json(&path)
+            .expect("write report");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = Json::parse(&text).expect("valid JSON on disk");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let _ = std::fs::remove_file(&path);
+        reset_run();
     }
 }

@@ -60,6 +60,12 @@ fn run_report_json_matches_the_documented_schema() {
     assert_eq!(sweep.levels[0].survived, 2);
 
     report::record_experiment("golden_shape", 0.01, true);
+    report::set_outcome(report::RunOutcome {
+        status: "ok".into(),
+        stage: "golden_shape".into(),
+        exit_code: 0,
+        error: String::new(),
+    });
 
     let text = RunReport::collect().to_json().to_pretty_string();
     let json = Json::parse(&text).expect("report is valid JSON");
@@ -81,6 +87,7 @@ fn run_report_json_matches_the_documented_schema() {
             "memsim",
             "fault_sweep",
             "experiments",
+            "outcome",
         ],
         "top-level key set or order changed"
     );
@@ -214,6 +221,14 @@ fn run_report_json_matches_the_documented_schema() {
         .expect("recorded experiment present");
     assert_eq!(golden.get("ok").unwrap(), &Json::Bool(true));
     assert!(golden.get("wall_ms").unwrap().as_num().unwrap() > 0.0);
+
+    // Outcome: the "how did this run end" block the CLI writes on every
+    // exit path (null when no front end recorded one).
+    let outcome = json.get("outcome").expect("outcome key present");
+    assert_eq!(outcome.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(outcome.get("stage").unwrap().as_str(), Some("golden_shape"));
+    assert_eq!(outcome.get("exit_code").unwrap().as_num(), Some(0.0));
+    assert_eq!(outcome.get("error").unwrap().as_str(), Some(""));
 
     report::reset_run();
 }
