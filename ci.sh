@@ -167,4 +167,79 @@ diff "$jobdir/clean.out" "$jobdir/resumed2.out"
 diff "$jobdir/clean.out" "$jobdir/resumed8.out"
 echo "kill-and-resume OK: interrupted after $interrupted_units units, resumed reports byte-identical"
 
+echo "==> trace smoke run (--trace-out + --progress on the optimize path)"
+trace_out="$(mktemp /tmp/pi3d-trace.XXXXXX.json)"
+trace_err="$(mktemp /tmp/pi3d-trace-err.XXXXXX.log)"
+trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err" "$trace_out" "$trace_err"; rm -rf "$jobdir"' EXIT
+./target/release/pi3d optimize ddr3-off --threads 2 \
+    --trace-out "$trace_out" --progress 2> "$trace_err"
+grep -q '\[characterize\].*(100%)' "$trace_err"
+grep -q 'wrote trace to' "$trace_err"
+# The trace must be valid Chrome trace-event JSON carrying the expected
+# phase slices, per-unit work slices, and thread-name metadata.
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$trace_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    t = json.load(f)
+assert t["otherData"]["schema"] == "pi3d.trace.v1", t["otherData"]
+events = t["traceEvents"]
+names = {e["name"] for e in events if e.get("ph") == "X"}
+assert "cmd:optimize" in names, sorted(names)[:20]
+assert "characterize" in names, sorted(names)[:20]
+assert any(n.startswith("characterize[") for n in names), sorted(names)[:20]
+assert any(e.get("ph") == "M" and e["name"] == "thread_name" for e in events)
+tids = {e["tid"] for e in events
+        if e.get("ph") == "X" and e["name"].startswith("characterize[")}
+assert len(tids) >= 2, f"work units all on one thread: {tids}"
+print("trace OK:", len(events), "events,", len(names), "span names,",
+      t["otherData"]["dropped_events"], "dropped")
+PY
+else
+    grep -q '"pi3d.trace.v1"' "$trace_out"
+    grep -q '"cmd:optimize"' "$trace_out"
+    grep -q '"thread_name"' "$trace_out"
+    echo "trace OK (grep check)"
+fi
+./target/release/pi3d trace "$trace_out" --top 8 | grep -q 'hottest spans by self time'
+echo "trace analyzer OK"
+
+echo "==> memsim bench regression guard (vs committed BENCH_memsim.json)"
+# A fast re-run of the event-loop bench (3 samples, stepper timing
+# skipped) compared against the committed baseline medians. CI boxes are
+# noisy, so the tolerance is generous: fail only when a policy's event
+# median regresses by more than 25%.
+if command -v python3 > /dev/null 2>&1; then
+    bench_out="$(mktemp /tmp/pi3d-bench.XXXXXX.json)"
+    trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err" "$trace_out" "$trace_err" "$bench_out"; rm -rf "$jobdir"' EXIT
+    BENCH_MEMSIM_OUT="$bench_out" BENCH_MEMSIM_SAMPLES=3 \
+        BENCH_MEMSIM_SKIP_REFERENCE=1 \
+        cargo bench --offline -p pi3d-bench --features bench-ext \
+        --bench memsim_run
+    python3 - BENCH_memsim.json "$bench_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    now = json.load(f)
+baseline = {p["policy"]: p["event"]["median_s"] for p in base["policies"]}
+current = {p["policy"]: p["event"]["median_s"] for p in now["policies"]}
+tolerance = 0.25
+failures = []
+print(f"{'policy':<16} {'baseline':>10} {'current':>10} {'delta':>8}")
+for policy, was in baseline.items():
+    is_now = current.get(policy)
+    assert is_now is not None, f"policy {policy} missing from bench run"
+    delta = (is_now - was) / was
+    print(f"{policy:<16} {was*1e3:>8.1f}ms {is_now*1e3:>8.1f}ms {delta:>+7.1%}")
+    if delta > tolerance:
+        failures.append(f"{policy}: {delta:+.1%} over baseline")
+if failures:
+    sys.exit("bench regression: " + "; ".join(failures))
+print("bench guard OK (tolerance {:.0%})".format(tolerance))
+PY
+else
+    echo "bench guard skipped (needs python3 for median comparison)"
+fi
+
 echo "==> ci.sh passed"

@@ -13,6 +13,7 @@
 //!                            [--em-drift S] [--levels 0.25,0.5,1.0] [--trials N]
 //!                            [--reads N] [--threads N] [--grid N]
 //! pi3d export   <design.cfg> [--svg out.svg] [--spice out.sp] [--state 0-0-0-2]
+//! pi3d trace    <trace.json> [--top N]
 //! ```
 //!
 //! Global flags (any command): `--log-level off|error|warn|info|debug|trace`
@@ -21,6 +22,13 @@
 //! CG convergence traces, mesh and memory-simulator statistics — on exit,
 //! including error, cancelled, and deadline exits (the report's `outcome`
 //! block carries the failure stage and exit code).
+//!
+//! Observability: `--trace-out FILE` records a flight-recorder trace
+//! (per-thread event ring buffers) and writes Chrome trace-event JSON on
+//! exit — load it in Perfetto / `chrome://tracing`, or profile it with
+//! `pi3d trace FILE` (self/total time per span, hottest spans, per-thread
+//! utilization). `--progress [json]` heartbeats sweep progress to stderr
+//! (units done/total, rate, ETA, per-unit p50/p95).
 //!
 //! Durable execution (faults / optimize / simulate --policy all):
 //! `--journal FILE` records each completed work unit to an fsync'd
@@ -36,6 +44,8 @@
 #![warn(clippy::unwrap_used)]
 
 mod config;
+#[cfg(feature = "telemetry")]
+mod trace_cmd;
 
 use pi3d_core::jobs::{config_hash_of, fnv1a64, journaled_sweep};
 use pi3d_core::{
@@ -197,6 +207,21 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 Err(e) => eprintln!("error: cannot write {path}: {e}"),
             }
         }
+        // Like the run report, the trace is written on every exit path, so
+        // an interrupted sweep still leaves a loadable timeline of the
+        // work it managed to do.
+        if let Some(path) = args.flag("trace-out") {
+            let snapshot = pi3d_telemetry::trace::drain();
+            match snapshot.write_chrome_json(Path::new(path)) {
+                Ok(()) => eprintln!(
+                    "wrote trace to {path} ({} events, {} dropped)",
+                    snapshot.total_events(),
+                    snapshot.total_dropped()
+                ),
+                Err(e) if result.is_ok() => return Err(format!("cannot write {path}: {e}").into()),
+                Err(e) => eprintln!("error: cannot write {path}: {e}"),
+            }
+        }
     }
     result
 }
@@ -207,6 +232,35 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let parsed: pi3d_telemetry::Level =
             level.parse().map_err(|e| format!("bad --log-level: {e}"))?;
         pi3d_telemetry::log::set_level(parsed);
+    }
+    // Flight-recorder tracing and the sweep progress heartbeat are armed
+    // before any work runs so the very first phase span is captured.
+    #[cfg(feature = "telemetry")]
+    {
+        if args.has("trace-out") {
+            if args.flag("trace-out").is_none() {
+                return Err("--trace-out needs a file path".into());
+            }
+            if let Some(cap) = args.flag("trace-capacity") {
+                let n: usize = cap
+                    .parse()
+                    .map_err(|_| format!("--trace-capacity must be an integer, got {cap}"))?;
+                pi3d_telemetry::trace::set_capacity(n);
+            }
+            pi3d_telemetry::trace::set_enabled(true);
+        }
+        if args.has("progress") {
+            let mode = match args.flag("progress") {
+                None => pi3d_telemetry::progress::ProgressMode::Human,
+                Some("json") => pi3d_telemetry::progress::ProgressMode::JsonLines,
+                Some(other) => {
+                    return Err(
+                        format!("--progress takes no value or \"json\", got {other:?}").into(),
+                    )
+                }
+            };
+            pi3d_telemetry::progress::set_mode(mode);
+        }
     }
     // Ctrl-C requests a cooperative stop (long loops flush their journal
     // and return typed Cancelled errors); a second Ctrl-C kills outright.
@@ -219,6 +273,10 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         print_usage();
         return Err("no command given".into());
     };
+    // One top-level slice per invocation so every lower-layer span has a
+    // parent in the trace timeline.
+    #[cfg(feature = "telemetry")]
+    let _cmd_slice = pi3d_telemetry::trace::span_with("cli", || format!("cmd:{command}"));
 
     match command {
         "analyze" => analyze(args),
@@ -229,6 +287,8 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "optimize" => optimize(args),
         "faults" => faults_command(args),
         "export" => export(args),
+        #[cfg(feature = "telemetry")]
+        "trace" => trace_cmd::trace_command(args),
         "help" | "--help" => {
             print_usage();
             Ok(())
@@ -278,9 +338,11 @@ fn print_usage() {
          pi3d faults   [design.cfg] [--seed N] [--tsv-open P] [--bump-open P]\n  \
                        [--via-void P] [--em-drift S] [--levels L1,L2,..]\n  \
                        [--trials N] [--reads N] [--grid N]\n  \
-         pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n\
+         pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n  \
+         pi3d trace    <trace.json> [--top N]\n\
          global flags: [--threads N] [--log-level off|error|warn|info|debug|trace]\n\
-                       [--metrics-out FILE]\n\
+                       [--metrics-out FILE] [--trace-out FILE] [--trace-capacity N]\n\
+                       [--progress [json]]\n\
          durable runs (faults/optimize/simulate): [--journal FILE] [--resume FILE]\n\
                        [--deadline SECS] [--cancel-file FILE]\n\
          exit codes:   0 ok, 1 error, 124 deadline/cycle budget, 130 cancelled"

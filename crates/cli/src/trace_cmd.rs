@@ -1,0 +1,273 @@
+//! `pi3d trace` — offline profile of a Chrome trace-event file written by
+//! `--trace-out`.
+//!
+//! The analyzer rebuilds each thread's span tree from the flat event list
+//! (events sorted by start time, ties broken longest-first, then a stack
+//! sweep — a span whose start lies inside the stack top is its child) and
+//! reports *self* time (span duration minus direct children) next to
+//! *total* time per span name. Indexed span names (`rhs[17]`,
+//! `cg_iters[64..128)`, `faults[3]`) are collapsed to `name[*]` so the
+//! profile aggregates across work units instead of listing each one.
+
+use crate::Args;
+use pi3d_telemetry::Json;
+use std::collections::HashMap;
+use std::fs;
+
+/// Slack when deciding whether a span starts after the stack top ends:
+/// timestamps are microseconds with nanosecond precision, so one
+/// nanosecond of tolerance absorbs f64 rounding without ever merging
+/// genuinely nested spans (the tracer never emits sub-nanosecond gaps).
+const NEST_EPSILON_US: f64 = 1e-3;
+
+/// One `ph:"X"` complete event, timestamps in microseconds.
+struct SpanEvent {
+    name: String,
+    ts: f64,
+    dur: f64,
+}
+
+/// Per-name aggregate across every thread.
+#[derive(Default)]
+struct Profile {
+    calls: u64,
+    total_us: f64,
+    self_us: f64,
+}
+
+pub fn trace_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("trace needs a trace.json argument (written by --trace-out)")?;
+    let top: usize = match args.flag("top") {
+        Some(t) => {
+            let n = t
+                .parse()
+                .map_err(|_| format!("--top must be an integer, got {t}"))?;
+            if n == 0 {
+                return Err("--top must be at least 1".into());
+            }
+            n
+        }
+        None => 15,
+    };
+
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err(format!("{path} has no traceEvents array — not a Chrome trace").into()),
+    };
+    let schema = doc
+        .get("otherData")
+        .and_then(|o| o.get("schema"))
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0) as u64;
+
+    // Bucket events per thread; metadata names the threads.
+    let mut thread_names: HashMap<u64, String> = HashMap::new();
+    let mut spans_by_tid: HashMap<u64, Vec<SpanEvent>> = HashMap::new();
+    let mut instants = 0u64;
+    let mut counters = 0u64;
+    for ev in events {
+        let tid = ev.get("tid").and_then(Json::as_num).unwrap_or(0.0) as u64;
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                if let Some(name) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    thread_names.insert(tid, name.to_owned());
+                }
+            }
+            Some("X") => {
+                let (Some(name), Some(ts), Some(dur)) = (
+                    ev.get("name").and_then(Json::as_str),
+                    ev.get("ts").and_then(Json::as_num),
+                    ev.get("dur").and_then(Json::as_num),
+                ) else {
+                    return Err(format!("{path}: X event missing name/ts/dur").into());
+                };
+                spans_by_tid.entry(tid).or_default().push(SpanEvent {
+                    name: name.to_owned(),
+                    ts,
+                    dur,
+                });
+            }
+            Some("i") => instants += 1,
+            Some("C") => counters += 1,
+            _ => {}
+        }
+    }
+
+    // Nesting sweep per thread: self time and top-of-stack (busy) time.
+    let mut profile: HashMap<String, Profile> = HashMap::new();
+    let mut busy_by_tid: HashMap<u64, f64> = HashMap::new();
+    let mut span_count = 0u64;
+    let (mut wall_start, mut wall_end) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (&tid, spans) in &mut spans_by_tid {
+        spans.sort_by(|a, b| {
+            (a.ts, b.dur)
+                .partial_cmp(&(b.ts, a.dur))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut self_us: Vec<f64> = spans.iter().map(|s| s.dur).collect();
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..spans.len() {
+            span_count += 1;
+            wall_start = wall_start.min(spans[i].ts);
+            wall_end = wall_end.max(spans[i].ts + spans[i].dur);
+            while let Some(&open) = stack.last() {
+                if spans[i].ts >= spans[open].ts + spans[open].dur - NEST_EPSILON_US {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            match stack.last() {
+                Some(&parent) => self_us[parent] -= spans[i].dur,
+                None => *busy_by_tid.entry(tid).or_default() += spans[i].dur,
+            }
+            stack.push(i);
+        }
+        for (span, own) in spans.iter().zip(&self_us) {
+            let entry = profile.entry(collapse_name(&span.name)).or_default();
+            entry.calls += 1;
+            entry.total_us += span.dur;
+            entry.self_us += own.max(0.0);
+        }
+    }
+
+    let wall_us = if span_count > 0 {
+        wall_end - wall_start
+    } else {
+        0.0
+    };
+    let busy_total: f64 = profile.values().map(|p| p.self_us).sum();
+
+    println!("trace    : {path} (schema {schema})");
+    println!(
+        "events   : {span_count} spans, {instants} instants, {counters} counters across {} threads",
+        spans_by_tid.len()
+    );
+    if dropped > 0 {
+        println!(
+            "dropped  : {dropped} events fell out of the ring buffers — raise --trace-capacity"
+        );
+    }
+    println!("wall     : {}", fmt_us(wall_us));
+
+    let mut ranked: Vec<(&String, &Profile)> = profile.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.1.self_us
+            .partial_cmp(&a.1.self_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    println!();
+    println!(
+        "hottest spans by self time (top {}):",
+        top.min(ranked.len())
+    );
+    println!(
+        "  {:>9}  {:>10}  {:>10}  {:>8}  name",
+        "self%", "self", "total", "calls"
+    );
+    for (name, p) in ranked.iter().take(top) {
+        let share = if busy_total > 0.0 {
+            100.0 * p.self_us / busy_total
+        } else {
+            0.0
+        };
+        println!(
+            "  {share:>8.1}%  {:>10}  {:>10}  {:>8}  {name}",
+            fmt_us(p.self_us),
+            fmt_us(p.total_us),
+            p.calls
+        );
+    }
+    if ranked.len() > top {
+        let rest: f64 = ranked[top..].iter().map(|(_, p)| p.self_us).sum();
+        println!(
+            "  {:>8.1}%  {:>10}  ({} more span names)",
+            if busy_total > 0.0 {
+                100.0 * rest / busy_total
+            } else {
+                0.0
+            },
+            fmt_us(rest),
+            ranked.len() - top
+        );
+    }
+
+    let mut tids: Vec<u64> = spans_by_tid.keys().copied().collect();
+    tids.sort_unstable();
+    println!();
+    println!("per-thread utilization (top-level busy / wall):");
+    for tid in tids {
+        let busy = busy_by_tid.get(&tid).copied().unwrap_or(0.0);
+        let util = if wall_us > 0.0 {
+            100.0 * busy / wall_us
+        } else {
+            0.0
+        };
+        let name = thread_names
+            .get(&tid)
+            .map(String::as_str)
+            .unwrap_or("unnamed");
+        println!(
+            "  tid {tid:<3} {name:<16} {:>10} / {} ({util:.0}%)",
+            fmt_us(busy),
+            fmt_us(wall_us)
+        );
+    }
+    Ok(())
+}
+
+/// Collapses per-unit indices so the profile aggregates by span kind:
+/// `rhs[17]` and `rhs[3]` both become `rhs[*]`.
+fn collapse_name(name: &str) -> String {
+    match name.find('[') {
+        Some(pos) if name.ends_with([']', ')']) => format!("{}[*]", &name[..pos]),
+        _ => name.to_owned(),
+    }
+}
+
+/// Formats a microsecond quantity at a human scale.
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.1} ms", us / 1e3)
+    } else {
+        format!("{us:.0} us")
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapse_merges_indexed_names() {
+        assert_eq!(collapse_name("rhs[17]"), "rhs[*]");
+        assert_eq!(collapse_name("cg_iters[64..128)"), "cg_iters[*]");
+        assert_eq!(collapse_name("factor"), "factor");
+        // An interior bracket with a non-index tail is left alone.
+        assert_eq!(collapse_name("odd[name]x"), "odd[name]x");
+    }
+
+    #[test]
+    fn fmt_us_scales() {
+        assert_eq!(fmt_us(2_500_000.0), "2.50 s");
+        assert_eq!(fmt_us(1_500.0), "1.5 ms");
+        assert_eq!(fmt_us(42.0), "42 us");
+    }
+}

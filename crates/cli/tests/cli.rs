@@ -1,5 +1,6 @@
 //! Integration tests driving the compiled `pi3d` binary end to end.
 
+use pi3d_telemetry::Json;
 use std::fs;
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -150,4 +151,190 @@ fn lut_roundtrip_feeds_simulate() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("runtime"), "{stdout}");
     assert!(stdout.contains("max IR"), "{stdout}");
+}
+
+/// `--trace-out` + `--progress` on a small fault sweep must produce a
+/// Chrome trace with the sweep phase, per-unit work slices on worker
+/// threads, and a progress heartbeat on stderr — then `pi3d trace` must
+/// turn that file into a self/total profile.
+#[test]
+fn faults_trace_out_progress_and_analyzer() {
+    let cfg = write_config("trace.cfg", "benchmark = ddr3-off\n");
+    let dir = std::env::temp_dir().join("pi3d-cli-tests");
+    let trace_path = dir.join("faults.trace.json");
+    let out = pi3d(&[
+        "faults",
+        cfg.to_str().unwrap(),
+        "--trials",
+        "2",
+        "--reads",
+        "0",
+        "--grid",
+        "8",
+        "--threads",
+        "2",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--progress",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(
+        stderr.contains("[fault_sweep]"),
+        "no progress line: {stderr}"
+    );
+    assert!(
+        stderr.contains("(100%)"),
+        "no final progress line: {stderr}"
+    );
+    assert!(stderr.contains("wrote trace to"), "{stderr}");
+
+    let text = fs::read_to_string(&trace_path).expect("trace written");
+    let doc = Json::parse(&text).expect("trace is valid JSON");
+    assert_eq!(
+        doc.get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(Json::as_str),
+        Some("pi3d.trace.v1")
+    );
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let complete_names: Vec<(&str, &str, f64)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .map(|e| {
+            (
+                e.get("name").and_then(Json::as_str).expect("name"),
+                e.get("cat").and_then(Json::as_str).expect("cat"),
+                e.get("tid").and_then(Json::as_num).expect("tid"),
+            )
+        })
+        .collect();
+    assert!(
+        complete_names
+            .iter()
+            .any(|(n, c, _)| *n == "fault_sweep" && *c == "phase"),
+        "no fault_sweep phase slice: {complete_names:?}"
+    );
+    assert!(
+        complete_names
+            .iter()
+            .any(|(n, c, _)| n.starts_with("fault_sweep[") && *c == "jobs"),
+        "no per-unit jobs slices: {complete_names:?}"
+    );
+    // With two workers the 6 units (2 trials x 3 levels) fan across at
+    // least two distinct threads.
+    let unit_tids: std::collections::HashSet<u64> = complete_names
+        .iter()
+        .filter(|(n, c, _)| n.starts_with("fault_sweep[") && *c == "jobs")
+        .map(|&(_, _, tid)| tid as u64)
+        .collect();
+    assert!(unit_tids.len() >= 2, "units on one thread: {unit_tids:?}");
+    assert!(
+        complete_names
+            .iter()
+            .any(|(n, c, _)| *n == "cmd:faults" && *c == "cli"),
+        "no CLI command slice: {complete_names:?}"
+    );
+
+    let out = pi3d(&["trace", trace_path.to_str().unwrap(), "--top", "5"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("schema pi3d.trace.v1"), "{stdout}");
+    assert!(stdout.contains("hottest spans by self time"), "{stdout}");
+    assert!(stdout.contains("per-thread utilization"), "{stdout}");
+    assert!(stdout.contains("fault_sweep"), "{stdout}");
+}
+
+/// `--progress json` emits machine-readable JSON-lines heartbeats.
+#[test]
+fn progress_json_lines_parse() {
+    let cfg = write_config("progress.cfg", "benchmark = ddr3-off\n");
+    let out = pi3d(&[
+        "faults",
+        cfg.to_str().unwrap(),
+        "--trials",
+        "2",
+        "--reads",
+        "0",
+        "--grid",
+        "8",
+        "--progress",
+        "json",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    let final_line = stderr
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON progress lines: {stderr}"));
+    let j = Json::parse(final_line).expect("progress line parses");
+    assert_eq!(
+        j.get("progress").and_then(Json::as_str),
+        Some("fault_sweep")
+    );
+    assert_eq!(
+        j.get("final").and_then(|b| match b {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }),
+        Some(true)
+    );
+    assert_eq!(
+        j.get("done").and_then(Json::as_num),
+        j.get("total").and_then(Json::as_num)
+    );
+}
+
+/// The run report carries quantiles for per-unit latency histograms even
+/// without `--progress`, plus peak-RSS gauges from /proc.
+#[test]
+fn run_report_has_quantiles_and_peak_rss() {
+    let cfg = write_config("quant.cfg", "benchmark = ddr3-off\n");
+    let dir = std::env::temp_dir().join("pi3d-cli-tests");
+    let report_path = dir.join("quant.report.json");
+    let out = pi3d(&[
+        "faults",
+        cfg.to_str().unwrap(),
+        "--trials",
+        "2",
+        "--reads",
+        "0",
+        "--grid",
+        "8",
+        "--metrics-out",
+        report_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = Json::parse(&fs::read_to_string(&report_path).expect("report written"))
+        .expect("report parses");
+    let unit_hist = report
+        .get("histograms")
+        .and_then(|h| h.get("jobs.fault_sweep.unit_ms"))
+        .expect("per-unit latency histogram");
+    for q in ["p50", "p95", "p99"] {
+        assert!(
+            unit_hist.get(q).and_then(Json::as_num).is_some(),
+            "missing {q}: {unit_hist:?}"
+        );
+    }
+    if cfg!(target_os = "linux") {
+        let peak = report
+            .get("gauges")
+            .and_then(|g| g.get("mem.peak_rss_mb"))
+            .and_then(Json::as_num)
+            .expect("peak RSS gauge");
+        assert!(peak > 0.0, "implausible peak RSS: {peak}");
+    }
 }

@@ -558,6 +558,10 @@ where
     let cancelled = AtomicBool::new(false);
     let deadline_hit = AtomicBool::new(false);
     let journal_ref = journal.as_ref();
+    #[cfg(feature = "telemetry")]
+    let progress = pi3d_telemetry::progress::start(kind, items.len(), items.len() - pending.len());
+    #[cfg(feature = "telemetry")]
+    let unit_hist = pi3d_telemetry::metrics::histogram(&format!("jobs.{kind}.unit_ms"));
     let results = pi3d_telemetry::par::parallel_map_catch(&pending, threads, |_, &unit| {
         if ctx.is_cancelled() {
             cancelled.store(true, Ordering::Relaxed);
@@ -567,12 +571,27 @@ where
             deadline_hit.store(true, Ordering::Relaxed);
             return Ok(None);
         }
+        // One trace slice per work unit, so a sweep renders as a
+        // per-worker timeline of `kind[unit]` slices in the trace view.
+        #[cfg(feature = "telemetry")]
+        let _unit_slice = pi3d_telemetry::trace::span_with("jobs", || format!("{kind}[{unit}]"));
+        #[cfg(feature = "telemetry")]
+        let unit_started = Instant::now();
         let result = compute(unit, &items[unit])?;
         if let Some(journal) = journal_ref {
+            #[cfg(feature = "telemetry")]
+            let _journal_slice = pi3d_telemetry::trace::span("jobs", "journal_append");
             journal.append(unit, config_hash, encode(unit, &result))?;
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            unit_hist.record(unit_started.elapsed().as_millis() as u64);
+            progress.unit_done();
         }
         Ok(Some(result))
     });
+    #[cfg(feature = "telemetry")]
+    drop(progress);
 
     let mut first_error: Option<CoreError> = None;
     let mut first_panic: Option<(usize, String)> = None;

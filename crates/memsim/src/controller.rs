@@ -476,6 +476,19 @@ impl MemorySimulator {
         let starve = (8 * t.idle_close).max(t.t_ras) as u64;
         let standard = matches!(self.policy.ir, IrPolicy::Standard);
 
+        // Flight-recorder view of the event loop: one `events[a..b)`
+        // slice per block of simulated events plus counter tracks
+        // (queue depth, completions, admission-cache hits/misses)
+        // sampled at block boundaries. Individual events are far too
+        // fine to trace one-by-one; when tracing is off this costs one
+        // integer modulo per event.
+        #[cfg(feature = "telemetry")]
+        const EVENT_TRACE_BLOCK: u64 = 8192;
+        #[cfg(feature = "telemetry")]
+        let mut _event_block = pi3d_telemetry::trace::span_with("memsim", || {
+            format!("events[0..{EVENT_TRACE_BLOCK})")
+        });
+
         while completed < n {
             // Budget and cancellation gates, polled once per simulated
             // event (each event is real scheduling work, so the clock
@@ -531,6 +544,23 @@ impl MemorySimulator {
                 });
             }
             simulated_cycles += 1;
+            #[cfg(feature = "telemetry")]
+            if simulated_cycles.is_multiple_of(EVENT_TRACE_BLOCK) {
+                use pi3d_telemetry::trace;
+                // End the finished block before opening its successor so
+                // sibling slices never overlap.
+                _event_block = trace::noop();
+                _event_block = trace::span_with("memsim", || {
+                    format!(
+                        "events[{simulated_cycles}..{})",
+                        simulated_cycles + EVENT_TRACE_BLOCK
+                    )
+                });
+                trace::counter("memsim", "queue_depth", queue.len() as f64);
+                trace::counter("memsim", "completed", completed as f64);
+                trace::counter("memsim", "admission_cache_hits", cache.hits as f64);
+                trace::counter("memsim", "admission_cache_misses", cache.misses as f64);
+            }
             // Set when this cycle mutates scheduler-visible state in a way
             // whose follow-on consequences are not covered by a timing
             // candidate below; forces the next cycle to be simulated.
@@ -596,6 +626,8 @@ impl MemorySimulator {
                         refreshes += 1;
                         last_progress_cycle = cycle;
                         changed = true;
+                        #[cfg(feature = "telemetry")]
+                        pi3d_telemetry::trace::instant("memsim", "refresh");
                     }
                 }
             }

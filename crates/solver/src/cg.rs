@@ -7,6 +7,12 @@ use crate::{CsrMatrix, Preconditioner, SolverError};
 /// is polled every iteration (a single atomic load).
 const DEADLINE_POLL_STRIDE: usize = 16;
 
+/// Iterations per flight-recorder trace slice: individual CG iterations
+/// are too fine to trace one-by-one, so the iteration loop emits one
+/// `cg_iters[a..b)` slice (plus a `cg_relres` counter sample) per block.
+#[cfg(feature = "telemetry")]
+const CG_TRACE_BLOCK: usize = 64;
+
 /// Result of a successful conjugate-gradient solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CgSolution {
@@ -240,7 +246,11 @@ impl CgSolver {
             r[i] = b[i] - r[i];
         }
         let mut z = vec![0.0; n];
-        m.apply(&r, &mut z);
+        {
+            #[cfg(feature = "telemetry")]
+            let _apply_slice = pi3d_telemetry::trace::span("solver", "precond_apply");
+            m.apply(&r, &mut z);
+        }
         let mut p = z.clone();
         let mut rz = vecops::dot(&r, &z);
         let mut ap = vec![0.0; n];
@@ -268,8 +278,22 @@ impl CgSolver {
 
         #[cfg(feature = "telemetry")]
         let _iter_span = pi3d_telemetry::span::span("cg_iterations");
+        #[cfg(feature = "telemetry")]
+        let mut _iter_block = pi3d_telemetry::trace::span_with("solver", || {
+            format!("cg_iters[1..{})", 1 + CG_TRACE_BLOCK)
+        });
 
         for iter in 1..=self.max_iterations {
+            #[cfg(feature = "telemetry")]
+            if iter > 1 && (iter - 1) % CG_TRACE_BLOCK == 0 {
+                // Close the finished block before opening the next so
+                // sibling slices never overlap in the trace.
+                _iter_block = pi3d_telemetry::trace::noop();
+                _iter_block = pi3d_telemetry::trace::span_with("solver", || {
+                    format!("cg_iters[{iter}..{})", iter + CG_TRACE_BLOCK)
+                });
+                pi3d_telemetry::trace::counter("solver", "cg_relres", relres);
+            }
             if self.budget.cancelled() {
                 return Err(interruption_error(
                     Interruption::Cancelled,
@@ -314,7 +338,11 @@ impl CgSolver {
                 });
             }
 
-            m.apply(&r, &mut z);
+            {
+                #[cfg(feature = "telemetry")]
+                let _apply_slice = pi3d_telemetry::trace::span("solver", "precond_apply");
+                m.apply(&r, &mut z);
+            }
             let rz_next = vecops::dot(&r, &z);
             let beta = rz_next / rz;
             rz = rz_next;

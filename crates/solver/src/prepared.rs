@@ -259,7 +259,13 @@ impl PreparedSystem {
         // SpMV-level threading is disabled inside batch members: the pool is
         // already saturated at the RHS level, and nested scoped pools would
         // oversubscribe.
-        parallel_map(rhs_batch, self.threads, |_, rhs| {
+        parallel_map(rhs_batch, self.threads, |index, rhs| {
+            // One trace slice per right-hand side, so the batch fan-out
+            // renders as per-worker timelines in the flight recorder.
+            #[cfg(feature = "telemetry")]
+            let _rhs_slice = pi3d_telemetry::trace::span_with("solver", || format!("rhs[{index}]"));
+            #[cfg(not(feature = "telemetry"))]
+            let _ = index;
             self.solve_one(rhs, None, 1)
         })
     }

@@ -3,7 +3,7 @@
 //! access, and the measurement layer must never be the reason a build
 //! fails).
 //!
-//! Four pillars:
+//! Five pillars:
 //!
 //! * [`metrics`] — a global, thread-safe registry of named [`Counter`]s,
 //!   [`Gauge`]s, and log-scale [`Histogram`]s. Handles are `&'static`;
@@ -17,6 +17,12 @@
 //! * [`report`] — a [`RunReport`] serialized by the hand-rolled [`json`]
 //!   writer: phase timings, CG convergence traces, mesh size statistics,
 //!   memory-controller policy counters, and per-experiment wall clock.
+//! * [`trace`] — a flight recorder: per-thread fixed-capacity event
+//!   rings (no locks on the hot path, oldest events dropped on
+//!   overflow) drained into Chrome trace-event JSON for Perfetto.
+//!   [`progress`] rides on the same substrate to heartbeat sweep
+//!   progress (done/total, rate, ETA, unit p50/p95), and [`mem`]
+//!   contributes best-effort peak-RSS gauges from `/proc`.
 //!
 //! Downstream crates instrument behind their own `telemetry` cargo
 //! feature (on by default); with the feature off, call sites compile to
@@ -56,18 +62,23 @@ pub mod cancel;
 pub mod fsio;
 pub mod json;
 pub mod log;
+pub mod mem;
 pub mod metrics;
 pub mod par;
+pub mod progress;
 pub mod report;
 pub mod rng;
 pub mod span;
+pub mod trace;
 
 pub use cancel::CancelToken;
 pub use json::Json;
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram};
+pub use progress::ProgressTracker;
 pub use report::RunReport;
 pub use span::Span;
+pub use trace::TraceSnapshot;
 
 // The metrics registry, span table, and report sinks are process-global,
 // so unit tests that reset or assert on them must not interleave.

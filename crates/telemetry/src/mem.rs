@@ -1,0 +1,86 @@
+//! Best-effort process-memory readings from `/proc` (std-only).
+//!
+//! Linux exposes the peak resident set as `VmHWM` in
+//! `/proc/self/status` and the current resident set in
+//! `/proc/self/statm`; both reads are a few microseconds. On platforms
+//! without `/proc` every function returns `None` and no gauges are set —
+//! memory tracking degrades silently rather than failing the run.
+
+use crate::metrics;
+
+/// Assumed page size for `/proc/self/statm` (Linux defaults to 4 KiB on
+/// x86-64 and aarch64; std exposes no portable getter and this is a
+/// best-effort diagnostic, not an accounting source of truth).
+const PAGE_BYTES: u64 = 4096;
+
+/// Peak resident set size in bytes (`VmHWM`), or `None` off-Linux.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(parse_kb_field)
+        .map(|kb| kb * 1024)
+}
+
+/// Current resident set size in bytes (`/proc/self/statm` field 2), or
+/// `None` off-Linux.
+pub fn current_rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * PAGE_BYTES)
+}
+
+/// Parses the numeric part of a `/proc/self/status` value like
+/// `"   12345 kB"`.
+fn parse_kb_field(rest: &str) -> Option<u64> {
+    rest.split_whitespace().next()?.parse().ok()
+}
+
+/// Records the peak RSS observed so far under the gauge
+/// `mem.peak_rss_mb.<phase>`. Called from top-level [`crate::span::Span`]
+/// drops, so every top-level phase carries the high-water mark reached
+/// by its end. No-op when `/proc` is unavailable.
+pub fn record_phase_peak(phase: &str) {
+    if let Some(bytes) = peak_rss_bytes() {
+        metrics::gauge(&format!("mem.peak_rss_mb.{phase}")).set(bytes as f64 / (1 << 20) as f64);
+    }
+}
+
+/// Records the process-wide gauges `mem.peak_rss_mb` and
+/// `mem.current_rss_mb`; called when a run report is collected. No-op
+/// when `/proc` is unavailable.
+pub fn record_process_peak() {
+    if let Some(bytes) = peak_rss_bytes() {
+        metrics::gauge("mem.peak_rss_mb").set(bytes as f64 / (1 << 20) as f64);
+    }
+    if let Some(bytes) = current_rss_bytes() {
+        metrics::gauge("mem.current_rss_mb").set(bytes as f64 / (1 << 20) as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_field_parses_with_padding_and_unit() {
+        assert_eq!(parse_kb_field("   12345 kB"), Some(12345));
+        assert_eq!(parse_kb_field("0 kB"), Some(0));
+        assert_eq!(parse_kb_field("  garbage"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_readings_are_plausible() {
+        // A running test binary holds at least one page and at most a
+        // terabyte.
+        let peak = peak_rss_bytes().expect("Linux exposes VmHWM");
+        assert!(peak > 4096 && peak < (1 << 40), "peak {peak}");
+        let current = current_rss_bytes().expect("Linux exposes statm");
+        assert!(current > 4096 && current < (1 << 40), "current {current}");
+        // Peak is never below current at the time of the same read...
+        // modulo racing allocations between the two reads; allow slack.
+        assert!(peak * 2 >= current, "peak {peak} current {current}");
+    }
+}

@@ -125,12 +125,47 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by walking the
+    /// cumulative bucket counts and interpolating linearly inside the
+    /// target bucket. Returns 0.0 for an empty histogram. Log₂ buckets
+    /// make this coarse — at worst a factor of 2 within the bucket —
+    /// which is plenty for latency reporting across orders of magnitude.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets(), self.count(), q)
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Shared quantile estimator over `(bucket_lower_bound, count)` pairs as
+/// produced by [`Histogram::buckets`] / [`HistogramSnapshot::buckets`].
+fn quantile_from_buckets(buckets: &[(u64, u64)], count: u64, q: f64) -> f64 {
+    if count == 0 || buckets.is_empty() {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for &(lower, n) in buckets {
+        if cumulative + n >= target {
+            // Bucket with lower bound L spans [L, 2L - 1] (bucket 0 is
+            // exactly {0}); interpolate by rank within the bucket.
+            let upper = if lower == 0 { 0 } else { 2 * lower - 1 };
+            let frac = (target - cumulative) as f64 / n as f64;
+            return lower as f64 + frac * (upper - lower) as f64;
+        }
+        cumulative += n;
+    }
+    let (last_lower, _) = buckets[buckets.len() - 1];
+    if last_lower == 0 {
+        0.0
+    } else {
+        (2 * last_lower - 1) as f64
     }
 }
 
@@ -203,6 +238,14 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Non-empty `(bucket_lower_bound, count)` pairs.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Quantile estimate over the frozen buckets; see
+    /// [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets, self.count, q)
+    }
 }
 
 /// Copies every registered metric.
@@ -312,6 +355,40 @@ mod tests {
         let a = counter("test.metrics.same") as *const Counter;
         let b = counter("test.metrics.same") as *const Counter;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let _guard = serial();
+        let h = histogram("test.metrics.quantiles");
+        h.reset();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        // 100 samples of value 7 (bucket [4, 7]): every quantile lands
+        // inside that one bucket.
+        for _ in 0..100 {
+            h.record(7);
+        }
+        for q in [0.01, 0.5, 0.99] {
+            let est = h.quantile(q);
+            assert!((4.0..=7.0).contains(&est), "q={q} est={est}");
+        }
+        // Add 100 samples of 1000 (bucket [512, 1023]): the median stays
+        // low, p99 moves to the high bucket.
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        assert!(h.quantile(0.25) <= 7.0);
+        let p99 = h.quantile(0.99);
+        assert!((512.0..=1023.0).contains(&p99), "p99={p99}");
+        // The frozen snapshot agrees with the live handle.
+        let snap = snapshot()
+            .histograms
+            .into_iter()
+            .find(|(n, _)| n == "test.metrics.quantiles")
+            .map(|(_, s)| s)
+            .expect("registered above");
+        assert_eq!(snap.quantile(0.99), p99);
+        h.reset();
     }
 
     #[test]

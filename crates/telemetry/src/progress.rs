@@ -1,0 +1,318 @@
+//! Heartbeat progress reporting for long-running sweeps.
+//!
+//! A [`ProgressTracker`] (opened by [`start`], usually from
+//! `journaled_sweep`) counts completed work units; while it lives, a
+//! background reporter thread emits a line to stderr about once per
+//! second — units done/total, fresh-unit rate, ETA, and per-unit p50/p95
+//! from the live `jobs.<label>.unit_ms` histogram. A final line is
+//! emitted on drop so even sub-second sweeps produce output.
+//!
+//! Off by default: [`start`] returns an inert tracker (no thread, no
+//! atomics traffic beyond one enum load) unless [`set_mode`] selected
+//! [`ProgressMode::Human`] (plain text) or [`ProgressMode::JsonLines`]
+//! (one compact JSON object per line), which the CLI wires to
+//! `--progress` / `--progress json`.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::{self, Histogram};
+
+/// How progress lines are rendered (or suppressed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// No reporting; [`start`] returns an inert tracker.
+    Off,
+    /// Human-readable lines on stderr.
+    Human,
+    /// One compact JSON object per line on stderr.
+    JsonLines,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+static INTERVAL_MS: AtomicU64 = AtomicU64::new(1000);
+
+/// Selects the reporting mode for subsequently started trackers.
+pub fn set_mode(mode: ProgressMode) {
+    let v = match mode {
+        ProgressMode::Off => 0,
+        ProgressMode::Human => 1,
+        ProgressMode::JsonLines => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Currently selected reporting mode.
+pub fn mode() -> ProgressMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => ProgressMode::Human,
+        2 => ProgressMode::JsonLines,
+        _ => ProgressMode::Off,
+    }
+}
+
+/// Sets the heartbeat interval (default 1000 ms, clamped below to
+/// 10 ms). Mostly for tests and CI smoke runs.
+pub fn set_interval_ms(ms: u64) {
+    INTERVAL_MS.store(ms.max(10), Ordering::Relaxed);
+}
+
+fn last_line_slot() -> MutexGuard<'static, Option<String>> {
+    static LAST: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+        .lock()
+        .expect("progress last-line slot poisoned")
+}
+
+/// The most recent line emitted by any tracker (tests and the serve
+/// mode's status endpoint read this; `None` after [`reset`]).
+pub fn last_line() -> Option<String> {
+    last_line_slot().clone()
+}
+
+/// Clears leftover progress state (mode and last emitted line) between
+/// runs; called by [`crate::report::reset_run`].
+pub fn reset() {
+    MODE.store(0, Ordering::Relaxed);
+    *last_line_slot() = None;
+}
+
+#[derive(Debug)]
+struct Inner {
+    label: String,
+    total: usize,
+    resumed: usize,
+    done: AtomicUsize,
+    started: Instant,
+    mode: ProgressMode,
+    hist: &'static Histogram,
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+impl Inner {
+    fn emit(&self, final_line: bool) {
+        let done = self.done.load(Ordering::Relaxed).min(self.total);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let fresh = done.saturating_sub(self.resumed);
+        let rate = if elapsed > 0.0 {
+            fresh as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total - done;
+        let eta_s = if rate > 0.0 {
+            Some(remaining as f64 / rate)
+        } else {
+            None
+        };
+        let p50 = self.hist.quantile(0.50);
+        let p95 = self.hist.quantile(0.95);
+        let line = match self.mode {
+            ProgressMode::Off => return,
+            ProgressMode::Human => {
+                let pct = 100.0 * done as f64 / self.total.max(1) as f64;
+                format!(
+                    "[{}] {}/{} ({:.0}%) | {:.1}/s | eta {} | unit p50 {:.0} ms p95 {:.0} ms",
+                    self.label,
+                    done,
+                    self.total,
+                    pct,
+                    rate,
+                    eta_s.map_or_else(|| "--".to_string(), fmt_eta),
+                    p50,
+                    p95,
+                )
+            }
+            ProgressMode::JsonLines => Json::obj([
+                ("progress", Json::str(&self.label)),
+                ("done", Json::num(done as f64)),
+                ("total", Json::num(self.total as f64)),
+                ("units_per_s", Json::num(rate)),
+                ("eta_s", eta_s.map_or(Json::Null, Json::num)),
+                ("p50_ms", Json::num(p50)),
+                ("p95_ms", Json::num(p95)),
+                (
+                    "final",
+                    if final_line {
+                        Json::Bool(true)
+                    } else {
+                        Json::Bool(false)
+                    },
+                ),
+            ])
+            .to_compact_string(),
+        };
+        eprintln!("{line}");
+        *last_line_slot() = Some(line);
+    }
+}
+
+fn fmt_eta(secs: f64) -> String {
+    let secs = secs.round() as u64;
+    if secs >= 3600 {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+/// Handle for one sweep's progress; counts units and (while alive) keeps
+/// the heartbeat thread running. Inert when progress is off.
+#[derive(Debug)]
+pub struct ProgressTracker {
+    inner: Option<Arc<Inner>>,
+    reporter: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Opens a tracker for a sweep of `total` units, `resumed` of which were
+/// already complete (journal resume). The per-unit latency histogram is
+/// registered as `jobs.<label>.unit_ms` — record into it via
+/// [`ProgressTracker::unit_done`].
+pub fn start(label: &str, total: usize, resumed: usize) -> ProgressTracker {
+    let mode = mode();
+    if mode == ProgressMode::Off || total == 0 {
+        return ProgressTracker {
+            inner: None,
+            reporter: None,
+        };
+    }
+    let inner = Arc::new(Inner {
+        label: label.to_owned(),
+        total,
+        resumed: resumed.min(total),
+        done: AtomicUsize::new(resumed.min(total)),
+        started: Instant::now(),
+        mode,
+        hist: metrics::histogram(&format!("jobs.{label}.unit_ms")),
+        stop: Mutex::new(false),
+        stop_cv: Condvar::new(),
+    });
+    let reporter = {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("pi3d-progress".to_owned())
+            .spawn(move || loop {
+                let interval = Duration::from_millis(INTERVAL_MS.load(Ordering::Relaxed));
+                let stopped = inner.stop.lock().expect("progress stop flag poisoned");
+                let (stopped, _timeout) = inner
+                    .stop_cv
+                    .wait_timeout(stopped, interval)
+                    .expect("progress stop flag poisoned");
+                if *stopped {
+                    return;
+                }
+                drop(stopped);
+                inner.emit(false);
+            })
+            .ok()
+    };
+    ProgressTracker {
+        inner: Some(inner),
+        reporter,
+    }
+}
+
+impl ProgressTracker {
+    /// Records one completed work unit. The caller is responsible for
+    /// recording the unit's wall time into the `jobs.<label>.unit_ms`
+    /// histogram (which it should do whether or not progress is on, so
+    /// run-report quantiles don't depend on `--progress`); the heartbeat
+    /// reads its p50/p95 from that same registered histogram.
+    pub fn unit_done(&self) {
+        if let Some(inner) = &self.inner {
+            inner.done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this tracker actually reports (progress mode was on at
+    /// [`start`] time and the sweep is non-empty).
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for ProgressTracker {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.inner {
+            *inner.stop.lock().expect("progress stop flag poisoned") = true;
+            inner.stop_cv.notify_all();
+            if let Some(handle) = self.reporter.take() {
+                let _ = handle.join();
+            }
+            inner.emit(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::serial;
+
+    #[test]
+    fn off_mode_yields_inert_tracker() {
+        let _guard = serial();
+        reset();
+        let t = start("t_off", 10, 0);
+        assert!(!t.is_active());
+        t.unit_done();
+        drop(t);
+        assert_eq!(last_line(), None);
+    }
+
+    #[test]
+    fn final_line_reports_completion() {
+        let _guard = serial();
+        reset();
+        set_mode(ProgressMode::Human);
+        metrics::histogram("jobs.t_sweep.unit_ms"); // pre-register, then zero below
+        metrics::reset();
+        let t = start("t_sweep", 4, 1);
+        for _ in 0..3 {
+            metrics::histogram("jobs.t_sweep.unit_ms").record(12);
+            t.unit_done();
+        }
+        drop(t);
+        let line = last_line().expect("final line must be emitted");
+        assert!(line.contains("[t_sweep] 4/4 (100%)"), "{line}");
+        reset();
+    }
+
+    #[test]
+    fn json_lines_mode_emits_parseable_objects() {
+        let _guard = serial();
+        reset();
+        set_mode(ProgressMode::JsonLines);
+        let t = start("t_json", 2, 0);
+        t.unit_done();
+        t.unit_done();
+        drop(t);
+        let line = last_line().expect("final line must be emitted");
+        let parsed = Json::parse(&line).expect("JSON-lines output must parse");
+        assert_eq!(
+            parsed.get("progress").and_then(Json::as_str),
+            Some("t_json")
+        );
+        assert_eq!(parsed.get("done").and_then(Json::as_num), Some(2.0));
+        assert_eq!(parsed.get("final"), Some(&Json::Bool(true)));
+        reset();
+    }
+
+    #[test]
+    fn reset_clears_mode_and_last_line() {
+        let _guard = serial();
+        set_mode(ProgressMode::Human);
+        let t = start("t_reset", 1, 0);
+        t.unit_done();
+        drop(t);
+        assert!(last_line().is_some());
+        reset();
+        assert_eq!(mode(), ProgressMode::Off);
+        assert_eq!(last_line(), None);
+    }
+}

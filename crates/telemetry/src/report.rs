@@ -242,8 +242,10 @@ pub fn record_fault_sweep(record: FaultSweepRecord) {
     sinks().faults.push(|| record);
 }
 
-/// Clears every sink, the metrics registry, and the span tree — call at
-/// the start of a run (the CLIs do) so reports cover exactly one run.
+/// Clears every sink, the metrics registry, the span tree, the trace
+/// rings, and progress state — call at the start of a run (the CLIs do)
+/// so reports cover exactly one run and back-to-back runs in one process
+/// (the future serve mode) never leak events across reports.
 pub fn reset_run() {
     let s = sinks();
     s.traces.reset();
@@ -254,6 +256,8 @@ pub fn reset_run() {
     *outcome_slot().lock().expect("outcome slot poisoned") = None;
     metrics::reset();
     span::reset();
+    crate::trace::reset();
+    crate::progress::reset();
 }
 
 /// A frozen copy of everything observed during a run.
@@ -280,8 +284,11 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Snapshots the sinks, metrics registry, and span tree.
+    /// Snapshots the sinks, metrics registry, and span tree. Also stamps
+    /// the process-wide `mem.peak_rss_mb` / `mem.current_rss_mb` gauges
+    /// (best-effort, Linux `/proc`) so every report carries them.
     pub fn collect() -> RunReport {
+        crate::mem::record_process_peak();
         let s = sinks();
         RunReport {
             phases: span::snapshot(),
@@ -324,6 +331,9 @@ impl RunReport {
                 Json::obj([
                     ("count", Json::num(h.count as f64)),
                     ("sum", Json::num(h.sum as f64)),
+                    ("p50", Json::num(h.quantile(0.50))),
+                    ("p95", Json::num(h.quantile(0.95))),
+                    ("p99", Json::num(h.quantile(0.99))),
                     (
                         "buckets",
                         Json::arr(h.buckets.iter().map(|&(lower, count)| {
@@ -525,6 +535,42 @@ mod tests {
         assert!(report.experiments.is_empty());
         assert_eq!(report.convergence_dropped, 0);
         assert!(report.outcome.is_none());
+    }
+
+    #[test]
+    fn histograms_carry_quantile_estimates() {
+        let _guard = serial();
+        reset_run();
+        let h = metrics::histogram("test.report.quantile_hist");
+        for v in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 2000] {
+            h.record(v);
+        }
+        let doc = Json::parse(&RunReport::collect().to_json().to_pretty_string()).unwrap();
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("test.report.quantile_hist"))
+            .expect("histogram serialized");
+        let p50 = hist.get("p50").and_then(Json::as_num).unwrap();
+        let p95 = hist.get("p95").and_then(Json::as_num).unwrap();
+        let p99 = hist.get("p99").and_then(Json::as_num).unwrap();
+        assert!((8.0..=15.0).contains(&p50), "p50={p50}");
+        assert!(p95 >= p50 && p99 >= p95, "p50={p50} p95={p95} p99={p99}");
+        assert!((1024.0..=2047.0).contains(&p99), "p99={p99}");
+        reset_run();
+    }
+
+    #[test]
+    fn reset_run_clears_trace_buffers_and_progress_state() {
+        let _guard = serial();
+        reset_run();
+        crate::trace::set_enabled(true);
+        crate::trace::instant("test", "t_report_stale");
+        crate::progress::set_mode(crate::progress::ProgressMode::Human);
+        reset_run();
+        crate::trace::set_enabled(false);
+        assert_eq!(crate::trace::drain().total_events(), 0);
+        assert_eq!(crate::progress::mode(), crate::progress::ProgressMode::Off);
+        assert_eq!(crate::progress::last_line(), None);
     }
 
     #[test]

@@ -46,6 +46,7 @@ thread_local! {
 /// Guard returned by [`span`]; records its elapsed time when dropped.
 #[derive(Debug)]
 pub struct Span {
+    name: &'static str,
     start: Instant,
     depth: usize,
 }
@@ -53,6 +54,9 @@ pub struct Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
+        // Every phase span doubles as a trace slice when the flight
+        // recorder is on (one relaxed load when it is off).
+        crate::trace::complete_at("phase", self.name, self.start, elapsed);
         PATH.with(|p| {
             let mut stack = p.borrow_mut();
             // Guards dropped out of order (e.g. mem::forget games) would
@@ -65,6 +69,11 @@ impl Drop for Span {
             agg.calls += 1;
             agg.total_ns += elapsed.as_nanos();
         });
+        if self.depth == 1 {
+            // A closing top-level phase stamps the peak RSS reached by
+            // its end (best-effort, Linux /proc).
+            crate::mem::record_phase_peak(self.name);
+        }
     }
 }
 
@@ -76,6 +85,7 @@ pub fn span(name: &'static str) -> Span {
         stack.len()
     });
     Span {
+        name,
         start: Instant::now(),
         depth,
     }

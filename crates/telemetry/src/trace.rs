@@ -1,0 +1,626 @@
+//! Flight-recorder tracing: per-thread fixed-capacity event rings drained
+//! into Chrome trace-event JSON.
+//!
+//! The hot path is designed to be near-free when tracing is off — every
+//! entry point checks one relaxed [`AtomicBool`] load and returns. When
+//! tracing is on, events land in a per-thread ring buffer ([`VecDeque`])
+//! reached through a thread-local handle; when a ring fills, the *oldest*
+//! events are dropped (flight-recorder semantics) and the drop count is
+//! reported in the exported trace. Each ring is shared with a global
+//! registry behind a per-thread [`Mutex`] that only its owner ever takes
+//! on the hot path (one uncontended lock per event, no cross-thread
+//! traffic), so [`drain`] can collect every live thread's events
+//! directly. This matters because `std::thread::scope` unblocks as soon
+//! as worker *closures* return — their TLS destructors may still be
+//! pending, so a destructor-only flush would race the drain and lose
+//! whole worker rings. Rings of exited threads are flushed into a
+//! finished list by the TLS destructor and deregistered.
+//!
+//! Spans are recorded as Chrome "complete" events (`ph: "X"`): a
+//! [`TraceSpan`] guard captures its start timestamp and pushes a single
+//! event on drop. Because a guard is strictly LIFO per thread, per-thread
+//! slices are always well-nested, and a ring overflow can never orphan a
+//! begin/end pair.
+//!
+//! ```
+//! use pi3d_telemetry::trace;
+//!
+//! trace::set_enabled(true);
+//! {
+//!     let _solve = trace::span("solver", "doc_solve");
+//!     trace::instant("solver", "doc_marker");
+//! }
+//! trace::counter("memsim", "doc_queue_depth", 3.0);
+//! let snap = trace::drain();
+//! assert!(snap.total_events() >= 3);
+//! trace::set_enabled(false);
+//! trace::reset();
+//! ```
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Default per-thread ring capacity (events retained per thread).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Schema identifier embedded in exported traces (`otherData.schema`).
+pub const TRACE_SCHEMA: &str = "pi3d.trace.v1";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+/// Bumped by [`reset`]; live thread-local rings lazily discard events
+/// recorded under an older generation, so back-to-back runs in one
+/// process never leak events across reports.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Stable small thread ids for the trace (`std::thread::ThreadId` is
+/// opaque; Chrome wants an integer `tid`).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide time origin for trace timestamps. Initialized on first
+/// use (eagerly by [`set_enabled`]); spans opened before the epoch clamp
+/// to timestamp 0.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Whether tracing is currently recording. One relaxed atomic load —
+/// cheap enough for per-event hot loops.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns event recording on or off. Enabling pins the trace epoch if it
+/// is not already set.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Sets the per-thread ring capacity for buffers created *or appended to*
+/// after this call. Clamped below to 16 events.
+pub fn set_capacity(events: usize) {
+    CAPACITY.store(events.max(16), Ordering::Relaxed);
+}
+
+/// Currently configured per-thread ring capacity.
+pub fn capacity() -> usize {
+    CAPACITY.load(Ordering::Relaxed)
+}
+
+/// What one [`TraceEvent`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// A timed slice (Chrome `ph: "X"`), duration in nanoseconds.
+    Complete {
+        /// Slice duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A zero-duration marker (Chrome `ph: "i"`).
+    Instant,
+    /// A sampled numeric track (Chrome `ph: "C"`).
+    Counter {
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded event, timestamped in nanoseconds since the trace epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the trace epoch (slice *start* for spans).
+    pub ts_ns: u64,
+    /// Category (`"solver"`, `"memsim"`, `"jobs"`, `"phase"`, `"cli"`).
+    pub cat: &'static str,
+    /// Event name; borrowed for the common static case.
+    pub name: Cow<'static, str>,
+    /// Payload kind.
+    pub kind: TraceKind,
+}
+
+/// Everything one thread contributed to a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadTrace {
+    /// Small stable integer id (Chrome `tid`).
+    pub tid: u64,
+    /// OS thread name, or `"worker-<tid>"` for unnamed threads.
+    pub name: String,
+    /// Events in ring order (span events ordered by *end* time).
+    pub events: Vec<TraceEvent>,
+    /// Oldest events discarded because the ring was full.
+    pub dropped: u64,
+}
+
+struct LocalBuf {
+    generation: u64,
+    tid: u64,
+    thread_name: String,
+    ring: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl LocalBuf {
+    fn new() -> Self {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let thread_name = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("worker-{tid}"));
+        LocalBuf {
+            generation: GENERATION.load(Ordering::Relaxed),
+            tid,
+            thread_name,
+            ring: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        let generation = GENERATION.load(Ordering::Relaxed);
+        if generation != self.generation {
+            // A reset happened since this thread last recorded: its
+            // buffered events belong to a previous run.
+            self.generation = generation;
+            self.ring.clear();
+            self.dropped = 0;
+        }
+        let cap = CAPACITY.load(Ordering::Relaxed);
+        while self.ring.len() >= cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    fn take(&mut self) -> Option<(u64, ThreadTrace)> {
+        if self.ring.is_empty() && self.dropped == 0 {
+            return None;
+        }
+        let trace = ThreadTrace {
+            tid: self.tid,
+            name: self.thread_name.clone(),
+            events: self.ring.drain(..).collect(),
+            dropped: std::mem::take(&mut self.dropped),
+        };
+        Some((self.generation, trace))
+    }
+}
+
+/// Rings flushed by exiting threads (tagged with their generation so a
+/// reset can invalidate them wholesale).
+fn finished() -> MutexGuard<'static, Vec<(u64, ThreadTrace)>> {
+    static FINISHED: OnceLock<Mutex<Vec<(u64, ThreadTrace)>>> = OnceLock::new();
+    FINISHED
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("trace finished list poisoned")
+}
+
+/// Live per-thread rings, shared between each owner thread and [`drain`].
+/// Lock order is registry → ring; the TLS destructor takes them one at a
+/// time, never nested.
+fn registry() -> MutexGuard<'static, Vec<Arc<Mutex<LocalBuf>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<LocalBuf>>>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("trace registry poisoned")
+}
+
+/// Thread-local handle to this thread's shared ring. On thread exit the
+/// destructor flushes whatever is left into the finished list and drops
+/// the registry entry.
+struct LocalHandle(Arc<Mutex<LocalBuf>>);
+
+impl LocalHandle {
+    fn new() -> Self {
+        let buf = Arc::new(Mutex::new(LocalBuf::new()));
+        registry().push(Arc::clone(&buf));
+        LocalHandle(buf)
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        let entry = self.0.lock().expect("trace ring poisoned").take();
+        if let Some(entry) = entry {
+            finished().push(entry);
+        }
+        registry().retain(|buf| !Arc::ptr_eq(buf, &self.0));
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalHandle = LocalHandle::new();
+}
+
+fn push_event(ev: TraceEvent) {
+    // try_with: never panic during thread teardown after the TLS
+    // destructor already ran. The lock is this thread's own ring —
+    // contended only if a drain is snapshotting it at this instant.
+    let _ = LOCAL.try_with(|l| l.0.lock().expect("trace ring poisoned").push(ev));
+}
+
+/// RAII guard for a timed slice; inert (no allocation, no clock read)
+/// when tracing is off at open time.
+#[derive(Debug)]
+#[must_use = "dropping the guard ends the slice"]
+pub struct TraceSpan(Option<(u64, &'static str, Cow<'static, str>)>);
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some((start_ns, cat, name)) = self.0.take() {
+            let end = now_ns();
+            push_event(TraceEvent {
+                ts_ns: start_ns,
+                cat,
+                name,
+                kind: TraceKind::Complete {
+                    dur_ns: end.saturating_sub(start_ns),
+                },
+            });
+        }
+    }
+}
+
+/// An inert guard that records nothing when dropped. Useful for ending
+/// a reassignable block guard *before* opening its successor (plain
+/// reassignment constructs the new slice first, which would make
+/// adjacent sibling slices overlap by a few nanoseconds).
+pub fn noop() -> TraceSpan {
+    TraceSpan(None)
+}
+
+/// Opens a timed slice with a static name.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> TraceSpan {
+    if !enabled() {
+        return TraceSpan(None);
+    }
+    TraceSpan(Some((now_ns(), cat, Cow::Borrowed(name))))
+}
+
+/// Opens a timed slice with a lazily built name: `make` only runs (and
+/// only allocates) when tracing is on.
+#[inline]
+pub fn span_with<F: FnOnce() -> String>(cat: &'static str, make: F) -> TraceSpan {
+    if !enabled() {
+        return TraceSpan(None);
+    }
+    TraceSpan(Some((now_ns(), cat, Cow::Owned(make()))))
+}
+
+/// Records an already-timed slice (used by [`crate::span`] guards, which
+/// carry their own start [`Instant`]).
+#[inline]
+pub fn complete_at(cat: &'static str, name: &'static str, start: Instant, dur: Duration) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = start
+        .checked_duration_since(epoch())
+        .map_or(0, |d| d.as_nanos() as u64);
+    push_event(TraceEvent {
+        ts_ns,
+        cat,
+        name: Cow::Borrowed(name),
+        kind: TraceKind::Complete {
+            dur_ns: dur.as_nanos() as u64,
+        },
+    });
+}
+
+/// Records a zero-duration marker.
+#[inline]
+pub fn instant(cat: &'static str, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    push_event(TraceEvent {
+        ts_ns: now_ns(),
+        cat,
+        name: Cow::Borrowed(name),
+        kind: TraceKind::Instant,
+    });
+}
+
+/// Samples a counter track (rendered as a stacked area chart in
+/// Perfetto).
+#[inline]
+pub fn counter(cat: &'static str, name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    push_event(TraceEvent {
+        ts_ns: now_ns(),
+        cat,
+        name: Cow::Borrowed(name),
+        kind: TraceKind::Counter { value },
+    });
+}
+
+/// Collects every thread's events for the current generation: the live
+/// rings of all registered threads (including the caller's) plus rings
+/// flushed by exited threads. Threads are sorted by tid. The rings are
+/// emptied; recording can continue afterwards.
+pub fn drain() -> TraceSnapshot {
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let mut entries: Vec<(u64, ThreadTrace)> = Vec::new();
+    for buf in registry().iter() {
+        if let Some(entry) = buf.lock().expect("trace ring poisoned").take() {
+            entries.push(entry);
+        }
+    }
+    entries.append(&mut *finished());
+    let mut per_tid: Vec<ThreadTrace> = Vec::new();
+    for (gen, trace) in entries {
+        if gen != generation {
+            continue;
+        }
+        // A thread that flushed more than once (drain mid-run, then
+        // again at exit) contributes multiple entries; merge them.
+        match per_tid.iter_mut().find(|t| t.tid == trace.tid) {
+            Some(existing) => {
+                existing.events.extend(trace.events);
+                existing.dropped += trace.dropped;
+            }
+            None => per_tid.push(trace),
+        }
+    }
+    per_tid.sort_by_key(|t| t.tid);
+    TraceSnapshot { threads: per_tid }
+}
+
+/// Invalidates all buffered events — flushed and still thread-local —
+/// without touching the enabled flag. Called by
+/// [`crate::report::reset_run`] so back-to-back runs start clean.
+pub fn reset() {
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    finished().clear();
+}
+
+/// A drained trace: one [`ThreadTrace`] per contributing thread.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSnapshot {
+    /// Per-thread event lists, sorted by tid.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl TraceSnapshot {
+    /// Total events across all threads.
+    pub fn total_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total events dropped to ring overflow across all threads.
+    pub fn total_dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Renders the snapshot as a Chrome trace-event document (the
+    /// `{"traceEvents": [...]}` object format), loadable in Perfetto or
+    /// `chrome://tracing`. Timestamps and durations are microseconds
+    /// (fractional, preserving nanosecond precision).
+    pub fn to_chrome_json(&self) -> Json {
+        let mut events = Vec::new();
+        for thread in &self.threads {
+            events.push(Json::obj([
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::num(1.0)),
+                ("tid", Json::num(thread.tid as f64)),
+                ("args", Json::obj([("name", Json::str(&thread.name))])),
+            ]));
+            for ev in &thread.events {
+                let ts = ev.ts_ns as f64 / 1e3;
+                let common = [
+                    ("name", Json::str(ev.name.as_ref())),
+                    ("cat", Json::str(ev.cat)),
+                    ("pid", Json::num(1.0)),
+                    ("tid", Json::num(thread.tid as f64)),
+                    ("ts", Json::num(ts)),
+                ];
+                let event = match ev.kind {
+                    TraceKind::Complete { dur_ns } => Json::obj(common.into_iter().chain([
+                        ("ph", Json::str("X")),
+                        ("dur", Json::num(dur_ns as f64 / 1e3)),
+                    ])),
+                    TraceKind::Instant => Json::obj(
+                        common
+                            .into_iter()
+                            .chain([("ph", Json::str("i")), ("s", Json::str("t"))]),
+                    ),
+                    TraceKind::Counter { value } => Json::obj(common.into_iter().chain([
+                        ("ph", Json::str("C")),
+                        ("args", Json::obj([("value", Json::num(value))])),
+                    ])),
+                };
+                events.push(event);
+            }
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+            (
+                "otherData",
+                Json::obj([
+                    ("schema", Json::str(TRACE_SCHEMA)),
+                    ("dropped_events", Json::num(self.total_dropped() as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Writes the Chrome trace JSON to `path` atomically
+    /// (tmp + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from [`crate::fsio::atomic_write`].
+    pub fn write_chrome_json(&self, path: &Path) -> std::io::Result<()> {
+        crate::fsio::atomic_write(path, self.to_chrome_json().to_pretty_string().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::serial;
+
+    fn clean_slate() {
+        set_enabled(false);
+        reset();
+        set_capacity(DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _guard = serial();
+        clean_slate();
+        {
+            let _s = span("test", "t_off_span");
+        }
+        instant("test", "t_off_instant");
+        counter("test", "t_off_counter", 1.0);
+        assert_eq!(drain().total_events(), 0);
+    }
+
+    #[test]
+    fn span_instant_counter_round_trip() {
+        let _guard = serial();
+        clean_slate();
+        set_enabled(true);
+        {
+            let _outer = span("test", "t_outer");
+            let _inner = span_with("test", || "t_inner_7".to_string());
+            instant("test", "t_marker");
+        }
+        counter("test", "t_depth", 42.5);
+        set_enabled(false);
+        let snap = drain();
+        assert_eq!(snap.threads.len(), 1);
+        let events = &snap.threads[0].events;
+        assert_eq!(events.len(), 4);
+        // Spans push on drop: instant first, then inner, then outer.
+        assert_eq!(events[0].kind, TraceKind::Instant);
+        assert_eq!(events[1].name, "t_inner_7");
+        assert_eq!(events[2].name, "t_outer");
+        assert!(matches!(events[3].kind, TraceKind::Counter { value } if value == 42.5));
+        // Inner slice nests inside outer.
+        let (TraceKind::Complete { dur_ns: inner_dur }, TraceKind::Complete { dur_ns: outer_dur }) =
+            (&events[1].kind, &events[2].kind)
+        else {
+            panic!("spans must be Complete events");
+        };
+        assert!(events[1].ts_ns >= events[2].ts_ns);
+        assert!(events[1].ts_ns + inner_dur <= events[2].ts_ns + outer_dur);
+        reset();
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let _guard = serial();
+        clean_slate();
+        set_capacity(16);
+        set_enabled(true);
+        for i in 0..100u64 {
+            counter("test", "t_overflow", i as f64);
+        }
+        set_enabled(false);
+        let snap = drain();
+        assert_eq!(snap.total_events(), 16);
+        assert_eq!(snap.total_dropped(), 84);
+        // The survivors are the *newest* 16 samples: 84..100.
+        let values: Vec<f64> = snap.threads[0]
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                TraceKind::Counter { value } => value,
+                _ => panic!("expected counters"),
+            })
+            .collect();
+        assert_eq!(values, (84..100).map(|v| v as f64).collect::<Vec<_>>());
+        clean_slate();
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _guard = serial();
+        clean_slate();
+        set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let _sp = span("test", "t_worker_unit");
+                });
+            }
+        });
+        set_enabled(false);
+        let snap = drain();
+        assert_eq!(snap.threads.len(), 3);
+        for t in &snap.threads {
+            assert_eq!(t.events.len(), 1);
+            assert_eq!(t.events[0].name, "t_worker_unit");
+        }
+        reset();
+    }
+
+    #[test]
+    fn reset_invalidates_live_and_flushed_events() {
+        let _guard = serial();
+        clean_slate();
+        set_enabled(true);
+        instant("test", "t_stale_local");
+        std::thread::scope(|s| {
+            s.spawn(|| instant("test", "t_stale_flushed"));
+        });
+        reset();
+        instant("test", "t_fresh");
+        set_enabled(false);
+        let snap = drain();
+        assert_eq!(snap.total_events(), 1);
+        assert_eq!(snap.threads[0].events[0].name, "t_fresh");
+        reset();
+    }
+
+    #[test]
+    fn chrome_json_shape_and_escaping() {
+        let _guard = serial();
+        clean_slate();
+        set_enabled(true);
+        {
+            let _sp = span_with("test", || "quote \" and back\\slash".to_string());
+        }
+        set_enabled(false);
+        let doc = drain().to_chrome_json();
+        let text = doc.to_pretty_string();
+        let parsed = Json::parse(&text).expect("trace JSON must parse");
+        let events = match parsed.get("traceEvents") {
+            Some(Json::Arr(events)) => events,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        // One metadata event + one X event.
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(
+            events[1].get("name").and_then(Json::as_str),
+            Some("quote \" and back\\slash")
+        );
+        reset();
+    }
+}

@@ -1,0 +1,212 @@
+//! Golden-shape tests for the Chrome trace-event export: a traced
+//! multi-threaded run must produce a document that an independent parse
+//! confirms is valid JSON, whose complete events are well-nested per
+//! thread, and whose ring buffers degrade by dropping the *oldest*
+//! events with an accurate drop count.
+
+use pi3d_telemetry::trace;
+use pi3d_telemetry::Json;
+use std::sync::Mutex;
+
+/// The tracer is process-global state; integration tests in this file
+/// run on parallel test threads, so each takes this lock and resets the
+/// recorder around its run.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn with_clean_tracer<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    trace::reset();
+    trace::set_capacity(trace::DEFAULT_CAPACITY);
+    trace::set_enabled(true);
+    let result = f();
+    trace::set_enabled(false);
+    trace::reset();
+    result
+}
+
+/// One complete (`ph:"X"`) event pulled out of the exported JSON.
+#[derive(Debug)]
+struct Complete {
+    tid: u64,
+    name: String,
+    ts: f64,
+    dur: f64,
+}
+
+fn completes(doc: &Json) -> Vec<Complete> {
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .map(|e| Complete {
+            tid: e.get("tid").and_then(Json::as_num).expect("tid") as u64,
+            name: e
+                .get("name")
+                .and_then(Json::as_str)
+                .expect("name")
+                .to_owned(),
+            ts: e.get("ts").and_then(Json::as_num).expect("ts"),
+            dur: e.get("dur").and_then(Json::as_num).expect("dur"),
+        })
+        .collect()
+}
+
+/// Timestamps are nanosecond-precise values exported in microseconds; two
+/// nanoseconds of slack absorbs the f64 division rounding.
+const EPS_US: f64 = 0.002;
+
+/// Asserts the complete events of one thread form a proper tree: sorted
+/// by start (ties longest-first), every event either starts after the
+/// stack top ends or lies entirely inside it.
+fn assert_well_nested(tid: u64, events: &mut Vec<&Complete>) {
+    events.sort_by(|a, b| {
+        (a.ts, b.dur)
+            .partial_cmp(&(b.ts, a.dur))
+            .expect("finite timestamps")
+    });
+    let mut stack: Vec<&Complete> = Vec::new();
+    for ev in events.iter() {
+        while let Some(top) = stack.last() {
+            if ev.ts >= top.ts + top.dur - EPS_US {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(top) = stack.last() {
+            assert!(
+                ev.ts + ev.dur <= top.ts + top.dur + EPS_US,
+                "tid {tid}: {:?} straddles the end of {:?}",
+                ev,
+                top
+            );
+        }
+        stack.push(ev);
+    }
+}
+
+#[test]
+fn traced_multithread_run_exports_well_nested_chrome_json() {
+    let doc = with_clean_tracer(|| {
+        {
+            let _outer = trace::span("test", "outer");
+            {
+                let _inner = trace::span_with("test", || "inner[0]".to_owned());
+                trace::instant("test", "tick");
+            }
+            trace::counter("test", "depth", 3.0);
+        }
+        std::thread::scope(|scope| {
+            for worker in 0..3 {
+                scope.spawn(move || {
+                    let _unit = trace::span_with("jobs", || format!("unit[{worker}]"));
+                    let _leaf = trace::span("jobs", "leaf");
+                });
+            }
+        });
+        trace::drain().to_chrome_json()
+    });
+
+    // The export must survive an independent reparse.
+    let text = doc.to_pretty_string();
+    let parsed = Json::parse(&text).expect("exported trace is valid JSON");
+    assert_eq!(
+        parsed
+            .get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(Json::as_str),
+        Some(trace::TRACE_SCHEMA)
+    );
+    assert_eq!(
+        parsed
+            .get("otherData")
+            .and_then(|o| o.get("dropped_events"))
+            .and_then(Json::as_num),
+        Some(0.0)
+    );
+
+    // Every thread that recorded events is named by an M metadata event.
+    let Some(Json::Arr(events)) = parsed.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    let meta_tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .map(|e| e.get("tid").and_then(Json::as_num).expect("tid") as u64)
+        .collect();
+    let all = completes(&parsed);
+    for ev in &all {
+        assert!(meta_tids.contains(&ev.tid), "tid {} unnamed", ev.tid);
+    }
+
+    // Main thread plus three scoped workers, each well-nested.
+    let tids: std::collections::HashSet<u64> = all.iter().map(|e| e.tid).collect();
+    assert_eq!(tids.len(), 4, "expected 4 traced threads: {tids:?}");
+    for &tid in &tids {
+        let mut own: Vec<&Complete> = all.iter().filter(|e| e.tid == tid).collect();
+        assert_well_nested(tid, &mut own);
+    }
+
+    // The worker slices all made it, each with its leaf child.
+    for worker in 0..3 {
+        let unit = all
+            .iter()
+            .find(|e| e.name == format!("unit[{worker}]"))
+            .expect("worker slice present");
+        let leaf = all
+            .iter()
+            .find(|e| e.tid == unit.tid && e.name == "leaf")
+            .expect("leaf slice present");
+        assert!(leaf.ts >= unit.ts - EPS_US && leaf.dur <= unit.dur + EPS_US);
+    }
+}
+
+#[test]
+fn names_with_quotes_and_backslashes_round_trip() {
+    let doc = with_clean_tracer(|| {
+        let _span = trace::span_with("test", || r#"path "C:\tmp\x" done"#.to_owned());
+        drop(_span);
+        trace::drain().to_chrome_json()
+    });
+    let parsed = Json::parse(&doc.to_pretty_string()).expect("escaped names parse");
+    let all = completes(&parsed);
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].name, r#"path "C:\tmp\x" done"#);
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_reports_count() {
+    let doc = with_clean_tracer(|| {
+        trace::set_capacity(32);
+        for i in 0..100 {
+            trace::counter("test", "seq", i as f64);
+        }
+        trace::drain().to_chrome_json()
+    });
+    let parsed = Json::parse(&doc.to_pretty_string()).expect("overflowed trace parses");
+    assert_eq!(
+        parsed
+            .get("otherData")
+            .and_then(|o| o.get("dropped_events"))
+            .and_then(Json::as_num),
+        Some(68.0)
+    );
+    let Some(Json::Arr(events)) = parsed.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    let values: Vec<f64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_num)
+                .expect("counter value")
+        })
+        .collect();
+    // The newest 32 samples survive, in order; the oldest 68 are gone.
+    let expected: Vec<f64> = (68..100).map(|i| i as f64).collect();
+    assert_eq!(values, expected);
+}
