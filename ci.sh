@@ -204,6 +204,99 @@ fi
 ./target/release/pi3d trace "$trace_out" --top 8 | grep -q 'hottest spans by self time'
 echo "trace analyzer OK"
 
+echo "==> multigrid smoke run (optimize --precond mg vs jacobi)"
+mg_dir="$(mktemp -d /tmp/pi3d-mg.XXXXXX)"
+trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err" "$trace_out" "$trace_err"; rm -rf "$jobdir" "$mg_dir"' EXIT
+./target/release/pi3d optimize ddr3-off --threads 2 --precond mg \
+    --metrics-out "$mg_dir/mg.json" > "$mg_dir/mg.out"
+./target/release/pi3d optimize ddr3-off --threads 2 --precond jacobi \
+    --metrics-out "$mg_dir/jacobi.json" > "$mg_dir/jacobi.out"
+# The MG run must actually exercise the V-cycle (solver.mg.* telemetry),
+# the Jacobi run must not, and the two must agree on the co-optimization
+# answer: same design point, verified IR within solver tolerance.
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$mg_dir" <<'PY'
+import json, sys
+d = sys.argv[1]
+with open(f"{d}/mg.json") as f:
+    mg = json.load(f)
+with open(f"{d}/jacobi.json") as f:
+    jac = json.load(f)
+counters = mg["counters"]
+assert float(counters.get("solver.mg.builds", 0)) > 0, counters
+assert float(counters.get("solver.mg.cycles", 0)) > 0, counters
+assert float(mg["gauges"]["solver.mg.levels"]) >= 2, mg["gauges"]
+assert "solver.mg.cycles" not in jac["counters"], "jacobi run used MG?"
+
+def result(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    best = next(l for l in lines if l.startswith("best at"))
+    ir = next(float(l.split(":")[1].split()[0]) for l in lines
+              if l.startswith("verified IR"))
+    return best, ir
+best_mg, ir_mg = result(f"{d}/mg.out")
+best_jac, ir_jac = result(f"{d}/jacobi.out")
+assert best_mg == best_jac, f"{best_mg!r} vs {best_jac!r}"
+assert abs(ir_mg - ir_jac) < 0.05, f"IR mismatch: {ir_mg} vs {ir_jac} mV"
+print(f"mg smoke OK: {int(float(counters['solver.mg.cycles']))} V-cycles,",
+      f"verified IR {ir_mg} mV (jacobi {ir_jac} mV)")
+PY
+else
+    grep -q '"solver.mg.cycles"' "$mg_dir/mg.json"
+    diff "$mg_dir/mg.out" "$mg_dir/jacobi.out" > /dev/null
+    echo "mg smoke OK (grep check)"
+fi
+
+echo "==> solver bench regression guard (vs committed BENCH_solver.json)"
+# A fast re-run of the scaling bench (small grids only) compared against
+# the committed baseline: CG iteration counts are deterministic and must
+# match exactly; solve medians get a generous 50% tolerance for noisy CI
+# boxes.
+if command -v python3 > /dev/null 2>&1; then
+    solver_bench_out="$(mktemp /tmp/pi3d-solver-bench.XXXXXX.json)"
+    trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err" "$trace_out" "$trace_err" "$solver_bench_out"; rm -rf "$jobdir" "$mg_dir"' EXIT
+    BENCH_SOLVER_OUT="$solver_bench_out" BENCH_SOLVER_SAMPLES=3 \
+        BENCH_SOLVER_MAX_GRID=80 \
+        cargo bench --offline -p pi3d-bench --features bench-ext \
+        --bench solver_scaling
+    python3 - BENCH_solver.json "$solver_bench_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    now = json.load(f)
+current = {s["grid"]: {p["name"]: p for p in s["preconditioners"]}
+           for s in now["sizes"]}
+tolerance = 0.50
+failures = []
+print(f"{'case':<16} {'baseline':>10} {'current':>10} {'delta':>8} {'iters':>6}")
+for size in base["sizes"]:
+    grid = size["grid"]
+    if grid not in current:
+        continue  # guard reruns only the small grids
+    for p in size["preconditioners"]:
+        q = current[grid].get(p["name"])
+        assert q is not None, f"{p['name']} missing from grid {grid}"
+        if q["iterations"] != p["iterations"]:
+            failures.append(
+                f"grid {grid} {p['name']}: {q['iterations']} iterations, "
+                f"baseline {p['iterations']} (solves are deterministic)")
+        was, is_now = p["solve"]["median_s"], q["solve"]["median_s"]
+        delta = (is_now - was) / was
+        label = f"g{grid:.0f} {p['name']}"
+        print(f"{label:<16} {was*1e3:>8.1f}ms {is_now*1e3:>8.1f}ms"
+              f" {delta:>+7.1%} {q['iterations']:>6.0f}")
+        if delta > tolerance:
+            failures.append(f"grid {grid} {p['name']}: {delta:+.1%} over baseline")
+if failures:
+    sys.exit("solver bench regression: " + "; ".join(failures))
+print("solver bench guard OK (time tolerance {:.0%}, iterations exact)".format(tolerance))
+PY
+else
+    echo "solver bench guard skipped (needs python3 for comparison)"
+fi
+
 echo "==> memsim bench regression guard (vs committed BENCH_memsim.json)"
 # A fast re-run of the event-loop bench (3 samples, stepper timing
 # skipped) compared against the committed baseline medians. CI boxes are

@@ -1,0 +1,197 @@
+//! Solver scaling benchmark: solve time and CG iteration counts versus
+//! node count for each preconditioner (Jacobi, IC(0), geometric
+//! multigrid), plus matrix-free stencil SpMV versus CSR SpMV, on the
+//! paper's stacked-DDR3 benchmark refined from the coarse sweep mesh to a
+//! million-node-plus validation mesh.
+//!
+//! The headline claims this records: MG iteration counts stay ~flat as
+//! the mesh refines 10× while Jacobi/IC(0) grow, the stencil apply is
+//! bit-identical to CSR (asserted here before any timing), and a
+//! million-node system solves in single-digit seconds with MG. Results go
+//! to `BENCH_solver.json` at the workspace root so the perf trajectory
+//! has data points across PRs.
+//!
+//! Environment overrides (for CI's regression guard, which wants a fast
+//! run written somewhere other than the committed baseline):
+//! `BENCH_SOLVER_OUT` redirects the JSON output, `BENCH_SOLVER_SAMPLES`
+//! overrides the sample count, and `BENCH_SOLVER_MAX_GRID` drops the
+//! refinement ladder's rungs above the given DRAM grid width.
+
+use pi3d_bench::harness::{bench_stats, SampleStats};
+use pi3d_layout::{Benchmark, MemoryState, StackDesign};
+use pi3d_mesh::{MeshOptions, StackMesh};
+use pi3d_solver::{Operator, Preconditioner};
+use pi3d_telemetry::Json;
+
+/// DRAM grid widths of the refinement ladder; the largest is a ~1.04M-node
+/// mesh (the off-chip stack's 8 sheets at 360×360 nodes each).
+const GRIDS: [usize; 5] = [40, 80, 160, 240, 360];
+const SAMPLES: usize = 3;
+
+fn stats_json(s: SampleStats) -> Json {
+    Json::obj([
+        ("min_s", Json::num(s.min_s)),
+        ("median_s", Json::num(s.median_s)),
+        ("mean_s", Json::num(s.mean_s)),
+        ("samples", Json::num(s.samples as f64)),
+    ])
+}
+
+fn fmt_s(secs: f64) -> String {
+    if secs < 1.0 {
+        format!("{:.1} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Reads a positive integer environment override, panicking on garbage
+/// (a typo'd CI variable must fail loudly, not silently bench defaults).
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => {
+            let n = v
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}"));
+            assert!(n > 0, "{name} must be positive");
+            n
+        }
+        Err(_) => default,
+    }
+}
+
+fn options_for(grid: usize, preconditioner: Preconditioner, threads: usize) -> MeshOptions {
+    MeshOptions {
+        dram_nx: grid,
+        dram_ny: grid,
+        logic_nx: grid + 2,
+        logic_ny: grid,
+        preconditioner,
+        threads,
+        ..MeshOptions::default()
+    }
+}
+
+fn main() {
+    let samples = env_usize("BENCH_SOLVER_SAMPLES", SAMPLES);
+    let max_grid = env_usize("BENCH_SOLVER_MAX_GRID", *GRIDS.last().expect("non-empty"));
+    let out_override = std::env::var("BENCH_SOLVER_OUT").ok();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let design = StackDesign::baseline(Benchmark::StackedDdr3OffChip);
+    let state: MemoryState = "0-0-0-2".parse().expect("literal");
+
+    let preconds = [
+        ("jacobi", Preconditioner::Jacobi),
+        ("ic0", Preconditioner::IncompleteCholesky),
+        ("mg", Preconditioner::Multigrid),
+    ];
+
+    println!("solver_scaling: ddr3-off, state {state}, {threads} threads");
+    let mut size_reports = Vec::new();
+    for grid in GRIDS.into_iter().filter(|&g| g <= max_grid) {
+        // One mesh per preconditioner (the factorization lives inside the
+        // prepared system); geometry and loads are identical across them.
+        let mut meshes = Vec::new();
+        for (name, pc) in preconds {
+            let built = std::time::Instant::now();
+            let mesh =
+                StackMesh::new(&design, options_for(grid, pc, threads)).expect("mesh builds");
+            meshes.push((name, built.elapsed().as_secs_f64(), mesh));
+        }
+        let (_, _, probe) = &meshes[0];
+        let nodes = probe.node_count();
+        let rhs = probe.load_vector(&state, 1.0);
+        println!("  grid {grid} ({nodes} nodes):");
+
+        // SpMV comparison, and the bit-identity gate the stencil path
+        // rests on: same columns, same summation order, same bits.
+        let a = probe.matrix();
+        let stencil = probe
+            .prepared()
+            .stencil()
+            .expect("regular stack meshes extract a stencil");
+        let mut y_csr = vec![0.0; nodes];
+        let mut y_stencil = vec![0.0; nodes];
+        a.mul_vec_into(&rhs, &mut y_csr);
+        stencil.apply_into(&rhs, &mut y_stencil);
+        for i in 0..nodes {
+            assert_eq!(
+                y_csr[i].to_bits(),
+                y_stencil[i].to_bits(),
+                "stencil apply must be bit-identical to CSR (row {i})"
+            );
+        }
+        let spmv_reps = 20usize;
+        let csr_spmv = bench_stats(samples, || {
+            for _ in 0..spmv_reps {
+                a.mul_vec_into(&rhs, &mut y_csr);
+            }
+        });
+        let stencil_spmv = bench_stats(samples, || {
+            for _ in 0..spmv_reps {
+                stencil.apply_into(&rhs, &mut y_stencil);
+            }
+        });
+        let spmv_speedup = csr_spmv.median_s / stencil_spmv.median_s;
+        println!(
+            "    spmv x{spmv_reps}: csr {}  stencil {}  speedup {spmv_speedup:.2}x",
+            fmt_s(csr_spmv.median_s),
+            fmt_s(stencil_spmv.median_s),
+        );
+
+        let mut precond_reports = Vec::new();
+        for (name, setup_s, mesh) in &meshes {
+            let first = mesh.prepared().solve(&rhs, None).expect("solves");
+            let solve = bench_stats(samples, || {
+                mesh.prepared().solve(&rhs, None).expect("solves")
+            });
+            println!(
+                "    {name}: setup {}  solve median {}  {} iterations",
+                fmt_s(*setup_s),
+                fmt_s(solve.median_s),
+                first.iterations,
+            );
+            precond_reports.push(Json::obj([
+                ("name", Json::str(*name)),
+                ("setup_s", Json::num(*setup_s)),
+                ("solve", stats_json(solve)),
+                ("iterations", Json::num(first.iterations as f64)),
+            ]));
+        }
+
+        size_reports.push(Json::obj([
+            ("grid", Json::num(grid as f64)),
+            ("nodes", Json::num(nodes as f64)),
+            (
+                "spmv",
+                Json::obj([
+                    ("reps", Json::num(spmv_reps as f64)),
+                    ("csr", stats_json(csr_spmv)),
+                    ("stencil", stats_json(stencil_spmv)),
+                    ("stencil_speedup", Json::num(spmv_speedup)),
+                ]),
+            ),
+            ("preconditioners", Json::Arr(precond_reports)),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("schema", Json::str("pi3d.bench_solver.v1")),
+        ("benchmark", Json::str("ddr3-off")),
+        ("state", Json::str(state.to_string())),
+        ("threads", Json::num(threads as f64)),
+        ("samples_per_case", Json::num(samples as f64)),
+        ("sizes", Json::Arr(size_reports)),
+    ]);
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    let path = out_override.as_deref().unwrap_or(default_path);
+    pi3d_telemetry::fsio::atomic_write(
+        std::path::Path::new(path),
+        doc.to_pretty_string().as_bytes(),
+    )
+    .expect("write bench results");
+    println!("  wrote {path}");
+}

@@ -29,11 +29,19 @@
 //! fault_via_void  = 0.005
 //! fault_em_drift  = 0.2
 //! ```
+//!
+//! An optional solver key selects the CG preconditioner for commands that
+//! build a mesh; the `--precond` flag overrides it:
+//!
+//! ```text
+//! precond = mg                  # jacobi | ic | mg | identity
+//! ```
 
 use pi3d_layout::{
     Benchmark, BondingStyle, FaultSpec, Mounting, PdnSpec, RdlConfig, RdlScope, StackDesign,
     TsvConfig, TsvPlacement,
 };
+use pi3d_solver::Preconditioner;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -107,6 +115,21 @@ pub fn parse_benchmark(text: &str) -> Result<Benchmark, ConfigError> {
     }
 }
 
+/// Parses a preconditioner name (config `precond` key and `--precond`
+/// flag share this vocabulary).
+pub fn parse_precond(value: &str) -> Result<Preconditioner, ConfigError> {
+    match value.to_ascii_lowercase().as_str() {
+        "jacobi" => Ok(Preconditioner::Jacobi),
+        "ic" | "ic0" | "incomplete-cholesky" => Ok(Preconditioner::IncompleteCholesky),
+        "mg" | "multigrid" => Ok(Preconditioner::Multigrid),
+        "identity" | "none" => Ok(Preconditioner::Identity),
+        other => Err(err(
+            None,
+            format!("unknown preconditioner {other:?} (use jacobi, ic, mg, or identity)"),
+        )),
+    }
+}
+
 /// Parses a full design-configuration file into a [`StackDesign`],
 /// ignoring any fault block (see [`parse_design_with_faults`]).
 ///
@@ -115,8 +138,11 @@ pub fn parse_benchmark(text: &str) -> Result<Benchmark, ConfigError> {
 /// Returns a [`ConfigError`] describing the first syntax or semantic
 /// problem, including design-rule violations reported by the layout
 /// builder.
+// Commands now consume `parse_design_full`; the narrower views stay as
+// the format's contract and keep the test suite's call sites stable.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn parse_design(text: &str) -> Result<StackDesign, ConfigError> {
-    parse_design_with_faults(text).map(|(design, _)| design)
+    parse_design_full(text).map(|(design, _, _)| design)
 }
 
 /// Parses a design-configuration file together with its optional fault
@@ -128,9 +154,22 @@ pub fn parse_design(text: &str) -> Result<StackDesign, ConfigError> {
 ///
 /// As for [`parse_design`]; fault rates outside `[0, 1]` (or a negative
 /// drift scale) are rejected with the offending parameter named.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn parse_design_with_faults(
     text: &str,
 ) -> Result<(StackDesign, Option<FaultSpec>), ConfigError> {
+    parse_design_full(text).map(|(design, faults, _)| (design, faults))
+}
+
+/// Parses a design-configuration file together with its optional fault
+/// block and optional `precond` solver key (`None` when absent).
+///
+/// # Errors
+///
+/// As for [`parse_design_with_faults`].
+pub fn parse_design_full(
+    text: &str,
+) -> Result<(StackDesign, Option<FaultSpec>, Option<Preconditioner>), ConfigError> {
     let mut pairs = parse_pairs(text)?;
     let mut take = |key: &str| pairs.remove(key);
 
@@ -284,13 +323,18 @@ pub fn parse_design_with_faults(
         spec.validate().map_err(|e| err(None, e.to_string()))?;
     }
 
+    let precond = match take("precond") {
+        Some((line, v)) => Some(parse_precond(&v).map_err(|e| err(Some(line), e.message))?),
+        None => None,
+    };
+
     if let Some(key) = pairs.keys().next() {
         let (line, _) = pairs[key];
         return Err(err(Some(line), format!("unknown key {key:?}")));
     }
 
     let design = builder.build().map_err(|e| err(None, e.to_string()))?;
-    Ok((design, any_fault.then_some(spec)))
+    Ok((design, any_fault.then_some(spec), precond))
 }
 
 #[cfg(test)]
@@ -432,6 +476,30 @@ mod tests {
         assert!(parse_design_with_faults("fault_em_drift = -1\n").is_err());
         assert!(parse_design_with_faults("fault_seed = abc\n").is_err());
         assert!(parse_design_with_faults("fault_bump_open = nan\n").is_err());
+    }
+
+    #[test]
+    fn precond_key_selects_the_preconditioner() {
+        for (value, want) in [
+            ("jacobi", Preconditioner::Jacobi),
+            ("ic", Preconditioner::IncompleteCholesky),
+            ("ic0", Preconditioner::IncompleteCholesky),
+            ("mg", Preconditioner::Multigrid),
+            ("multigrid", Preconditioner::Multigrid),
+            ("identity", Preconditioner::Identity),
+            ("none", Preconditioner::Identity),
+        ] {
+            let (_, _, got) =
+                parse_design_full(&format!("benchmark = hmc\nprecond = {value}\n")).unwrap();
+            assert_eq!(got, Some(want), "{value}");
+        }
+        // Absent key -> None; the caller keeps its default.
+        let (_, _, none) = parse_design_full("benchmark = hmc\n").unwrap();
+        assert!(none.is_none());
+        // Unknown value names the offending line.
+        let e = parse_design_full("precond = sor\n").unwrap_err();
+        assert_eq!(e.line, Some(1));
+        assert!(e.to_string().contains("preconditioner"), "{e}");
     }
 
     #[test]

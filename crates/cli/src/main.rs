@@ -334,13 +334,14 @@ fn print_usage() {
          pi3d transient <design.cfg> [--state S] [--steps N]\n  \
          pi3d simulate <design.cfg> [--policy standard|fcfs|distr|all] [--constraint MV]\n  \
                        [--reads N] [--lut FILE] [--trace FILE] [--grid N] [--max-cycles N]\n  \
-         pi3d optimize <benchmark>  [--alpha A] [--threads N]\n  \
+         pi3d optimize <benchmark>  [--alpha A] [--threads N] [--grid N]\n  \
          pi3d faults   [design.cfg] [--seed N] [--tsv-open P] [--bump-open P]\n  \
                        [--via-void P] [--em-drift S] [--levels L1,L2,..]\n  \
                        [--trials N] [--reads N] [--grid N]\n  \
          pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n  \
          pi3d trace    <trace.json> [--top N]\n\
-         global flags: [--threads N] [--log-level off|error|warn|info|debug|trace]\n\
+         global flags: [--threads N] [--precond jacobi|ic|mg|identity]\n\
+                       [--log-level off|error|warn|info|debug|trace]\n\
                        [--metrics-out FILE] [--trace-out FILE] [--trace-capacity N]\n\
                        [--progress [json]]\n\
          durable runs (faults/optimize/simulate): [--journal FILE] [--resume FILE]\n\
@@ -349,13 +350,23 @@ fn print_usage() {
     );
 }
 
-fn load_design(args: &Args) -> Result<StackDesign, Box<dyn std::error::Error>> {
+/// Loads the design file together with the mesh options its solver keys
+/// imply: the config's `precond` key seeds the default, and `--precond`
+/// (like every other mesh flag) overrides it.
+fn load_design_and_options(
+    args: &Args,
+) -> Result<(StackDesign, MeshOptions), Box<dyn std::error::Error>> {
     let path = args
         .positional
         .get(1)
         .ok_or("missing design-configuration file argument")?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Ok(config::parse_design(&text)?)
+    let (design, _, precond) = config::parse_design_full(&text)?;
+    let mut base = MeshOptions::default();
+    if let Some(p) = precond {
+        base.preconditioner = p;
+    }
+    Ok((design, mesh_options_from(args, base)?))
 }
 
 fn state_of(args: &Args, design: &StackDesign) -> Result<MemoryState, Box<dyn std::error::Error>> {
@@ -368,8 +379,14 @@ fn state_of(args: &Args, design: &StackDesign) -> Result<MemoryState, Box<dyn st
     }
 }
 
-fn mesh_options(args: &Args) -> Result<MeshOptions, Box<dyn std::error::Error>> {
-    let mut options = MeshOptions::default();
+fn mesh_options_from(
+    args: &Args,
+    base: MeshOptions,
+) -> Result<MeshOptions, Box<dyn std::error::Error>> {
+    let mut options = base;
+    if let Some(p) = args.flag("precond") {
+        options.preconditioner = config::parse_precond(p)?;
+    }
     if let Some(grid) = args.flag("grid") {
         let n: usize = grid
             .parse()
@@ -410,10 +427,9 @@ fn activity_of(args: &Args) -> Result<f64, Box<dyn std::error::Error>> {
 }
 
 fn analyze(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let design = load_design(args)?;
+    let (design, options) = load_design_and_options(args)?;
     let state = state_of(args, &design)?;
     let activity = activity_of(args)?;
-    let options = mesh_options(args)?;
 
     println!("design   : {} ({})", design.benchmark(), design.cost());
     println!(
@@ -459,10 +475,10 @@ fn analyze(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn currents(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let design = load_design(args)?;
+    let (design, options) = load_design_and_options(args)?;
     let state = state_of(args, &design)?;
     let activity = activity_of(args)?;
-    let mut mesh = StackMesh::new(&design, mesh_options(args)?)?;
+    let mut mesh = StackMesh::new(&design, options)?;
     let drops = mesh.solve(&state, activity)?;
     let report = CurrentReport::compute(&mesh, &drops);
 
@@ -496,13 +512,13 @@ fn currents(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 /// Runs the RC transient extension on a design.
 fn transient(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let design = load_design(args)?;
+    let (design, mesh_opts) = load_design_and_options(args)?;
     let state = state_of(args, &design)?;
     let mut options = TransientOptions::default();
     if let Some(steps) = args.flag("steps") {
         options.steps = steps.parse()?;
     }
-    let result = run_transient(&design, mesh_options(args)?, options, &state)?;
+    let result = run_transient(&design, mesh_opts, options, &state)?;
     println!("DC drop        : {:.2} mV", result.dc_mv);
     println!(
         "transient peak : {:.2} mV ({:.3}x DC)",
@@ -514,9 +530,9 @@ fn transient(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 /// Builds a design's IR-drop LUT and writes it as text.
 fn lut_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let design = load_design(args)?;
+    let (design, options) = load_design_and_options(args)?;
     let out = args.flag("out").ok_or("lut needs --out FILE")?;
-    let platform = Platform::new(mesh_options(args)?);
+    let platform = Platform::new(options);
     let mut eval = platform.evaluate(&design)?;
     eprintln!("building IR-drop lookup table ...");
     let lut = build_ir_lut(&mut eval, SimConfig::paper_ddr3().max_powered_per_die)?;
@@ -597,8 +613,7 @@ fn stats_from_json(policy: &ReadPolicy, payload: &Json) -> Option<SimStats> {
 }
 
 fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let design = load_design(args)?;
-    let options = mesh_options(args)?;
+    let (design, options) = load_design_and_options(args)?;
     let constraint = MilliVolts(match args.flag("constraint") {
         Some(c) => c.parse()?,
         None => 24.0,
@@ -732,7 +747,7 @@ fn optimize(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or(4),
     };
 
-    let platform = Platform::new(MeshOptions::coarse());
+    let platform = Platform::new(mesh_options_from(args, MeshOptions::coarse())?);
     eprintln!("characterizing {benchmark} ({threads} threads) ...");
     let characterization = characterize_with(&platform, benchmark, threads, &job_context(args)?)?;
     let best = characterization.optimize(alpha, &platform)?;
@@ -754,12 +769,16 @@ fn optimize(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// from the config's fault block, overridden by flags, falling back to a
 /// representative defect population when neither is given.
 fn faults_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (design, config_spec) = match args.positional.get(1) {
+    let (design, config_spec, config_precond) = match args.positional.get(1) {
         Some(path) => {
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            config::parse_design_with_faults(&text)?
+            config::parse_design_full(&text)?
         }
-        None => (StackDesign::baseline(Benchmark::StackedDdr3OffChip), None),
+        None => (
+            StackDesign::baseline(Benchmark::StackedDdr3OffChip),
+            None,
+            None,
+        ),
     };
 
     let rate_flags = ["seed", "tsv-open", "bump-open", "via-void", "em-drift"];
@@ -805,7 +824,11 @@ fn faults_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     base.validate()?;
 
     let mut options = FaultSweepOptions::new(base);
-    options.mesh = mesh_options(args)?;
+    let mut mesh_base = MeshOptions::default();
+    if let Some(p) = config_precond {
+        mesh_base.preconditioner = p;
+    }
+    options.mesh = mesh_options_from(args, mesh_base)?;
     options.threads = options.mesh.threads;
     if let Some(levels) = args.flag("levels") {
         options.levels = levels
@@ -858,7 +881,7 @@ fn faults_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let design = load_design(args)?;
+    let (design, options) = load_design_and_options(args)?;
     let mut wrote = false;
     if let Some(path) = args.flag("svg") {
         let svg = render_design_svg(&design, &design.benchmark().to_string());
@@ -868,7 +891,7 @@ fn export(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(path) = args.flag("spice") {
         let state = state_of(args, &design)?;
-        let mesh = StackMesh::new(&design, mesh_options(args)?)?;
+        let mesh = StackMesh::new(&design, options)?;
         let loads = mesh.load_vector(&state, activity_of(args)?);
         let mut deck = Vec::new();
         export_spice(

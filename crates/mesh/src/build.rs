@@ -356,10 +356,15 @@ impl StackMesh {
         let prepared = {
             #[cfg(feature = "telemetry")]
             let _factor_span = pi3d_telemetry::span::span("mesh_factor");
-            PreparedSystem::with_solver(
+            // Hand the solver the per-sheet grid geometry: it extracts a
+            // matrix-free stencil operator for the SpMV hot loop and feeds
+            // the geometric-multigrid preconditioner, both falling back to
+            // plain CSR when a mesh turns out to be irregular.
+            PreparedSystem::with_geometry(
                 matrix,
                 options.preconditioner,
                 CgSolver::new().with_tolerance(options.tolerance),
+                &builder.registry.stencil_grids(),
             )?
             .with_threads(options.threads)
         };

@@ -89,6 +89,11 @@ impl GridSpec {
         self.nx * self.ny
     }
 
+    /// Index of this grid's node 0 in the global node numbering.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
     /// Cell pitch along x, mm.
     pub fn dx(&self) -> f64 {
         self.width / self.nx as f64
@@ -218,6 +223,20 @@ impl GridRegistry {
     /// Iterates over `(GridId, &GridSpec)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (GridId, &GridSpec)> {
         self.grids.iter().enumerate().map(|(i, g)| (GridId(i), g))
+    }
+
+    /// Every layer's geometry in the form the solver's stencil extraction
+    /// and geometric-multigrid preconditioner consume: one
+    /// [`pi3d_solver::StencilGrid`] per sheet, in global node order.
+    pub fn stencil_grids(&self) -> Vec<pi3d_solver::StencilGrid> {
+        self.grids
+            .iter()
+            .map(|g| pi3d_solver::StencilGrid {
+                base: g.base,
+                nx: g.nx,
+                ny: g.ny,
+            })
+            .collect()
     }
 
     /// Finds the grid of a given kind, if present.

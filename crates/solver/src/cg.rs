@@ -1,5 +1,6 @@
 use crate::budget::{Interruption, SolveBudget};
 use crate::precond::AppliedPreconditioner;
+use crate::stencil::Operator;
 use crate::vecops;
 use crate::{CsrMatrix, Preconditioner, SolverError};
 
@@ -175,12 +176,15 @@ impl CgSolver {
             let _precond_span = pi3d_telemetry::span::span("precond_setup");
             AppliedPreconditioner::build(preconditioner, a)?
         };
-        self.solve_prepared(a, b, guess, &m, 1)
+        self.solve_prepared(a, b, guess, &m, 1, crate::PARALLEL_SPMV_MIN_DIM)
     }
 
-    /// Solves `A·x = b` with an already-built preconditioner, using up to
-    /// `threads` worker threads for the SpMV when the matrix is large
-    /// enough (see [`CsrMatrix::mul_vec_into_threaded`]).
+    /// Solves `A·x = b` with an already-built preconditioner, applying the
+    /// system through any [`Operator`] — general CSR storage or the
+    /// matrix-free stencil form — with up to `threads` worker threads for
+    /// the SpMV when the system has at least `min_parallel_dim` rows
+    /// (both operator implementations are bit-identical across thread
+    /// counts, so the cutover only affects speed).
     ///
     /// This is the factor-once/solve-many entry point shared by
     /// [`solve_with_guess`](Self::solve_with_guess) (which builds `m`
@@ -195,11 +199,12 @@ impl CgSolver {
     /// panics on dimension asserts or fails to converge.
     pub fn solve_prepared(
         &self,
-        a: &CsrMatrix,
+        a: &dyn Operator,
         b: &[f64],
         guess: Option<&[f64]>,
         m: &AppliedPreconditioner,
         threads: usize,
+        min_parallel_dim: usize,
     ) -> Result<CgSolution, SolverError> {
         let n = a.dim();
         if b.len() != n {
@@ -241,7 +246,7 @@ impl CgSolver {
         let mut x = guess.map(<[f64]>::to_vec).unwrap_or_else(|| vec![0.0; n]);
         // r = b - A·x
         let mut r = vec![0.0; n];
-        a.mul_vec_into_threaded(&x, &mut r, threads);
+        a.apply_into_threaded(&x, &mut r, threads, min_parallel_dim);
         for i in 0..n {
             r[i] = b[i] - r[i];
         }
@@ -312,7 +317,7 @@ impl CgSolver {
                     residual_trace,
                 ));
             }
-            a.mul_vec_into_threaded(&p, &mut ap, threads);
+            a.apply_into_threaded(&p, &mut ap, threads, min_parallel_dim);
             let pap = vecops::dot(&p, &ap);
             if pap <= 0.0 || !pap.is_finite() {
                 return Err(SolverError::NotPositiveDefinite {

@@ -281,7 +281,9 @@ impl CsrMatrix {
     /// As [`mul_vec_into`](Self::mul_vec_into), partitioning the rows over
     /// up to `threads` scoped worker threads when the matrix is large
     /// enough to amortize the spawn cost (see
-    /// [`PARALLEL_SPMV_MIN_DIM`](crate::PARALLEL_SPMV_MIN_DIM)).
+    /// [`PARALLEL_SPMV_MIN_DIM`](crate::PARALLEL_SPMV_MIN_DIM); callers
+    /// that measured their own cutover use
+    /// [`mul_vec_into_threaded_with`](Self::mul_vec_into_threaded_with)).
     ///
     /// Each row's dot product is computed with the same summation order as
     /// the sequential path, and rows are partitioned into contiguous
@@ -291,8 +293,26 @@ impl CsrMatrix {
     ///
     /// Panics if `x` or `y` have a length other than `dim()`.
     pub fn mul_vec_into_threaded(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        self.mul_vec_into_threaded_with(x, y, threads, crate::PARALLEL_SPMV_MIN_DIM);
+    }
+
+    /// As [`mul_vec_into_threaded`](Self::mul_vec_into_threaded) with an
+    /// explicit sequential→parallel cutover: the chunked path is taken
+    /// only when `dim() >= min_parallel_dim` (and `threads > 1`). The
+    /// cutover affects wall-clock time only, never the result bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` have a length other than `dim()`.
+    pub fn mul_vec_into_threaded_with(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        threads: usize,
+        min_parallel_dim: usize,
+    ) {
         let threads = threads.max(1).min(self.dim.max(1));
-        if threads == 1 || self.dim < crate::PARALLEL_SPMV_MIN_DIM {
+        if threads == 1 || self.dim < min_parallel_dim {
             self.mul_vec_into(x, y);
             return;
         }

@@ -80,6 +80,12 @@ pub enum SolverError {
         /// Row index of the disconnected node.
         row: usize,
     },
+    /// Multigrid preconditioning was requested without usable grid
+    /// geometry: either the system was prepared without any
+    /// [`StencilGrid`](crate::StencilGrid) description (use
+    /// [`PreparedSystem::with_geometry`](crate::PreparedSystem::with_geometry)),
+    /// or the supplied grids do not tile the matrix dimension.
+    MissingGridGeometry,
 }
 
 impl fmt::Display for SolverError {
@@ -143,6 +149,14 @@ impl fmt::Display for SolverError {
                 write!(
                     f,
                     "node {row} has no conductance to any other node or supply"
+                )
+            }
+            SolverError::MissingGridGeometry => {
+                write!(
+                    f,
+                    "multigrid preconditioner requires regular grid geometry tiling the \
+                     system (prepare the system with its stack's grids, e.g. \
+                     PreparedSystem::with_geometry)"
                 )
             }
         }

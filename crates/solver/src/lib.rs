@@ -53,9 +53,11 @@ mod cg;
 mod csr;
 mod dense;
 mod error;
+mod multigrid;
 mod parallel;
 mod precond;
 mod prepared;
+mod stencil;
 pub mod vecops;
 
 pub use budget::{Interruption, SolveBudget};
@@ -63,9 +65,11 @@ pub use cg::{CgSolution, CgSolver};
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::{CholeskyFactor, DenseMatrix};
 pub use error::SolverError;
+pub use multigrid::Multigrid;
 pub use parallel::parallel_map;
 pub use precond::{AppliedPreconditioner, IncompleteCholesky, JacobiScaling, Preconditioner};
-pub use prepared::PreparedSystem;
+pub use prepared::{calibrated_spmv_min_dim, PreparedSystem};
+pub use stencil::{Operator, StencilGrid, StencilOperator};
 
 /// Minimum matrix dimension for the chunked-parallel SpMV path of
 /// [`CsrMatrix::mul_vec_into_threaded`]. Below this, per-call thread-spawn

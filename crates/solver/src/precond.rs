@@ -1,3 +1,7 @@
+use std::sync::Arc;
+
+use crate::multigrid::Multigrid;
+use crate::stencil::{StencilGrid, StencilOperator};
 use crate::{CsrMatrix, SolverError};
 
 /// Preconditioner selection for [`CgSolver`](crate::CgSolver).
@@ -5,7 +9,9 @@ use crate::{CsrMatrix, SolverError};
 /// Power-grid conductance matrices are SPD and strongly diagonally dominant,
 /// so Jacobi is usually sufficient; IC(0) roughly halves iteration counts on
 /// ill-conditioned meshes (very low metal usage) at the cost of a
-/// factorization pass.
+/// factorization pass. Multigrid keeps iteration counts ~flat as the mesh
+/// is refined, but needs the stack's grid geometry to build (see
+/// [`PreparedSystem::with_geometry`](crate::PreparedSystem::with_geometry)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum Preconditioner {
@@ -16,6 +22,9 @@ pub enum Preconditioner {
     Jacobi,
     /// Zero fill-in incomplete Cholesky, IC(0).
     IncompleteCholesky,
+    /// Geometric multigrid V-cycle (see [`Multigrid`]). Requires grid
+    /// geometry at build time.
+    Multigrid,
 }
 
 /// A concrete, applied preconditioner `M ≈ A` supporting `z = M⁻¹·r`.
@@ -33,6 +42,8 @@ pub enum AppliedPreconditioner {
     Jacobi(JacobiScaling),
     /// Zero fill-in incomplete Cholesky factors.
     Ic0(IncompleteCholesky),
+    /// Geometric multigrid V-cycle hierarchy.
+    Multigrid(Multigrid),
 }
 
 impl std::fmt::Debug for AppliedPreconditioner {
@@ -41,6 +52,7 @@ impl std::fmt::Debug for AppliedPreconditioner {
             AppliedPreconditioner::Identity => f.write_str("AppliedPreconditioner::Identity"),
             AppliedPreconditioner::Jacobi(_) => f.write_str("AppliedPreconditioner::Jacobi"),
             AppliedPreconditioner::Ic0(_) => f.write_str("AppliedPreconditioner::Ic0"),
+            AppliedPreconditioner::Multigrid(_) => f.write_str("AppliedPreconditioner::Multigrid"),
         }
     }
 }
@@ -51,8 +63,34 @@ impl AppliedPreconditioner {
     /// # Errors
     ///
     /// Returns [`SolverError::NotPositiveDefinite`] if the diagonal scaling
-    /// or IC(0) factorization breaks down.
+    /// or IC(0) factorization breaks down, and
+    /// [`SolverError::MissingGridGeometry`] for
+    /// [`Preconditioner::Multigrid`], which needs the grid geometry only
+    /// [`build_with_geometry`](Self::build_with_geometry) supplies.
     pub fn build(kind: Preconditioner, a: &CsrMatrix) -> Result<Self, SolverError> {
+        match kind {
+            Preconditioner::Multigrid => Err(SolverError::MissingGridGeometry),
+            _ => Self::build_with_geometry(kind, a, &[], None),
+        }
+    }
+
+    /// Builds the concrete preconditioner of `kind` for the matrix `a`,
+    /// supplying the stack's grid geometry (and, when one was extracted,
+    /// the matrix-free stencil operator to share for fine-level applies)
+    /// so [`Preconditioner::Multigrid`] can construct its hierarchy.
+    /// Other kinds ignore the geometry.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build); multigrid additionally reports
+    /// [`SolverError::MissingGridGeometry`] when `grids` do not tile the
+    /// matrix dimension.
+    pub fn build_with_geometry(
+        kind: Preconditioner,
+        a: &CsrMatrix,
+        grids: &[StencilGrid],
+        stencil: Option<&Arc<StencilOperator>>,
+    ) -> Result<Self, SolverError> {
         #[cfg(feature = "telemetry")]
         {
             pi3d_telemetry::metrics::counter("solver.precond.builds").incr(1);
@@ -64,6 +102,11 @@ impl AppliedPreconditioner {
             Preconditioner::IncompleteCholesky => {
                 Ok(AppliedPreconditioner::Ic0(IncompleteCholesky::new(a)?))
             }
+            Preconditioner::Multigrid => Ok(AppliedPreconditioner::Multigrid(Multigrid::new(
+                a,
+                grids,
+                stencil.cloned(),
+            )?)),
         }
     }
 
@@ -78,6 +121,7 @@ impl AppliedPreconditioner {
             AppliedPreconditioner::Identity => z.copy_from_slice(r),
             AppliedPreconditioner::Jacobi(j) => j.apply(r, z),
             AppliedPreconditioner::Ic0(ic) => ic.apply(r, z),
+            AppliedPreconditioner::Multigrid(mg) => mg.apply(r, z),
         }
     }
 }
@@ -331,5 +375,14 @@ mod tests {
     #[test]
     fn default_preconditioner_is_jacobi() {
         assert_eq!(Preconditioner::default(), Preconditioner::Jacobi);
+    }
+
+    #[test]
+    fn multigrid_without_geometry_is_a_typed_error() {
+        let a = grid_matrix(8);
+        assert!(matches!(
+            AppliedPreconditioner::build(Preconditioner::Multigrid, &a),
+            Err(SolverError::MissingGridGeometry)
+        ));
     }
 }

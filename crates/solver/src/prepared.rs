@@ -5,8 +5,10 @@
 
 use crate::parallel::parallel_map;
 use crate::precond::AppliedPreconditioner;
+use crate::stencil::{Operator, StencilGrid, StencilOperator};
 use crate::{vecops, CgSolution, CgSolver, CsrMatrix, DenseMatrix, Preconditioner, SolverError};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// An immutable, `Sync` solve handle: a CSR matrix, its preconditioner
 /// (built exactly once, at construction), and the CG configuration.
@@ -50,11 +52,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug)]
 pub struct PreparedSystem {
     matrix: CsrMatrix,
+    stencil: Option<Arc<StencilOperator>>,
     kind: Preconditioner,
     applied: AppliedPreconditioner,
     solver: CgSolver,
     threads: usize,
     dense_fallback_limit: usize,
+    spmv_min_dim: usize,
     solves: AtomicU64,
 }
 
@@ -65,7 +69,9 @@ impl PreparedSystem {
     /// # Errors
     ///
     /// Returns [`SolverError::NotPositiveDefinite`] if the preconditioner
-    /// construction breaks down.
+    /// construction breaks down, and [`SolverError::MissingGridGeometry`]
+    /// for [`Preconditioner::Multigrid`], which needs the grid geometry
+    /// only [`with_geometry`](Self::with_geometry) supplies.
     pub fn new(matrix: CsrMatrix, preconditioner: Preconditioner) -> Result<Self, SolverError> {
         Self::with_solver(matrix, preconditioner, CgSolver::new())
     }
@@ -80,20 +86,76 @@ impl PreparedSystem {
         preconditioner: Preconditioner,
         solver: CgSolver,
     ) -> Result<Self, SolverError> {
+        Self::build(matrix, preconditioner, solver, &[])
+    }
+
+    /// As [`with_solver`](Self::with_solver), additionally describing the
+    /// regular-grid geometry behind `matrix` (the stack's sheets, in node
+    /// order). The geometry unlocks two things:
+    ///
+    /// * **Matrix-free applies** — when the matrix's in-grid structure
+    ///   verifies bitwise against the claimed grids (see
+    ///   [`StencilOperator::from_csr`]), solves run through the compact
+    ///   stencil form. Results are bit-identical either way; irregular
+    ///   matrices silently keep the CSR.
+    /// * **[`Preconditioner::Multigrid`]** — the geometric hierarchy is
+    ///   built from the same grids.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new); multigrid additionally reports
+    /// [`SolverError::MissingGridGeometry`] when the grids do not tile
+    /// the matrix dimension.
+    pub fn with_geometry(
+        matrix: CsrMatrix,
+        preconditioner: Preconditioner,
+        solver: CgSolver,
+        grids: &[StencilGrid],
+    ) -> Result<Self, SolverError> {
+        Self::build(matrix, preconditioner, solver, grids)
+    }
+
+    fn build(
+        matrix: CsrMatrix,
+        preconditioner: Preconditioner,
+        solver: CgSolver,
+        grids: &[StencilGrid],
+    ) -> Result<Self, SolverError> {
+        let stencil = if grids.is_empty() {
+            None
+        } else {
+            StencilOperator::from_csr(&matrix, grids).map(Arc::new)
+        };
+        #[cfg(feature = "telemetry")]
+        if let Some(s) = &stencil {
+            pi3d_telemetry::metrics::counter("solver.stencil.extracted").incr(1);
+            pi3d_telemetry::debug!(
+                "stencil operator extracted: {} grids, {} irregular entries",
+                s.grid_count(),
+                s.extras_nnz()
+            );
+        }
         let applied = {
             #[cfg(feature = "telemetry")]
             let _span = pi3d_telemetry::span::span("precond_setup");
-            AppliedPreconditioner::build(preconditioner, &matrix)?
+            AppliedPreconditioner::build_with_geometry(
+                preconditioner,
+                &matrix,
+                grids,
+                stencil.as_ref(),
+            )?
         };
         #[cfg(feature = "telemetry")]
         pi3d_telemetry::metrics::counter("solver.prepared.builds").incr(1);
         Ok(PreparedSystem {
             matrix,
+            stencil,
             kind: preconditioner,
             applied,
             solver,
             threads: 1,
             dense_fallback_limit: 0,
+            spmv_min_dim: calibrated_spmv_min_dim(),
             solves: AtomicU64::new(0),
         })
     }
@@ -125,6 +187,23 @@ impl PreparedSystem {
         self.dense_fallback_limit
     }
 
+    /// Overrides the sequential→parallel SpMV cutover: single solves use
+    /// the chunked-parallel apply only when the system has at least this
+    /// many rows. The default comes from [`calibrated_spmv_min_dim`], a
+    /// per-process measurement of thread fan-out cost against per-row
+    /// multiply cost. The cutover affects wall-clock time only — both
+    /// paths are bit-identical.
+    #[must_use]
+    pub fn with_spmv_min_dim(mut self, min_dim: usize) -> Self {
+        self.spmv_min_dim = min_dim.max(1);
+        self
+    }
+
+    /// The sequential→parallel SpMV cutover in effect.
+    pub fn spmv_min_dim(&self) -> usize {
+        self.spmv_min_dim
+    }
+
     /// Attaches a [`SolveBudget`](crate::SolveBudget) to the wrapped
     /// solver: every subsequent [`solve`](Self::solve) /
     /// [`solve_batch`](Self::solve_batch) member polls the budget's cancel
@@ -141,6 +220,21 @@ impl PreparedSystem {
     /// The wrapped matrix.
     pub fn matrix(&self) -> &CsrMatrix {
         &self.matrix
+    }
+
+    /// The matrix-free stencil operator, when
+    /// [`with_geometry`](Self::with_geometry) extracted one.
+    pub fn stencil(&self) -> Option<&StencilOperator> {
+        self.stencil.as_deref()
+    }
+
+    /// The operator solves apply the system through: the extracted
+    /// stencil when available, otherwise the CSR matrix.
+    pub fn operator(&self) -> &dyn Operator {
+        match &self.stencil {
+            Some(s) => s.as_ref(),
+            None => &self.matrix,
+        }
     }
 
     /// The preconditioner kind built at construction.
@@ -181,10 +275,14 @@ impl PreparedSystem {
         guess: Option<&[f64]>,
         threads: usize,
     ) -> Result<CgSolution, SolverError> {
-        match self
-            .solver
-            .solve_prepared(&self.matrix, rhs, guess, &self.applied, threads)
-        {
+        match self.solver.solve_prepared(
+            self.operator(),
+            rhs,
+            guess,
+            &self.applied,
+            threads,
+            self.spmv_min_dim,
+        ) {
             Err(SolverError::NonConverged { partial, .. })
                 if self.matrix.dim() <= self.dense_fallback_limit =>
             {
@@ -296,6 +394,75 @@ impl PreparedSystem {
         #[cfg(not(feature = "telemetry"))]
         let _ = before;
     }
+}
+
+/// Measured default for the sequential→parallel SpMV cutover used by
+/// [`PreparedSystem`] (overridable per handle with
+/// [`PreparedSystem::with_spmv_min_dim`]).
+///
+/// The chunked-parallel apply pays a scoped thread fan-out per call;
+/// whether that pays off depends on how the host's spawn latency compares
+/// to its per-row multiply throughput, which varies by an order of
+/// magnitude across machines. This measures both once per process — a few
+/// multiplies of a small 5-point grid and a few empty two-worker scopes —
+/// and returns the break-even dimension with a 2× safety margin, clamped
+/// to `[2_048, 1_048_576]`. Falls back to
+/// [`PARALLEL_SPMV_MIN_DIM`](crate::PARALLEL_SPMV_MIN_DIM) if the probe
+/// cannot run. The calibration (total ≈ a millisecond) affects only which
+/// code path runs, never result bits, so solves stay deterministic.
+pub fn calibrated_spmv_min_dim() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(measure_spmv_min_dim)
+}
+
+fn measure_spmv_min_dim() -> usize {
+    use std::time::Instant;
+    // A 64×64 five-point grid: large enough to time, small enough to
+    // build in microseconds.
+    let n = 64usize;
+    let mut b = crate::CooBuilder::with_capacity(n * n, n * n * 5);
+    for iy in 0..n {
+        for ix in 0..n {
+            let node = iy * n + ix;
+            if ix + 1 < n {
+                b.stamp_conductance(node, node + 1, 1.0);
+            }
+            if iy + 1 < n {
+                b.stamp_conductance(node, node + n, 1.0);
+            }
+            b.stamp_to_ground(node, 0.1);
+        }
+    }
+    let Ok(a) = b.into_csr() else {
+        return crate::PARALLEL_SPMV_MIN_DIM;
+    };
+    let x = vec![1.0; a.dim()];
+    let mut y = vec![0.0; a.dim()];
+    a.mul_vec_into(&x, &mut y); // warm caches
+    let reps = 16u32;
+    let started = Instant::now();
+    for _ in 0..reps {
+        a.mul_vec_into(&x, &mut y);
+    }
+    std::hint::black_box(&y);
+    let row_ns = started.elapsed().as_nanos() as f64 / f64::from(reps) / a.dim() as f64;
+
+    let scopes = 8u32;
+    let started = Instant::now();
+    for _ in 0..scopes {
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| std::hint::black_box(0u64));
+            }
+        });
+    }
+    let spawn_ns = started.elapsed().as_nanos() as f64 / f64::from(scopes);
+
+    // At two workers the parallel path saves half the sequential multiply
+    // and pays one fan-out: break even at dim = 2·spawn/row, doubled for
+    // safety (fan-out latency is noisier than multiply throughput).
+    let breakeven = 4.0 * spawn_ns / row_ns.max(0.01);
+    (breakeven as usize).clamp(2_048, 1 << 20)
 }
 
 #[cfg(test)]
@@ -511,5 +678,92 @@ mod tests {
         assert_eq!(system.matrix().dim(), 16);
         let m = system.into_matrix();
         assert_eq!(m.dim(), 16);
+    }
+
+    #[test]
+    fn with_geometry_extracts_stencil_and_matches_csr_path_bitwise() {
+        let a = grid_2d(12, 12, 0.05);
+        let grids = [StencilGrid {
+            base: 0,
+            nx: 12,
+            ny: 12,
+        }];
+        let b = loads(144, 11);
+        for pc in [
+            Preconditioner::Identity,
+            Preconditioner::Jacobi,
+            Preconditioner::IncompleteCholesky,
+        ] {
+            let csr_path = PreparedSystem::new(a.clone(), pc).unwrap();
+            let stencil_path =
+                PreparedSystem::with_geometry(a.clone(), pc, CgSolver::new(), &grids).unwrap();
+            assert!(stencil_path.stencil().is_some(), "{pc:?}");
+            let want = csr_path.solve(&b, None).unwrap();
+            let got = stencil_path.solve(&b, None).unwrap();
+            assert_eq!(want.x, got.x, "{pc:?}");
+            assert_eq!(want.iterations, got.iterations, "{pc:?}");
+        }
+    }
+
+    #[test]
+    fn multigrid_through_with_geometry_converges_and_matches_jacobi() {
+        let a = grid_2d(24, 24, 0.01);
+        let grids = [StencilGrid {
+            base: 0,
+            nx: 24,
+            ny: 24,
+        }];
+        let b = loads(576, 3);
+        let jacobi = PreparedSystem::new(a.clone(), Preconditioner::Jacobi)
+            .unwrap()
+            .solve(&b, None)
+            .unwrap();
+        let mg_sys =
+            PreparedSystem::with_geometry(a, Preconditioner::Multigrid, CgSolver::new(), &grids)
+                .unwrap();
+        let mg = mg_sys.solve(&b, None).unwrap();
+        assert!(
+            mg.iterations < jacobi.iterations,
+            "mg {} vs jacobi {}",
+            mg.iterations,
+            jacobi.iterations
+        );
+        for (x, y) in mg.x.iter().zip(&jacobi.x) {
+            assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn multigrid_without_grids_is_a_typed_error() {
+        let a = grid_2d(8, 8, 0.1);
+        let err = PreparedSystem::new(a, Preconditioner::Multigrid).unwrap_err();
+        assert!(matches!(err, SolverError::MissingGridGeometry));
+    }
+
+    #[test]
+    fn spmv_cutover_override_keeps_solutions_bitwise_identical() {
+        let a = grid_2d(14, 14, 0.05);
+        let b = loads(196, 19);
+        let baseline = PreparedSystem::new(a.clone(), Preconditioner::Jacobi)
+            .unwrap()
+            .solve(&b, None)
+            .unwrap();
+        // Force the parallel SpMV path on a tiny system: slower, but the
+        // chunked apply must still produce the exact same bits.
+        let forced = PreparedSystem::new(a, Preconditioner::Jacobi)
+            .unwrap()
+            .with_threads(4)
+            .with_spmv_min_dim(1);
+        assert_eq!(forced.spmv_min_dim(), 1);
+        let got = forced.solve(&b, None).unwrap();
+        assert_eq!(baseline.x, got.x);
+        assert_eq!(baseline.iterations, got.iterations);
+    }
+
+    #[test]
+    fn calibrated_cutover_is_cached_and_clamped() {
+        let first = calibrated_spmv_min_dim();
+        assert!((2_048..=1 << 20).contains(&first));
+        assert_eq!(calibrated_spmv_min_dim(), first);
     }
 }
