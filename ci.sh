@@ -335,4 +335,93 @@ else
     echo "bench guard skipped (needs python3 for median comparison)"
 fi
 
+echo "==> serve smoke (warm-cache daemon, mixed batch twice, SIGINT drain)"
+serve_dir="$(mktemp -d /tmp/pi3d-serve.XXXXXX)"
+trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err" "$trace_out" "$trace_err"; rm -rf "$jobdir" "$mg_dir" "$serve_dir"' EXIT
+sock="$serve_dir/serve.sock"
+./target/release/pi3d serve --listen "unix:$sock" --grid 8 --workers 2 \
+    > "$serve_dir/serve.out" 2> "$serve_dir/serve.err" &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+    i=$((i+1))
+    if [ "$i" -gt 1200 ]; then
+        echo "FAIL: daemon never bound $sock" >&2
+        cat "$serve_dir/serve.err" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "FAIL: daemon exited before binding" >&2
+        cat "$serve_dir/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+# A mixed batch (solve + simulate), sent twice over separate
+# connections. The second pass must be byte-identical — served from the
+# warm cache — and the stats must show the hits.
+mixed_batch() {
+    ./target/release/pi3d call "unix:$sock" \
+        '{"cmd":"solve","config":"benchmark = ddr3-off\n","state":"0-0-0-2"}' \
+        '{"cmd":"simulate","config":"benchmark = ddr3-off\n","policy":"distr","reads":200}'
+}
+mixed_batch > "$serve_dir/cold.out"
+mixed_batch > "$serve_dir/warm.out"
+diff "$serve_dir/cold.out" "$serve_dir/warm.out"
+./target/release/pi3d call "unix:$sock" '{"cmd":"stats"}' > "$serve_dir/stats.out"
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$serve_dir/stats.out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.loads(f.read())
+assert r["outcome"]["status"] == "ok", r["outcome"]
+cache = r["result"]["cache"]
+assert int(cache["hits"]) > 0, f"no warm hits on second pass: {cache}"
+assert int(cache["misses"]) > 0, cache
+print("serve stats OK:", cache["hits"], "hits,", cache["misses"],
+      "misses,", cache["bytes"], "cached bytes")
+PY
+else
+    grep -q '"hits":"[1-9]' "$serve_dir/stats.out"
+    echo "serve stats OK (grep check)"
+fi
+# SIGINT drains in-flight work and exits with the cancellation code.
+kill -INT "$serve_pid"
+serve_status=0
+wait "$serve_pid" || serve_status=$?
+if [ "$serve_status" -ne 130 ]; then
+    echo "FAIL: interrupted daemon exited $serve_status, expected 130" >&2
+    cat "$serve_dir/serve.err" >&2
+    exit 1
+fi
+if [ -S "$sock" ]; then
+    echo "FAIL: socket file left behind after SIGINT" >&2
+    exit 1
+fi
+echo "serve smoke OK: warm batch byte-identical, SIGINT exit 130"
+
+echo "==> serve bench guard (warm cache must beat cold by >= 10x)"
+# A fast re-run of the serve bench; the cold/warm ratio is structural
+# (warm skips mesh assembly + factorization + LUT build), so even noisy
+# CI boxes clear the 10x bar with margin.
+if command -v python3 > /dev/null 2>&1; then
+    serve_bench_out="$(mktemp /tmp/pi3d-serve-bench.XXXXXX.json)"
+    trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err" "$trace_out" "$trace_err" "$serve_bench_out"; rm -rf "$jobdir" "$mg_dir" "$serve_dir"' EXIT
+    BENCH_SERVE_OUT="$serve_bench_out" BENCH_SERVE_SAMPLES=5 \
+        cargo bench --offline -p pi3d-bench --features bench-ext \
+        --bench serve_throughput
+    python3 - "$serve_bench_out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+speedup = r["speedup_p50"]
+assert speedup >= 10, f"warm cache only {speedup:.1f}x faster than cold"
+print(f"serve bench guard OK: warm {speedup:.1f}x faster,",
+      f"{r['warm_requests_per_s']:.0f} warm requests/s")
+PY
+else
+    echo "serve bench guard skipped (needs python3 for comparison)"
+fi
+
 echo "==> ci.sh passed"

@@ -1,0 +1,205 @@
+//! Cold vs warm request latency through the `pi3d serve` engine.
+//!
+//! Measures [`pi3d_core::serve::ServeState::handle_request`] directly
+//! (no sockets — the transport adds microseconds, the analysis costs
+//! milliseconds) for the paper quick config at the coarse mesh:
+//!
+//! * `solve` — cold pays config parse + mesh assembly + factorization +
+//!   one CG solve; warm pays only the solve against the cached factored
+//!   system.
+//! * `simulate` — cold additionally pays the superposition-LUT build
+//!   (1 + 2·dies·max_banks solves); warm pays only the event-driven
+//!   simulation against the cached LUT. This is the serving workload the
+//!   warm cache exists for, and the headline `speedup_p50`.
+//!
+//! Byte-identity of cold and warm responses is asserted before anything
+//! is timed. Results land in `BENCH_serve.json` (p50/p95 per case,
+//! warm requests/s); `BENCH_SERVE_OUT` redirects the output and
+//! `BENCH_SERVE_SAMPLES` overrides the per-case sample count.
+
+use pi3d_core::serve::{ServeOptions, ServeState};
+use pi3d_mesh::MeshOptions;
+use pi3d_telemetry::Json;
+use std::time::Instant;
+
+const QUICK_CFG: &str = "benchmark = ddr3-off\n";
+const SAMPLES: usize = 12;
+const SIM_READS: f64 = 500.0;
+
+fn quick_state() -> ServeState {
+    ServeState::new(ServeOptions {
+        mesh: MeshOptions::coarse(),
+        ..ServeOptions::default()
+    })
+}
+
+fn solve_request() -> Json {
+    Json::obj([
+        ("cmd", Json::str("solve")),
+        ("config", Json::str(QUICK_CFG)),
+        ("state", Json::str("0-0-0-2")),
+    ])
+}
+
+fn simulate_request() -> Json {
+    Json::obj([
+        ("cmd", Json::str("simulate")),
+        ("config", Json::str(QUICK_CFG)),
+        ("policy", Json::str("distr")),
+        ("reads", Json::num(SIM_READS)),
+    ])
+}
+
+/// Latency quantiles over one case's samples, in milliseconds.
+struct Quantiles {
+    p50_ms: f64,
+    p95_ms: f64,
+    mean_ms: f64,
+    samples: usize,
+}
+
+fn quantiles(mut latencies_s: Vec<f64>) -> Quantiles {
+    assert!(!latencies_s.is_empty());
+    latencies_s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let n = latencies_s.len();
+    let at = |q: f64| latencies_s[(((n - 1) as f64) * q).round() as usize] * 1e3;
+    Quantiles {
+        p50_ms: at(0.50),
+        p95_ms: at(0.95),
+        mean_ms: latencies_s.iter().sum::<f64>() / n as f64 * 1e3,
+        samples: n,
+    }
+}
+
+fn quantiles_json(q: &Quantiles) -> Json {
+    Json::obj([
+        ("p50_ms", Json::num(q.p50_ms)),
+        ("p95_ms", Json::num(q.p95_ms)),
+        ("mean_ms", Json::num(q.mean_ms)),
+        ("samples", Json::num(q.samples as f64)),
+    ])
+}
+
+/// Cold: every sample pays the full build in a fresh server.
+fn measure_cold(request: &Json, samples: usize) -> Vec<f64> {
+    (0..samples)
+        .map(|_| {
+            let server = quick_state();
+            let started = Instant::now();
+            let response = server.handle_request(request);
+            let elapsed = started.elapsed().as_secs_f64();
+            std::hint::black_box(response);
+            elapsed
+        })
+        .collect()
+}
+
+/// Warm: one server, cache primed by a first (untimed) request.
+fn measure_warm(request: &Json, samples: usize) -> (ServeState, Vec<f64>) {
+    let server = quick_state();
+    std::hint::black_box(server.handle_request(request));
+    let latencies = (0..samples)
+        .map(|_| {
+            let started = Instant::now();
+            let response = server.handle_request(request);
+            let elapsed = started.elapsed().as_secs_f64();
+            std::hint::black_box(response);
+            elapsed
+        })
+        .collect();
+    (server, latencies)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => {
+            let n = v
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}"));
+            assert!(n > 0, "{name} must be positive");
+            n
+        }
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let samples = env_usize("BENCH_SERVE_SAMPLES", SAMPLES);
+    let out_override = std::env::var("BENCH_SERVE_OUT").ok();
+
+    // Determinism gate before timing anything: a cold build and a warm
+    // hit must produce the same bytes for both request kinds.
+    for request in [solve_request(), simulate_request()] {
+        let cold_server = quick_state();
+        let cold = cold_server.handle_request(&request).to_compact_string();
+        let warm = cold_server.handle_request(&request).to_compact_string();
+        assert_eq!(cold, warm, "warm response diverged for {request:?}");
+    }
+
+    println!("serve_throughput: paper quick config (coarse mesh), {samples} samples per case");
+    let mut cases = Vec::new();
+    let mut headline_speedup = 0.0;
+    let mut warm_sim_server = None;
+    for (name, request) in [("solve", solve_request()), ("simulate", simulate_request())] {
+        let cold = quantiles(measure_cold(&request, samples));
+        let (server, warm_samples) = measure_warm(&request, samples);
+        let warm = quantiles(warm_samples);
+        let speedup = cold.p50_ms / warm.p50_ms;
+        println!(
+            "  {name:8} cold p50 {:8.2} ms  p95 {:8.2} ms   warm p50 {:8.3} ms  p95 {:8.3} ms   ({speedup:.1}x)",
+            cold.p50_ms, cold.p95_ms, warm.p50_ms, warm.p95_ms
+        );
+        if name == "simulate" {
+            headline_speedup = speedup;
+            warm_sim_server = Some(server);
+        }
+        cases.push(Json::obj([
+            ("request", Json::str(name)),
+            ("cold", quantiles_json(&cold)),
+            ("warm", quantiles_json(&warm)),
+            ("speedup_p50", Json::num(speedup)),
+        ]));
+    }
+
+    // Warm throughput: hammer the cached state from 4 client threads —
+    // the factored system is Arc-shared, so requests run concurrently.
+    let server = warm_sim_server.expect("simulate case ran");
+    let request = simulate_request();
+    let threads = 4usize;
+    let per_thread = samples.max(4);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let server = &server;
+            let request = &request;
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    std::hint::black_box(server.handle_request(request));
+                }
+            });
+        }
+    });
+    let total = started.elapsed().as_secs_f64();
+    let rps = (threads * per_thread) as f64 / total;
+    println!("  warm simulate throughput: {rps:.1} requests/s ({threads} client threads)");
+    println!("  headline speedup (simulate, p50): {headline_speedup:.1}x");
+
+    let doc = Json::obj([
+        ("schema", Json::str("pi3d.bench_serve.v1")),
+        ("config", Json::str("ddr3-off quick (coarse mesh)")),
+        ("sim_reads", Json::num(SIM_READS)),
+        ("samples_per_case", Json::num(samples as f64)),
+        ("cases", Json::Arr(cases)),
+        ("speedup_p50", Json::num(headline_speedup)),
+        ("warm_requests_per_s", Json::num(rps)),
+        ("throughput_threads", Json::num(threads as f64)),
+    ]);
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let path = out_override.as_deref().unwrap_or(default_path);
+    pi3d_telemetry::fsio::atomic_write(
+        std::path::Path::new(path),
+        doc.to_pretty_string().as_bytes(),
+    )
+    .expect("write bench results");
+    println!("  wrote {path}");
+}

@@ -14,7 +14,17 @@
 //!                            [--reads N] [--threads N] [--grid N]
 //! pi3d export   <design.cfg> [--svg out.svg] [--spice out.sp] [--state 0-0-0-2]
 //! pi3d trace    <trace.json> [--top N]
+//! pi3d serve    [--listen unix:PATH|tcp:host:port] [--workers N] [--cache-bytes N]
+//!                            [--queue-limit N] [--deadline SECS] [--grid N] [--threads N]
+//! pi3d call     <addr> [REQUEST_JSON ...]
 //! ```
+//!
+//! `pi3d serve` runs a long-lived warm-cache analysis daemon speaking
+//! newline-delimited JSON (`{"cmd":"solve","config":"..."}` per line);
+//! `pi3d call` is its minimal client. Prepared systems, IR LUTs, and
+//! design-space characterizations are cached across requests in a
+//! size-accounted LRU, and responses are byte-identical whether served
+//! warm or cold — see DESIGN.md §17.
 //!
 //! Global flags (any command): `--log-level off|error|warn|info|debug|trace`
 //! sets the stderr log threshold (overrides `PI3D_LOG`), and
@@ -43,11 +53,13 @@
 // User-reachable failures must surface as typed errors, not panics.
 #![warn(clippy::unwrap_used)]
 
-mod config;
+mod serve_cmd;
 #[cfg(feature = "telemetry")]
 mod trace_cmd;
 
+use pi3d_core::config;
 use pi3d_core::jobs::{config_hash_of, fnv1a64, journaled_sweep};
+use pi3d_core::serve::{exit_code_for, sim_stats_from_json, sim_stats_to_json, status_label};
 use pi3d_core::{
     build_ir_lut, characterize_with, run_fault_sweep_with, CoreError, FaultSweepOptions,
     JobContext, Platform,
@@ -55,27 +67,18 @@ use pi3d_core::{
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{render_design_svg, Benchmark, FaultSpec, MemoryState, StackDesign};
 use pi3d_memsim::{
-    parse_trace, IrDropLut, MemorySimulator, ReadPolicy, SimConfig, SimStats, SimulateError,
-    TimingParams, WorkloadSpec,
+    parse_trace, IrDropLut, MemorySimulator, ReadPolicy, SimConfig, TimingParams, WorkloadSpec,
 };
 use pi3d_mesh::{
     decompose_ir, export_spice, run_transient, CurrentReport, MeshOptions, StackMesh,
     SupplyNoiseAnalysis, TransientOptions,
 };
-use pi3d_solver::SolverError;
 use pi3d_telemetry::fsio::atomic_write;
-use pi3d_telemetry::{CancelToken, Json};
+use pi3d_telemetry::CancelToken;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-
-/// Exit code for cooperative cancellation: 128 + SIGINT, the shell
-/// convention for "killed by Ctrl-C".
-const EXIT_CANCELLED: u8 = 130;
-/// Exit code for an exhausted deadline or cycle budget, matching
-/// `timeout(1)`.
-const EXIT_DEADLINE: u8 = 124;
 
 fn main() -> ExitCode {
     match run() {
@@ -85,37 +88,6 @@ fn main() -> ExitCode {
             ExitCode::from(exit_code_for(e.as_ref()))
         }
     }
-}
-
-/// Maps an error chain to the documented exit codes by walking `source()`
-/// links for the typed interruption variants of any layer.
-fn exit_code_for(error: &(dyn std::error::Error + 'static)) -> u8 {
-    let mut current = Some(error);
-    while let Some(e) = current {
-        if let Some(core) = e.downcast_ref::<CoreError>() {
-            match core {
-                CoreError::Cancelled { .. } => return EXIT_CANCELLED,
-                CoreError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
-                _ => {}
-            }
-        }
-        if let Some(solver) = e.downcast_ref::<SolverError>() {
-            match solver {
-                SolverError::Cancelled { .. } => return EXIT_CANCELLED,
-                SolverError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
-                _ => {}
-            }
-        }
-        if let Some(sim) = e.downcast_ref::<SimulateError>() {
-            match sim {
-                SimulateError::Cancelled { .. } => return EXIT_CANCELLED,
-                SimulateError::CycleBudgetExceeded { .. } => return EXIT_DEADLINE,
-                _ => {}
-            }
-        }
-        current = e.source();
-    }
-    1
 }
 
 /// Minimal flag parser: positional arguments plus `--flag [value]` pairs.
@@ -187,14 +159,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             Ok(()) => (0u8, String::new()),
             Err(e) => (exit_code_for(e.as_ref()), e.to_string()),
         };
-        let status = match exit_code {
-            0 => "ok",
-            EXIT_CANCELLED => "cancelled",
-            EXIT_DEADLINE => "deadline",
-            _ => "error",
-        };
         pi3d_telemetry::report::set_outcome(pi3d_telemetry::report::RunOutcome {
-            status: status.to_owned(),
+            status: status_label(exit_code).to_owned(),
             stage: _stage.clone(),
             exit_code,
             error,
@@ -278,6 +244,14 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     #[cfg(feature = "telemetry")]
     let _cmd_slice = pi3d_telemetry::trace::span_with("cli", || format!("cmd:{command}"));
 
+    // Solver-heavy commands prime the parallel-SpMV cutover from the
+    // persisted calibration (probing and storing it on first use);
+    // `--recalibrate` forces a fresh probe. Client-side and read-only
+    // commands skip it.
+    if !matches!(command, "help" | "--help" | "trace" | "call") {
+        init_spmv_calibration(args)?;
+    }
+
     match command {
         "analyze" => analyze(args),
         "currents" => currents(args),
@@ -287,6 +261,8 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "optimize" => optimize(args),
         "faults" => faults_command(args),
         "export" => export(args),
+        "serve" => serve_cmd::serve_command(args),
+        "call" => serve_cmd::call_command(args),
         #[cfg(feature = "telemetry")]
         "trace" => trace_cmd::trace_command(args),
         "help" | "--help" => {
@@ -298,6 +274,49 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             Err(format!("unknown command {other:?}").into())
         }
     }
+}
+
+/// Default home of the persisted SpMV calibration: the report dir
+/// (`PI3D_REPORT_DIR`, falling back to a `pi3d` dir under the temp dir).
+fn default_calibration_path() -> PathBuf {
+    let dir = std::env::var_os("PI3D_REPORT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("pi3d"));
+    dir.join("spmv_calibration.json")
+}
+
+/// Seeds the process-wide parallel-SpMV cutover from the calibration
+/// cache file so repeat invocations and daemon restarts skip the startup
+/// probe. Without a cache file the probe runs once, here, and its result
+/// is stored (best effort). `--recalibrate` forces a fresh probe and
+/// overwrites the file; `--calibration-file PATH` relocates it.
+fn init_spmv_calibration(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let path = match args.flag("calibration-file") {
+        Some(p) => PathBuf::from(p),
+        None => default_calibration_path(),
+    };
+    if args.has("recalibrate") {
+        let v = pi3d_solver::recalibrate_spmv();
+        pi3d_solver::store_spmv_calibration(&path, v)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "recalibrated parallel-SpMV cutover: {v} rows (stored in {})",
+            path.display()
+        );
+    } else if let Some(v) = pi3d_solver::load_spmv_calibration(&path) {
+        pi3d_solver::prime_spmv_calibration(v);
+    } else {
+        // Calibration affects only which code path runs, never result
+        // bits, so a failed store costs a re-probe, nothing more.
+        let v = pi3d_solver::calibrated_spmv_min_dim();
+        if let Err(e) = pi3d_solver::store_spmv_calibration(&path, v) {
+            eprintln!(
+                "warning: cannot store calibration in {}: {e}",
+                path.display()
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Builds the durable-execution context shared by the sweep commands from
@@ -339,11 +358,14 @@ fn print_usage() {
                        [--via-void P] [--em-drift S] [--levels L1,L2,..]\n  \
                        [--trials N] [--reads N] [--grid N]\n  \
          pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n  \
-         pi3d trace    <trace.json> [--top N]\n\
+         pi3d trace    <trace.json> [--top N]\n  \
+         pi3d serve    [--listen unix:PATH|tcp:host:port] [--workers N]\n  \
+                       [--cache-bytes N] [--queue-limit N] [--deadline SECS]\n  \
+         pi3d call     <addr> [REQUEST_JSON ...]   (reads stdin lines if no args)\n\
          global flags: [--threads N] [--precond jacobi|ic|mg|identity]\n\
                        [--log-level off|error|warn|info|debug|trace]\n\
                        [--metrics-out FILE] [--trace-out FILE] [--trace-capacity N]\n\
-                       [--progress [json]]\n\
+                       [--progress [json]] [--recalibrate] [--calibration-file FILE]\n\
          durable runs (faults/optimize/simulate): [--journal FILE] [--resume FILE]\n\
                        [--deadline SECS] [--cancel-file FILE]\n\
          exit codes:   0 ok, 1 error, 124 deadline/cycle budget, 130 cancelled"
@@ -541,77 +563,6 @@ fn lut_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Finite floats travel as JSON numbers; non-finite ones (an
-/// `avg_queue_depth` of NaN from a zero-cycle run) as strings, which
-/// `str::parse::<f64>` round-trips exactly.
-fn f64_to_json(v: f64) -> Json {
-    if v.is_finite() {
-        Json::num(v)
-    } else {
-        Json::str(format!("{v}"))
-    }
-}
-
-fn f64_from_json(j: &Json) -> Option<f64> {
-    match j.as_num() {
-        Some(v) => Some(v),
-        None => j.as_str()?.parse().ok(),
-    }
-}
-
-/// u64 counters can exceed f64's exact-integer range; decimal strings are
-/// lossless.
-fn u64_to_json(v: u64) -> Json {
-    Json::str(v.to_string())
-}
-
-fn u64_from_json(j: &Json) -> Option<u64> {
-    j.as_str()?.parse().ok()
-}
-
-fn stats_to_json(policy: &ReadPolicy, stats: &SimStats) -> Json {
-    Json::obj([
-        ("policy", Json::str(policy.name())),
-        ("cycles", u64_to_json(stats.cycles)),
-        ("runtime_us", f64_to_json(stats.runtime_us)),
-        ("completed", u64_to_json(stats.completed)),
-        (
-            "bandwidth_reads_per_clk",
-            f64_to_json(stats.bandwidth_reads_per_clk),
-        ),
-        ("max_ir_mv", f64_to_json(stats.max_ir.value())),
-        ("refreshes", u64_to_json(stats.refreshes)),
-        ("activates", u64_to_json(stats.activates)),
-        ("precharges", u64_to_json(stats.precharges)),
-        ("row_hits", u64_to_json(stats.row_hits)),
-        ("avg_latency_cycles", f64_to_json(stats.avg_latency_cycles)),
-        ("avg_queue_depth", f64_to_json(stats.avg_queue_depth)),
-        ("stall_cycles", u64_to_json(stats.stall_cycles)),
-    ])
-}
-
-/// Rebuilds journaled simulation results, rejecting records whose policy
-/// label does not match the unit they claim to be.
-fn stats_from_json(policy: &ReadPolicy, payload: &Json) -> Option<SimStats> {
-    if payload.get("policy")?.as_str()? != policy.name() {
-        return None;
-    }
-    Some(SimStats {
-        cycles: u64_from_json(payload.get("cycles")?)?,
-        runtime_us: f64_from_json(payload.get("runtime_us")?)?,
-        completed: u64_from_json(payload.get("completed")?)?,
-        bandwidth_reads_per_clk: f64_from_json(payload.get("bandwidth_reads_per_clk")?)?,
-        max_ir: MilliVolts(f64_from_json(payload.get("max_ir_mv")?)?),
-        refreshes: u64_from_json(payload.get("refreshes")?)?,
-        activates: u64_from_json(payload.get("activates")?)?,
-        precharges: u64_from_json(payload.get("precharges")?)?,
-        row_hits: u64_from_json(payload.get("row_hits")?)?,
-        avg_latency_cycles: f64_from_json(payload.get("avg_latency_cycles")?)?,
-        avg_queue_depth: f64_from_json(payload.get("avg_queue_depth")?)?,
-        stall_cycles: u64_from_json(payload.get("stall_cycles")?)?,
-    })
-}
-
 fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let (design, options) = load_design_and_options(args)?;
     let constraint = MilliVolts(match args.flag("constraint") {
@@ -712,8 +663,8 @@ fn simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         &policies,
         options.threads,
         &ctx,
-        |unit, stats| stats_to_json(&policies[unit], stats),
-        |unit, payload| stats_from_json(&policies[unit], payload),
+        |unit, stats| sim_stats_to_json(&policies[unit], stats),
+        |unit, payload| sim_stats_from_json(&policies[unit], payload),
         |_, &policy| {
             let sim = MemorySimulator::new(timing, sim_config.clone(), policy, lut.clone())
                 .with_cancel(CancelToken::global());

@@ -1,0 +1,382 @@
+//! `pi3d serve` / `pi3d call` — the daemon transport.
+//!
+//! The daemon speaks newline-delimited JSON (one compact document per
+//! line, see `pi3d_telemetry::json::{read,write}_json_line`) over a unix
+//! socket by default or TCP with `--listen tcp:host:port`. Everything
+//! that decides what a request *means* lives in [`pi3d_core::serve`];
+//! this module owns only sockets, connection reader threads, and the
+//! worker pool draining the shared admission queue.
+//!
+//! Shutdown: SIGINT (or `--cancel-file`) stops accepting, closes the
+//! queue, drains in-flight requests (each answers quickly with a
+//! `cancelled` outcome via the shared [`CancelToken`]), and exits 130. A
+//! `shutdown` request does the same drain but exits 0. Connection reader
+//! threads blocked in `read` are detached and die with the process.
+
+use pi3d_core::serve::{
+    error_response, RequestQueue, ServeOptions, ServeState, DEFAULT_CACHE_BYTES,
+};
+use pi3d_core::CoreError;
+use pi3d_mesh::MeshOptions;
+use pi3d_telemetry::json::{read_json_line, write_json_line};
+use pi3d_telemetry::{CancelToken, Json};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::Args;
+
+/// Where the daemon listens, from `--listen`.
+enum ListenAddr {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+/// Default unix-socket path: under the per-user temp dir so unprivileged
+/// runs work out of the box; override with `--listen unix:PATH`.
+fn default_socket_path() -> PathBuf {
+    std::env::temp_dir().join("pi3d").join("pi3d-serve.sock")
+}
+
+fn parse_listen(spec: Option<&str>) -> ListenAddr {
+    match spec {
+        None => ListenAddr::Unix(default_socket_path()),
+        Some(s) => {
+            if let Some(host_port) = s.strip_prefix("tcp:") {
+                ListenAddr::Tcp(host_port.to_owned())
+            } else if let Some(path) = s.strip_prefix("unix:") {
+                ListenAddr::Unix(PathBuf::from(path))
+            } else {
+                // A bare path is a unix socket; keeps the common case short.
+                ListenAddr::Unix(PathBuf::from(s))
+            }
+        }
+    }
+}
+
+/// One admitted request: the parsed document plus the (shared, locked)
+/// writer of the connection it arrived on. Workers may finish requests
+/// from one connection out of order — that is what the echoed `id` field
+/// is for.
+struct QueuedRequest {
+    request: Json,
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+fn lock_writer(
+    writer: &Arc<Mutex<Box<dyn Write + Send>>>,
+) -> std::sync::MutexGuard<'_, Box<dyn Write + Send>> {
+    match writer.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Reads frames off one connection and enqueues them. Runs detached: a
+/// reader blocked on a quiet connection dies with the process instead of
+/// delaying shutdown.
+fn reader_loop<R: Read>(
+    read: R,
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+    queue: Arc<RequestQueue<QueuedRequest>>,
+) {
+    let mut reader = BufReader::new(read);
+    loop {
+        match read_json_line(&mut reader) {
+            Ok(Some(request)) => {
+                let item = QueuedRequest {
+                    request,
+                    writer: Arc::clone(&writer),
+                };
+                if let Err(rejected) = queue.push(item) {
+                    let response = error_response(
+                        Some(&rejected.request),
+                        "admission",
+                        "server busy: request queue is full (or shutting down)",
+                    );
+                    let mut w = lock_writer(&rejected.writer);
+                    if write_json_line(&mut *w, &response).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Framing is lost after a malformed line: answer once,
+                // then drop the connection.
+                let response = error_response(None, "request", &e.to_string());
+                let mut w = lock_writer(&writer);
+                let _ = write_json_line(&mut *w, &response);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn spawn_connection<R, W>(read: R, write: W, queue: &Arc<RequestQueue<QueuedRequest>>)
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let writer: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(Box::new(write)));
+    let queue = Arc::clone(queue);
+    std::thread::spawn(move || reader_loop(read, writer, queue));
+}
+
+fn bind_unix(path: &PathBuf) -> Result<UnixListener, Box<dyn std::error::Error>> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            // A stale socket file from a crashed daemon: if nothing
+            // answers a connect, reclaim the address.
+            if UnixStream::connect(path).is_ok() {
+                return Err(
+                    format!("another daemon is already listening on {}", path.display()).into(),
+                );
+            }
+            std::fs::remove_file(path)?;
+            Ok(UnixListener::bind(path)?)
+        }
+        Err(e) => Err(format!("cannot bind {}: {e}", path.display()).into()),
+    }
+}
+
+/// `pi3d serve`: bind, spawn the worker pool, accept until SIGINT or a
+/// `shutdown` request, then drain and exit (130 for SIGINT, 0 for
+/// `shutdown`).
+pub fn serve_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mesh = crate::mesh_options_from(args, MeshOptions::default())?;
+    let cache_bytes = match args.flag("cache-bytes") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--cache-bytes must be an integer, got {v}"))?;
+            if n == 0 {
+                return Err("--cache-bytes must be positive".into());
+            }
+            n
+        }
+        None => DEFAULT_CACHE_BYTES,
+    };
+    // For the daemon, `--deadline` is the default *per-request* budget
+    // (a request's own `deadline` field overrides it), not a whole-run
+    // budget — the whole run is open-ended by design.
+    let deadline = match args.flag("deadline") {
+        Some(secs) => {
+            let s: f64 = secs
+                .parse()
+                .map_err(|_| format!("--deadline must be a number of seconds, got {secs}"))?;
+            if !s.is_finite() || s <= 0.0 {
+                return Err("--deadline must be a positive number of seconds".into());
+            }
+            Some(Duration::from_secs_f64(s))
+        }
+        None => None,
+    };
+    let workers = match args.flag("workers") {
+        Some(w) => {
+            let n: usize = w
+                .parse()
+                .map_err(|_| format!("--workers must be an integer, got {w}"))?;
+            if !(1..=256).contains(&n) {
+                return Err("--workers must be between 1 and 256".into());
+            }
+            n
+        }
+        None => std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2),
+    };
+    let queue_limit = match args.flag("queue-limit") {
+        Some(q) => {
+            let n: usize = q
+                .parse()
+                .map_err(|_| format!("--queue-limit must be an integer, got {q}"))?;
+            if n == 0 {
+                return Err("--queue-limit must be positive".into());
+            }
+            n
+        }
+        None => 64,
+    };
+
+    let cancel = CancelToken::global();
+    let state = Arc::new(ServeState::new(ServeOptions {
+        mesh,
+        cache_bytes,
+        deadline,
+        cancel: cancel.clone(),
+    }));
+    let queue: Arc<RequestQueue<QueuedRequest>> = Arc::new(RequestQueue::new(queue_limit));
+
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                while let Some(item) = queue.pop() {
+                    let response = state.handle_request(&item.request);
+                    let mut w = lock_writer(&item.writer);
+                    let _ = write_json_line(&mut *w, &response);
+                }
+            })
+        })
+        .collect();
+
+    // The accept loop polls at 25ms so SIGINT and `shutdown` requests
+    // are noticed promptly without a dedicated wakeup mechanism.
+    let poll = Duration::from_millis(25);
+    let mut unix_socket_path = None;
+    match parse_listen(args.flag("listen")) {
+        ListenAddr::Unix(path) => {
+            let listener = bind_unix(&path)?;
+            listener.set_nonblocking(true)?;
+            eprintln!("pi3d serve: listening on unix:{}", path.display());
+            unix_socket_path = Some(path);
+            while !cancel.is_cancelled() && !state.shutdown_requested() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let write = stream.try_clone()?;
+                        spawn_connection(stream, write, &queue);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(poll);
+                    }
+                    Err(e) => return Err(format!("accept failed: {e}").into()),
+                }
+            }
+        }
+        ListenAddr::Tcp(host_port) => {
+            let listener = TcpListener::bind(&host_port)
+                .map_err(|e| format!("cannot bind tcp:{host_port}: {e}"))?;
+            listener.set_nonblocking(true)?;
+            eprintln!(
+                "pi3d serve: listening on tcp:{}",
+                listener.local_addr().map_or(host_port, |a| a.to_string())
+            );
+            while !cancel.is_cancelled() && !state.shutdown_requested() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let write = stream.try_clone()?;
+                        spawn_connection(stream, write, &queue);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(poll);
+                    }
+                    Err(e) => return Err(format!("accept failed: {e}").into()),
+                }
+            }
+        }
+    }
+
+    // Drain: no new admissions, workers finish what is queued (cancelled
+    // requests answer quickly with a `cancelled` outcome), then exit.
+    queue.close();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    if let Some(path) = unix_socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+    let stats = state.cache_stats();
+    eprintln!(
+        "pi3d serve: served {} requests (cache: {} hits, {} misses, {} evictions)",
+        state.served(),
+        stats.hits,
+        stats.misses,
+        stats.evictions
+    );
+    if cancel.is_cancelled() {
+        let served = state.served() as usize;
+        return Err(CoreError::Cancelled {
+            completed: served,
+            total: served,
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// `pi3d call`: a minimal client. Connects to the daemon, sends each
+/// positional argument (or each stdin line when none are given) as one
+/// request, prints each response line to stdout in lockstep. Exits
+/// nonzero if any response carries a failed outcome.
+pub fn call_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args
+        .positional
+        .get(1)
+        .ok_or("call needs an address (unix:PATH or tcp:host:port)")?;
+    let requests: Vec<Json> = if args.positional.len() > 2 {
+        args.positional[2..]
+            .iter()
+            .map(|text| Json::parse(text).map_err(|e| format!("bad request document: {e}")))
+            .collect::<Result<_, _>>()?
+    } else {
+        let mut docs = Vec::new();
+        let mut stdin = std::io::stdin().lock();
+        while let Some(doc) = read_json_line(&mut stdin)? {
+            docs.push(doc);
+        }
+        docs
+    };
+    if requests.is_empty() {
+        return Err("call needs at least one request (argument or stdin line)".into());
+    }
+
+    let (mut reader, mut writer): (BufReader<Box<dyn Read>>, Box<dyn Write>) =
+        if let Some(host_port) = addr.strip_prefix("tcp:") {
+            let stream = TcpStream::connect(host_port)
+                .map_err(|e| format!("cannot connect to tcp:{host_port}: {e}"))?;
+            let write = stream.try_clone()?;
+            (BufReader::new(Box::new(stream)), Box::new(write))
+        } else {
+            let path = addr.strip_prefix("unix:").unwrap_or(addr);
+            let stream = UnixStream::connect(path)
+                .map_err(|e| format!("cannot connect to unix:{path}: {e}"))?;
+            let write = stream.try_clone()?;
+            (BufReader::new(Box::new(stream)), Box::new(write))
+        };
+
+    let mut failures = 0usize;
+    let mut first_error = String::new();
+    for request in &requests {
+        write_json_line(&mut writer, request)?;
+        let Some(response) = read_json_line(&mut reader)? else {
+            return Err("server closed the connection before responding".into());
+        };
+        println!("{}", response.to_compact_string());
+        let failed = response
+            .get("outcome")
+            .and_then(|o| o.get("exit_code"))
+            .and_then(Json::as_num)
+            .is_some_and(|code| code != 0.0);
+        if failed {
+            failures += 1;
+            if first_error.is_empty() {
+                first_error = response
+                    .get("outcome")
+                    .and_then(|o| o.get("error"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_owned();
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} requests failed (first error: {first_error})",
+            requests.len()
+        )
+        .into());
+    }
+    Ok(())
+}

@@ -338,3 +338,115 @@ fn run_report_has_quantiles_and_peak_rss() {
         assert!(peak > 0.0, "implausible peak RSS: {peak}");
     }
 }
+
+/// Spawns a serve daemon on a fresh unix socket and waits until it
+/// accepts connections. Returns the child and the `unix:PATH` address.
+fn spawn_daemon(tag: &str, extra: &[&str]) -> (std::process::Child, String, PathBuf) {
+    let dir = std::env::temp_dir().join("pi3d-cli-tests");
+    fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join(format!("serve-{tag}-{}.sock", std::process::id()));
+    let _ = fs::remove_file(&sock);
+    let listen = format!("unix:{}", sock.display());
+    let daemon = Command::new(env!("CARGO_BIN_EXE_pi3d"))
+        .args([
+            "serve",
+            "--listen",
+            &listen,
+            "--grid",
+            "8",
+            "--workers",
+            "2",
+        ])
+        .args(extra)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while !sock.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never bound {listen}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    (daemon, listen, sock)
+}
+
+/// Polls a child's exit for up to a minute.
+fn wait_exit(child: &mut std::process::Child) -> std::process::ExitStatus {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().expect("child pollable") {
+            return status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon did not exit after shutdown"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn serve_round_trips_and_shuts_down_cleanly() {
+    let (mut daemon, listen, sock) = spawn_daemon("e2e", &[]);
+
+    let ping = pi3d(&["call", &listen, r#"{"cmd":"ping","id":7}"#]);
+    assert!(
+        ping.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&ping.stderr)
+    );
+    let ping_line = String::from_utf8_lossy(&ping.stdout);
+    assert!(ping_line.contains(r#""pong":true"#), "{ping_line}");
+    assert!(ping_line.contains(r#""id":7"#), "{ping_line}");
+
+    // Same solve twice, over separate connections: byte-identical lines
+    // (first one cold, second from the warm cache).
+    let solve = r#"{"cmd":"solve","config":"benchmark = ddr3-off\n","state":"0-0-0-2"}"#;
+    let first = pi3d(&["call", &listen, solve]);
+    assert!(
+        first.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let second = pi3d(&["call", &listen, solve]);
+    assert_eq!(
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&second.stdout),
+        "warm response differs from cold"
+    );
+    assert!(String::from_utf8_lossy(&first.stdout).contains("max_dram_mv"));
+
+    // A malformed request comes back as an error outcome, and the client
+    // reflects it in its exit code.
+    let bad = pi3d(&["call", &listen, r#"{"cmd":"nonsense"}"#]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stdout).contains(r#""status":"error""#));
+
+    // Stats confirm the warm hit, then shutdown drains and exits 0.
+    let stats = pi3d(&["call", &listen, r#"{"cmd":"stats"}"#]);
+    let stats_line = String::from_utf8_lossy(&stats.stdout);
+    let doc = Json::parse(stats_line.trim()).expect("stats response parses");
+    let cache = doc
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .expect("cache stats present");
+    let hits: u64 = cache
+        .get("hits")
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse().ok())
+        .expect("hits counter");
+    assert!(hits >= 1, "expected a warm hit, got {cache:?}");
+
+    let shutdown = pi3d(&["call", &listen, r#"{"cmd":"shutdown"}"#]);
+    assert!(
+        shutdown.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&shutdown.stderr)
+    );
+    let status = wait_exit(&mut daemon);
+    assert_eq!(status.code(), Some(0), "clean shutdown exits 0");
+    assert!(!sock.exists(), "socket file removed on exit");
+}

@@ -1,4 +1,6 @@
-//! The `pi3d` design-configuration file format.
+//! The `pi3d` design-configuration file format, shared by the CLI
+//! (which reads it from files) and the serve daemon (which accepts it
+//! inline in requests and keys its warm cache on the canonical text).
 //!
 //! A design is described by a plain `key = value` file (comments start with
 //! `#`); every key is optional and defaults to the selected benchmark's
@@ -138,9 +140,6 @@ pub fn parse_precond(value: &str) -> Result<Preconditioner, ConfigError> {
 /// Returns a [`ConfigError`] describing the first syntax or semantic
 /// problem, including design-rule violations reported by the layout
 /// builder.
-// Commands now consume `parse_design_full`; the narrower views stay as
-// the format's contract and keep the test suite's call sites stable.
-#[cfg_attr(not(test), allow(dead_code))]
 pub fn parse_design(text: &str) -> Result<StackDesign, ConfigError> {
     parse_design_full(text).map(|(design, _, _)| design)
 }
@@ -154,7 +153,6 @@ pub fn parse_design(text: &str) -> Result<StackDesign, ConfigError> {
 ///
 /// As for [`parse_design`]; fault rates outside `[0, 1]` (or a negative
 /// drift scale) are rejected with the offending parameter named.
-#[cfg_attr(not(test), allow(dead_code))]
 pub fn parse_design_with_faults(
     text: &str,
 ) -> Result<(StackDesign, Option<FaultSpec>), ConfigError> {

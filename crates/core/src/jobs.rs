@@ -72,20 +72,34 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Hashes a canonical list of configuration fragments into one journal
-/// config hash.
+/// Hashes a canonical list of configuration fragments into one 64-bit
+/// fingerprint — the single implementation shared by the work journals
+/// and the `pi3d serve` warm cache.
 ///
-/// Callers must include everything that changes the sweep's *results*
-/// (seeds, levels, trial counts, mesh resolution) and must exclude
-/// anything that does not (thread counts, journal paths, deadlines), so
-/// a journal written at `--threads 8` resumes cleanly at `--threads 1`.
-pub fn config_hash_of(parts: &[&str]) -> u64 {
+/// Fragments are joined with the ASCII unit separator (`0x1f`, which
+/// cannot appear in the fragments' own vocabulary) so the concatenation
+/// is unambiguous, then hashed with [`fnv1a64`]. The format is pinned by
+/// a golden test: changing it invalidates every existing journal and
+/// every persisted cache key, so it must never drift silently.
+///
+/// Callers must include everything that changes the *results* (seeds,
+/// levels, trial counts, mesh resolution) and must exclude anything that
+/// does not (thread counts, journal paths, deadlines), so a journal
+/// written at `--threads 8` resumes cleanly at `--threads 1` and a serve
+/// cache entry built at one worker count is hit at any other.
+pub fn config_fingerprint(parts: &[&str]) -> u64 {
     let mut joined = String::new();
     for p in parts {
         joined.push_str(p);
         joined.push('\x1f'); // unit separator: unambiguous join
     }
     fnv1a64(joined.as_bytes())
+}
+
+/// Alias of [`config_fingerprint`] under the journal subsystem's
+/// historical name; existing journal call sites use this spelling.
+pub fn config_hash_of(parts: &[&str]) -> u64 {
+    config_fingerprint(parts)
 }
 
 /// Per-entry key: ties a record to both the run configuration and its
@@ -684,6 +698,34 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    /// Golden fingerprints: journals on disk and persisted cache keys
+    /// embed these values, so the joining scheme must never drift. If
+    /// this test fails, the change breaks `--resume` against every
+    /// existing journal — don't "fix" the constants.
+    #[test]
+    fn config_fingerprint_is_pinned() {
+        assert_eq!(config_fingerprint(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(config_fingerprint(&[""]), 0xaf63_d24c_8601_db8e);
+        assert_eq!(
+            config_fingerprint(&["squares", "n=4"]),
+            0xa728_a211_dbcd_9b74
+        );
+        assert_eq!(
+            config_fingerprint(&["simulate", "distr", "24"]),
+            0xc888_86c8_9f23_07e6
+        );
+        // The separator keeps fragment boundaries unambiguous: ["a","b"]
+        // must not collide with ["ab"].
+        assert_eq!(config_fingerprint(&["a", "b"]), 0xe8bc_b182_3051_3c4a);
+        assert_eq!(config_fingerprint(&["ab"]), 0xe720_0e19_0542_0ecf);
+        assert_ne!(config_fingerprint(&["a", "b"]), config_fingerprint(&["ab"]));
+        // The journal-facing alias is the same function.
+        assert_eq!(
+            config_hash_of(&["squares", "n=4"]),
+            config_fingerprint(&["squares", "n=4"])
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod config;
 mod design_space;
 mod error;
 pub mod experiments;
@@ -44,6 +45,7 @@ mod optimize;
 mod platform;
 mod regression;
 pub mod report;
+pub mod serve;
 
 pub use design_space::{CategoricalCombo, DesignPoint, DesignSpace};
 pub use error::CoreError;
@@ -51,7 +53,7 @@ pub use faults::{
     run_fault_sweep, run_fault_sweep_with, FaultLevelSummary, FaultSweepOptions, FaultSweepReport,
     FaultTrial, PolicyUnderFaults, TrialOutcome,
 };
-pub use jobs::{JobContext, Journal, JournalMode, RunBudget};
+pub use jobs::{config_fingerprint, JobContext, Journal, JournalMode, RunBudget};
 pub use lut_builder::{build_ir_lut, build_ir_lut_from_mesh, LUT_ACTIVITIES};
 pub use optimize::{
     characterize, characterize_with, ir_cost, BestSolution, Characterization, ComboModel,

@@ -107,13 +107,15 @@ impl DesignEvaluation {
     /// Full analyses of many `(state, io_activity)` cases in one batch.
     /// The mesh's matrix is factored once (at [`Platform::evaluate`]); the
     /// cases fan across [`MeshOptions::threads`] workers and come back in
-    /// input order, bit-identical for every thread count.
+    /// input order, bit-identical for every thread count. Takes `&self`
+    /// (the batch path never touches the warm-start cache), so a shared
+    /// evaluation can serve concurrent batches.
     ///
     /// # Errors
     ///
     /// Returns the first (by input index) solver failure, if any.
     pub fn run_batch(
-        &mut self,
+        &self,
         cases: &[(MemoryState, f64)],
         op: OpKind,
     ) -> Result<Vec<IrDropReport>, CoreError> {

@@ -1,0 +1,1312 @@
+//! Warm-cache analysis daemon core — the engine behind `pi3d serve`.
+//!
+//! Every one-shot `pi3d` invocation pays the full cold-start tax: config
+//! parse, mesh assembly, factorization, superposition-LUT build. This
+//! module amortizes that factor-once work across requests. It is
+//! transport-free: the CLI owns the sockets and the newline-delimited
+//! JSON framing, while everything that decides *what a request means and
+//! what it returns* lives here so it can be tested without a socket.
+//!
+//! * [`ServeState`] — the long-lived server state: a bounded,
+//!   size-accounted LRU cache ([`ServeState::cache_stats`]) of prepared
+//!   design evaluations (each holding an `Arc`-shared factored
+//!   [`pi3d_solver::PreparedSystem`]), IR-drop LUTs, and design-space
+//!   characterizations, keyed by [`config_fingerprint`] of the canonical
+//!   request configuration (thread counts excluded, like journal
+//!   hashes).
+//! * [`ServeState::handle_request`] — executes one request (`solve`,
+//!   `simulate`, `optimize`, `ping`, `stats`, `shutdown`) and returns
+//!   the response document. Responses to analysis requests are
+//!   byte-identical whether served from a cache hit or a cold build —
+//!   the same determinism bar as `--resume` — because cached meshes are
+//!   solved through the cold batch path (no warm starts) and cached
+//!   artifacts are exactly what a fresh build would produce.
+//! * [`RequestQueue`] — the bounded FIFO admission queue between the
+//!   connection readers and the worker pool.
+//! * [`exit_code_for`] / [`outcome_json`] — the PR 5 outcome contract
+//!   (`status`/`stage`/`exit_code`/`error`), applied per request instead
+//!   of once per process.
+//!
+//! Cancellation and deadlines reuse the durable-execution machinery:
+//! each request runs under a [`JobContext`] carrying the server's
+//! [`CancelToken`] plus an optional per-request deadline from
+//! [`RunBudget`](crate::RunBudget)-style wall-clock budgets; a SIGINT
+//! drains in-flight requests and the daemon exits 130.
+
+use crate::config;
+use crate::error::CoreError;
+use crate::jobs::config_fingerprint;
+use crate::optimize::{characterize_with, Characterization};
+use crate::platform::Platform;
+use crate::{build_ir_lut_from_mesh, JobContext};
+use pi3d_layout::units::MilliVolts;
+use pi3d_layout::{DieState, MemoryState, OpKind, StackDesign};
+use pi3d_memsim::{
+    IrDropLut, MemorySimulator, ReadPolicy, SimConfig, SimStats, SimulateError, TimingParams,
+    WorkloadSpec,
+};
+use pi3d_mesh::{IrAnalysis, MeshOptions};
+use pi3d_solver::SolverError;
+use pi3d_telemetry::{CancelToken, Json};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Schema marker carried by every serve response document.
+pub const SERVE_SCHEMA: &str = "pi3d.serve.v1";
+
+/// Exit code for cooperative cancellation: 128 + SIGINT, the shell
+/// convention for "killed by Ctrl-C".
+pub const EXIT_CANCELLED: u8 = 130;
+/// Exit code for an exhausted deadline or cycle budget, matching
+/// `timeout(1)`.
+pub const EXIT_DEADLINE: u8 = 124;
+
+/// Default cache budget: enough for a handful of coarse meshes plus
+/// their LUTs without letting a design sweep grow without bound.
+pub const DEFAULT_CACHE_BYTES: usize = 256 * 1024 * 1024;
+
+/// Maps an error chain to the documented exit codes by walking
+/// `source()` links for the typed interruption variants of any layer.
+/// Shared by the CLI's process exit path and the per-request outcome
+/// blocks of serve responses.
+pub fn exit_code_for(error: &(dyn std::error::Error + 'static)) -> u8 {
+    let mut current = Some(error);
+    while let Some(e) = current {
+        if let Some(core) = e.downcast_ref::<CoreError>() {
+            match core {
+                CoreError::Cancelled { .. } => return EXIT_CANCELLED,
+                CoreError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
+                _ => {}
+            }
+        }
+        if let Some(solver) = e.downcast_ref::<SolverError>() {
+            match solver {
+                SolverError::Cancelled { .. } => return EXIT_CANCELLED,
+                SolverError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
+                _ => {}
+            }
+        }
+        if let Some(sim) = e.downcast_ref::<SimulateError>() {
+            match sim {
+                SimulateError::Cancelled { .. } => return EXIT_CANCELLED,
+                SimulateError::CycleBudgetExceeded { .. } => return EXIT_DEADLINE,
+                _ => {}
+            }
+        }
+        current = e.source();
+    }
+    1
+}
+
+/// The outcome `status` string for an exit code, matching the run
+/// report's vocabulary.
+pub fn status_label(exit_code: u8) -> &'static str {
+    match exit_code {
+        0 => "ok",
+        EXIT_CANCELLED => "cancelled",
+        EXIT_DEADLINE => "deadline",
+        _ => "error",
+    }
+}
+
+/// Builds the standard `outcome{status,stage,exit_code,error}` block
+/// (PR 5 run-report semantics) carried by every serve response.
+pub fn outcome_json(stage: &str, exit_code: u8, error: &str) -> Json {
+    Json::obj([
+        ("status", Json::str(status_label(exit_code))),
+        ("stage", Json::str(stage)),
+        ("exit_code", Json::num(f64::from(exit_code))),
+        ("error", Json::str(error)),
+    ])
+}
+
+/// Builds a protocol-error response for failures that happen outside a
+/// [`ServeState`] — admission-queue rejection, malformed frame — in the
+/// same envelope as every other response, echoing the request's `id` and
+/// `cmd` when a request document is available.
+pub fn error_response(request: Option<&Json>, stage: &str, message: &str) -> Json {
+    let id = request
+        .and_then(|r| r.get("id"))
+        .cloned()
+        .unwrap_or(Json::Null);
+    let cmd = request
+        .and_then(|r| r.get("cmd"))
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    Json::obj([
+        ("schema", Json::str(SERVE_SCHEMA)),
+        ("id", id),
+        ("cmd", Json::str(cmd)),
+        ("outcome", outcome_json(stage, 1, message)),
+        ("result", Json::Null),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// JSON codecs shared by the serve protocol and the journal payloads.
+// ---------------------------------------------------------------------------
+
+/// Finite floats travel as JSON numbers; non-finite ones (an
+/// `avg_queue_depth` of NaN from a zero-cycle run) as strings, which
+/// `str::parse::<f64>` round-trips exactly.
+pub fn f64_to_json(v: f64) -> Json {
+    if v.is_finite() {
+        Json::num(v)
+    } else {
+        Json::str(format!("{v}"))
+    }
+}
+
+/// Inverse of [`f64_to_json`].
+pub fn f64_from_json(j: &Json) -> Option<f64> {
+    match j.as_num() {
+        Some(v) => Some(v),
+        None => j.as_str()?.parse().ok(),
+    }
+}
+
+/// u64 counters can exceed f64's exact-integer range; decimal strings
+/// are lossless.
+pub fn u64_to_json(v: u64) -> Json {
+    Json::str(v.to_string())
+}
+
+/// Inverse of [`u64_to_json`].
+pub fn u64_from_json(j: &Json) -> Option<u64> {
+    j.as_str()?.parse().ok()
+}
+
+/// Serializes one policy's simulation statistics — the payload format
+/// shared by `simulate` journals and serve `simulate` responses.
+pub fn sim_stats_to_json(policy: &ReadPolicy, stats: &SimStats) -> Json {
+    Json::obj([
+        ("policy", Json::str(policy.name())),
+        ("cycles", u64_to_json(stats.cycles)),
+        ("runtime_us", f64_to_json(stats.runtime_us)),
+        ("completed", u64_to_json(stats.completed)),
+        (
+            "bandwidth_reads_per_clk",
+            f64_to_json(stats.bandwidth_reads_per_clk),
+        ),
+        ("max_ir_mv", f64_to_json(stats.max_ir.value())),
+        ("refreshes", u64_to_json(stats.refreshes)),
+        ("activates", u64_to_json(stats.activates)),
+        ("precharges", u64_to_json(stats.precharges)),
+        ("row_hits", u64_to_json(stats.row_hits)),
+        ("avg_latency_cycles", f64_to_json(stats.avg_latency_cycles)),
+        ("avg_queue_depth", f64_to_json(stats.avg_queue_depth)),
+        ("stall_cycles", u64_to_json(stats.stall_cycles)),
+    ])
+}
+
+/// Rebuilds simulation statistics from [`sim_stats_to_json`] output,
+/// rejecting payloads whose policy label does not match.
+pub fn sim_stats_from_json(policy: &ReadPolicy, payload: &Json) -> Option<SimStats> {
+    if payload.get("policy")?.as_str()? != policy.name() {
+        return None;
+    }
+    Some(SimStats {
+        cycles: u64_from_json(payload.get("cycles")?)?,
+        runtime_us: f64_from_json(payload.get("runtime_us")?)?,
+        completed: u64_from_json(payload.get("completed")?)?,
+        bandwidth_reads_per_clk: f64_from_json(payload.get("bandwidth_reads_per_clk")?)?,
+        max_ir: MilliVolts(f64_from_json(payload.get("max_ir_mv")?)?),
+        refreshes: u64_from_json(payload.get("refreshes")?)?,
+        activates: u64_from_json(payload.get("activates")?)?,
+        precharges: u64_from_json(payload.get("precharges")?)?,
+        row_hits: u64_from_json(payload.get("row_hits")?)?,
+        avg_latency_cycles: f64_from_json(payload.get("avg_latency_cycles")?)?,
+        avg_queue_depth: f64_from_json(payload.get("avg_queue_depth")?)?,
+        stall_cycles: u64_from_json(payload.get("stall_cycles")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Bounded FIFO admission queue.
+// ---------------------------------------------------------------------------
+
+/// A bounded FIFO queue between connection readers and the worker pool.
+///
+/// Admission is non-blocking: [`push`](Self::push) rejects immediately
+/// when the queue is full (the reader turns that into an error response)
+/// instead of back-pressuring the socket, so one slow worker pool cannot
+/// wedge every connection. Workers block in [`pop`](Self::pop) until an
+/// item arrives or the queue is closed and drained.
+#[derive(Debug)]
+pub struct RequestQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    cv: Condvar,
+    limit: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> RequestQueue<T> {
+    /// Creates a queue admitting at most `limit` waiting items.
+    pub fn new(limit: usize) -> RequestQueue<T> {
+        RequestQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    /// Enqueues an item, returning it back via `Err` when the queue is
+    /// full or already closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= self.limit {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::gauge("serve.queue.depth").set(inner.items.len() as f64);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed and drained — the
+    /// worker-pool shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                #[cfg(feature = "telemetry")]
+                pi3d_telemetry::metrics::gauge("serve.queue.depth").set(inner.items.len() as f64);
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.cv.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Closes the queue: further pushes are rejected, blocked workers
+    /// drain the remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner<T>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Size-accounted LRU cache with single-flight builds.
+// ---------------------------------------------------------------------------
+
+/// One cached artifact. Prepared design evaluations carry the factored
+/// system (`Arc`-shared across worker threads); LUTs and
+/// characterizations are the derived artifacts the `simulate` and
+/// `optimize` handlers reuse.
+#[derive(Clone)]
+enum CacheValue {
+    Design(Arc<DesignEntry>),
+    Lut(Arc<IrDropLut>),
+    Characterization(Arc<Characterization>),
+}
+
+/// A design parsed, meshed, and factored once; solved immutably (cold
+/// batch path, no warm starts) by every request that hits it, so cached
+/// and fresh solves are bit-identical.
+struct DesignEntry {
+    design: StackDesign,
+    analysis: IrAnalysis,
+}
+
+struct CacheEntry {
+    key: u64,
+    bytes: usize,
+    value: CacheValue,
+}
+
+struct CacheState {
+    /// LRU order: least recently used first, most recent last.
+    entries: Vec<CacheEntry>,
+    bytes: usize,
+    /// Keys currently being built by some worker (single-flight: other
+    /// workers wanting the same key wait instead of duplicating the
+    /// factorization).
+    building: Vec<u64>,
+}
+
+/// Aggregate cache statistics, also mirrored to the
+/// `serve.cache.{hits,misses,evictions,bytes}` telemetry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a cached artifact.
+    pub hits: u64,
+    /// Requests that had to build their artifact.
+    pub misses: u64,
+    /// Artifacts evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Estimated bytes currently held.
+    pub bytes: usize,
+    /// Artifacts currently held.
+    pub entries: usize,
+}
+
+struct ServeCache {
+    budget: usize,
+    state: Mutex<CacheState>,
+    cv: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ServeCache {
+    fn new(budget: usize) -> ServeCache {
+        ServeCache {
+            budget: budget.max(1),
+            state: Mutex::new(CacheState {
+                entries: Vec::new(),
+                bytes: 0,
+                building: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns the cached value for `key`, building it at most once
+    /// across concurrent callers. On a miss the build runs outside the
+    /// cache lock; concurrent requests for the same key block until the
+    /// builder finishes (or fails — failures are not cached) rather than
+    /// refactoring the same matrix N times.
+    fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<(CacheValue, usize), Fail>,
+    ) -> Result<CacheValue, Fail> {
+        let mut state = self.lock();
+        loop {
+            if let Some(pos) = state.entries.iter().position(|e| e.key == key) {
+                let entry = state.entries.remove(pos);
+                let value = entry.value.clone();
+                state.entries.push(entry); // most recently used
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                pi3d_telemetry::metrics::counter("serve.cache.hits").incr(1);
+                return Ok(value);
+            }
+            if state.building.contains(&key) {
+                state = match self.cv.wait(state) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                continue;
+            }
+            state.building.push(key);
+            break;
+        }
+        drop(state);
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::counter("serve.cache.misses").incr(1);
+        let built = {
+            #[cfg(feature = "telemetry")]
+            let _slice = pi3d_telemetry::trace::span_with("serve", || "serve:cache_build".into());
+            build()
+        };
+
+        let mut state = self.lock();
+        state.building.retain(|&k| k != key);
+        let result = match built {
+            Ok((value, bytes)) => {
+                state.entries.push(CacheEntry {
+                    key,
+                    bytes,
+                    value: value.clone(),
+                });
+                state.bytes += bytes;
+                // Evict least-recently-used entries until the budget
+                // holds; the entry just built always survives, so a
+                // single artifact larger than the whole budget still
+                // serves (and is dropped as soon as something else
+                // lands).
+                while state.bytes > self.budget && state.entries.len() > 1 {
+                    let evicted = state.entries.remove(0);
+                    state.bytes -= evicted.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(feature = "telemetry")]
+                    pi3d_telemetry::metrics::counter("serve.cache.evictions").incr(1);
+                }
+                #[cfg(feature = "telemetry")]
+                pi3d_telemetry::metrics::gauge("serve.cache.bytes").set(state.bytes as f64);
+                Ok(value)
+            }
+            Err(e) => Err(e),
+        };
+        drop(state);
+        self.cv.notify_all();
+        result
+    }
+
+    fn stats(&self) -> CacheStats {
+        let state = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: state.bytes,
+            entries: state.entries.len(),
+        }
+    }
+}
+
+/// Estimated resident bytes of a prepared design: CSR matrix (values,
+/// column indices, row pointers) plus the factored preconditioner of
+/// comparable sparsity plus per-node working vectors. A deliberate
+/// overestimate — eviction should fire early, not late.
+fn design_entry_bytes(entry: &DesignEntry) -> usize {
+    let mesh = entry.analysis.mesh();
+    mesh.matrix().nnz() * 40 + mesh.node_count() * 64 + 4096
+}
+
+/// Estimated bytes of an IR LUT: per state, one key vector and one
+/// drop value per die plus map overhead.
+fn lut_bytes(lut: &IrDropLut) -> usize {
+    lut.state_count() * (lut.dies() * 8 + 48) + 1024
+}
+
+/// Characterizations are a few dozen fitted combos of a handful of
+/// coefficients each — effectively constant.
+const CHARACTERIZATION_BYTES: usize = 16 * 1024;
+
+// ---------------------------------------------------------------------------
+// Request execution.
+// ---------------------------------------------------------------------------
+
+/// A typed per-request failure: the stage that failed plus the exit
+/// code its error chain maps to. Rendered into the response's `outcome`
+/// block.
+#[derive(Debug, Clone)]
+struct Fail {
+    stage: String,
+    error: String,
+    exit_code: u8,
+}
+
+impl Fail {
+    fn of(stage: &str, error: &(dyn std::error::Error + 'static)) -> Fail {
+        Fail {
+            stage: stage.to_owned(),
+            error: error.to_string(),
+            exit_code: exit_code_for(error),
+        }
+    }
+
+    fn bad_request(stage: &str, message: impl Into<String>) -> Fail {
+        Fail {
+            stage: stage.to_owned(),
+            error: message.into(),
+            exit_code: 1,
+        }
+    }
+}
+
+/// Configuration of a [`ServeState`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Default mesh options for requests (grid, preconditioner, threads
+    /// for intra-request batch fan-out). Requests may override `grid`
+    /// and `precond`; thread count never enters cache keys.
+    pub mesh: MeshOptions,
+    /// Cache byte budget (estimated sizes; see `serve.cache.bytes`).
+    pub cache_bytes: usize,
+    /// Default per-request wall-clock deadline; a request's own
+    /// `deadline` field overrides it.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation shared with the daemon's signal
+    /// handling: in-flight requests observe it via their [`JobContext`].
+    pub cancel: CancelToken,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            mesh: MeshOptions::default(),
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            deadline: None,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// Long-lived server state: options, the warm cache, and lifecycle
+/// flags. Shared across the worker pool behind an `Arc`; all methods
+/// take `&self`.
+pub struct ServeState {
+    options: ServeOptions,
+    cache: ServeCache,
+    served: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl std::fmt::Debug for ServeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeState")
+            .field("options", &self.options)
+            .field("served", &self.served.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeState {
+    /// Creates the server state.
+    pub fn new(options: ServeOptions) -> ServeState {
+        let cache = ServeCache::new(options.cache_bytes);
+        ServeState {
+            options,
+            cache,
+            served: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    /// The options the server was created with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Requests served so far (including failed ones).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Whether a `shutdown` request has been accepted.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Current cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Executes one request and returns the response document:
+    ///
+    /// ```json
+    /// {"schema":"pi3d.serve.v1","id":...,"cmd":"solve",
+    ///  "outcome":{"status":"ok","stage":"solve","exit_code":0,"error":""},
+    ///  "result":{...}}
+    /// ```
+    ///
+    /// Never panics and never refuses: malformed requests come back with
+    /// an error outcome. The `id` field is echoed verbatim so clients
+    /// can pipeline requests over one connection.
+    pub fn handle_request(&self, request: &Json) -> Json {
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let cmd = request
+            .get("cmd")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned();
+        #[cfg(feature = "telemetry")]
+        let _slice = pi3d_telemetry::trace::span_with("serve", || "serve:request".into());
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::counter("serve.requests").incr(1);
+
+        let (stage, outcome) = match cmd.as_str() {
+            "ping" => ("ping", Ok(Json::obj([("pong", Json::Bool(true))]))),
+            "stats" => ("stats", Ok(self.stats_result())),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (
+                    "shutdown",
+                    Ok(Json::obj([("shutting_down", Json::Bool(true))])),
+                )
+            }
+            "solve" => ("solve", self.solve(request)),
+            "simulate" => ("simulate", self.simulate(request)),
+            "optimize" => ("optimize", self.optimize(request)),
+            "" => (
+                "request",
+                Err(Fail::bad_request(
+                    "request",
+                    "request needs a \"cmd\" string",
+                )),
+            ),
+            other => (
+                "request",
+                Err(Fail::bad_request(
+                    "request",
+                    format!(
+                        "unknown cmd {other:?} (use solve, simulate, optimize, ping, stats, \
+                         shutdown)"
+                    ),
+                )),
+            ),
+        };
+        self.served.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(result) => Json::obj([
+                ("schema", Json::str(SERVE_SCHEMA)),
+                ("id", id),
+                ("cmd", Json::str(&cmd)),
+                ("outcome", outcome_json(stage, 0, "")),
+                ("result", result),
+            ]),
+            Err(fail) => Json::obj([
+                ("schema", Json::str(SERVE_SCHEMA)),
+                ("id", id),
+                ("cmd", Json::str(&cmd)),
+                (
+                    "outcome",
+                    outcome_json(&fail.stage, fail.exit_code, &fail.error),
+                ),
+                ("result", Json::Null),
+            ]),
+        }
+    }
+
+    // -- request plumbing ---------------------------------------------------
+
+    /// Builds the per-request durable-execution context: the server's
+    /// cancel token plus the request's (or server default) deadline.
+    fn request_ctx(&self, request: &Json) -> Result<JobContext, Fail> {
+        let mut ctx = JobContext::new().with_cancel(self.options.cancel.clone());
+        let deadline = match request.get("deadline") {
+            Some(j) => {
+                let secs = f64_from_json(j).ok_or_else(|| {
+                    Fail::bad_request("request", "\"deadline\" must be a number of seconds")
+                })?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(Fail::bad_request(
+                        "request",
+                        "\"deadline\" must be a positive number of seconds",
+                    ));
+                }
+                Some(Duration::from_secs_f64(secs))
+            }
+            None => self.options.deadline,
+        };
+        if let Some(d) = deadline {
+            ctx = ctx.with_deadline(Instant::now() + d);
+        }
+        Ok(ctx)
+    }
+
+    /// Deadline/cancellation check between stages: the coarse-grained
+    /// complement of the cooperative polls inside CG and the memory
+    /// simulator.
+    fn check_budget(&self, ctx: &JobContext, stage: &str) -> Result<(), Fail> {
+        if ctx.is_cancelled() {
+            return Err(Fail::of(
+                stage,
+                &CoreError::Cancelled {
+                    completed: 0,
+                    total: 1,
+                },
+            ));
+        }
+        if ctx.deadline_exceeded() {
+            return Err(Fail::of(
+                stage,
+                &CoreError::DeadlineExceeded {
+                    completed: 0,
+                    total: 1,
+                },
+            ));
+        }
+        Ok(())
+    }
+
+    /// Mesh options for a request: the server defaults, seeded by the
+    /// config's `precond` key, overridden by the request's `grid` /
+    /// `precond` fields — the same precedence as the CLI flags.
+    fn request_mesh(
+        &self,
+        request: &Json,
+        base: MeshOptions,
+        config_precond: Option<pi3d_solver::Preconditioner>,
+    ) -> Result<MeshOptions, Fail> {
+        let mut options = base;
+        if let Some(p) = config_precond {
+            options.preconditioner = p;
+        }
+        if let Some(j) = request.get("precond") {
+            let name = j
+                .as_str()
+                .ok_or_else(|| Fail::bad_request("request", "\"precond\" must be a string"))?;
+            options.preconditioner = config::parse_precond(name)
+                .map_err(|e| Fail::bad_request("request", e.to_string()))?;
+        }
+        if let Some(j) = request.get("grid") {
+            let n = f64_from_json(j)
+                .filter(|v| v.fract() == 0.0 && (4.0..=128.0).contains(v))
+                .ok_or_else(|| {
+                    Fail::bad_request("request", "\"grid\" must be an integer between 4 and 128")
+                })? as usize;
+            options.dram_nx = n;
+            options.dram_ny = n;
+            options.logic_nx = n + 2;
+            options.logic_ny = n;
+        }
+        Ok(options)
+    }
+
+    /// The canonical cache-key fragment for mesh options: thread count
+    /// normalized away (results are bit-identical across worker counts,
+    /// so a cache entry built at one `--threads` must hit at another).
+    fn mesh_key_part(options: &MeshOptions) -> String {
+        let normalized = MeshOptions {
+            threads: 1,
+            ..options.clone()
+        };
+        format!("{normalized:?}")
+    }
+
+    /// Parses the request's inline design config and returns the cached
+    /// (or freshly built) prepared evaluation for it, plus its cache
+    /// key for derived artifacts.
+    fn design_entry(&self, request: &Json) -> Result<(Arc<DesignEntry>, u64), Fail> {
+        let text = request
+            .get("config")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                Fail::bad_request(
+                    "parse",
+                    "request needs a \"config\" string (inline design-configuration text)",
+                )
+            })?
+            .to_owned();
+        let (design, faults, config_precond) =
+            config::parse_design_full(&text).map_err(|e| Fail::of("parse", &e))?;
+        let mut options = self.request_mesh(request, self.options.mesh.clone(), config_precond)?;
+        options.faults = faults;
+        let key = config_fingerprint(&["serve.design", &text, &Self::mesh_key_part(&options)]);
+        let value = self.cache.get_or_build(key, || {
+            let analysis =
+                IrAnalysis::new(&design, options.clone()).map_err(|e| Fail::of("mesh", &e))?;
+            let entry = Arc::new(DesignEntry { design, analysis });
+            let bytes = design_entry_bytes(&entry);
+            Ok((CacheValue::Design(entry), bytes))
+        })?;
+        match value {
+            CacheValue::Design(entry) => Ok((entry, key)),
+            _ => Err(Fail::bad_request("cache", "cache kind mismatch")),
+        }
+    }
+
+    /// The cached (or freshly built) superposition LUT for a design.
+    fn lut_for(
+        &self,
+        entry: &Arc<DesignEntry>,
+        design_key: u64,
+        max_banks: usize,
+    ) -> Result<Arc<IrDropLut>, Fail> {
+        let key = config_fingerprint(&[
+            "serve.lut",
+            &format!("{design_key:016x}"),
+            &max_banks.to_string(),
+        ]);
+        let entry = Arc::clone(entry);
+        let value = self.cache.get_or_build(key, move || {
+            let lut = build_ir_lut_from_mesh(entry.analysis.mesh(), max_banks)
+                .map_err(|e| Fail::of("lut", &e))?;
+            let bytes = lut_bytes(&lut);
+            Ok((CacheValue::Lut(Arc::new(lut)), bytes))
+        })?;
+        match value {
+            CacheValue::Lut(lut) => Ok(lut),
+            _ => Err(Fail::bad_request("cache", "cache kind mismatch")),
+        }
+    }
+
+    // -- handlers -----------------------------------------------------------
+
+    /// `solve`: one IR-drop analysis of a memory state against the
+    /// cached factored mesh. Solved through the cold batch path so the
+    /// result bytes cannot depend on what was solved before.
+    fn solve(&self, request: &Json) -> Result<Json, Fail> {
+        let ctx = self.request_ctx(request)?;
+        self.check_budget(&ctx, "solve")?;
+        let (entry, _key) = self.design_entry(request)?;
+        self.check_budget(&ctx, "solve")?;
+
+        let state: MemoryState = match request.get("state") {
+            Some(j) => j
+                .as_str()
+                .ok_or_else(|| Fail::bad_request("parse", "\"state\" must be a string"))?
+                .parse()
+                .map_err(|e: pi3d_layout::ParseMemoryStateError| Fail::of("parse", &e))?,
+            None => {
+                let dies = entry.design.dram_die_count();
+                MemoryState::idle(dies).with_die(dies - 1, DieState::active(2))
+            }
+        };
+        let activity = match request.get("activity") {
+            Some(j) => f64_from_json(j)
+                .filter(|v| (0.0..=1.0).contains(v))
+                .ok_or_else(|| {
+                    Fail::bad_request("parse", "\"activity\" must be a number in [0, 1]")
+                })?,
+            None => 1.0,
+        };
+
+        let reports = entry
+            .analysis
+            .run_batch(&[(state.clone(), activity)], OpKind::Read)
+            .map_err(|e| Fail::of("solve", &e))?;
+        let report = &reports[0];
+        let per_die: Vec<Json> = (0..entry.design.dram_die_count())
+            .map(|die| f64_to_json(report.max_die(die).value()))
+            .collect();
+        Ok(Json::obj([
+            ("benchmark", Json::str(entry.design.benchmark().to_string())),
+            ("state", Json::str(state.to_string())),
+            ("activity", f64_to_json(activity)),
+            ("max_dram_mv", f64_to_json(report.max_dram().value())),
+            ("max_logic_mv", f64_to_json(report.max_logic().value())),
+            ("per_die_mv", Json::Arr(per_die)),
+            ("cost", f64_to_json(entry.design.cost().total)),
+        ]))
+    }
+
+    /// `simulate`: a memory-controller simulation against the cached
+    /// design LUT. One policy per request — clients wanting `--policy
+    /// all` semantics pipeline three requests and let the worker pool
+    /// fan them out.
+    fn simulate(&self, request: &Json) -> Result<Json, Fail> {
+        let ctx = self.request_ctx(request)?;
+        self.check_budget(&ctx, "simulate")?;
+        let (entry, design_key) = self.design_entry(request)?;
+
+        let constraint = MilliVolts(match request.get("constraint") {
+            Some(j) => f64_from_json(j)
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| {
+                    Fail::bad_request("parse", "\"constraint\" must be a positive number (mV)")
+                })?,
+            None => 24.0,
+        });
+        let policy = match request
+            .get("policy")
+            .and_then(Json::as_str)
+            .unwrap_or("distr")
+        {
+            "standard" => ReadPolicy::standard(),
+            "fcfs" => ReadPolicy::ir_aware_fcfs(constraint),
+            "distr" => ReadPolicy::ir_aware_distr(constraint),
+            other => {
+                return Err(Fail::bad_request(
+                    "parse",
+                    format!("unknown policy {other:?} (use standard, fcfs, or distr)"),
+                ))
+            }
+        };
+        let reads = match request.get("reads") {
+            Some(j) => f64_from_json(j)
+                .filter(|v| v.fract() == 0.0 && (1.0..=10_000_000.0).contains(v))
+                .ok_or_else(|| {
+                    Fail::bad_request("parse", "\"reads\" must be an integer in [1, 10000000]")
+                })? as usize,
+            None => 10_000,
+        };
+
+        let sim_cfg_base = SimConfig::paper_ddr3();
+        let lut = self.lut_for(&entry, design_key, sim_cfg_base.max_powered_per_die)?;
+        self.check_budget(&ctx, "simulate")?;
+
+        let spec = entry.design.benchmark().spec();
+        let timing = match entry.design.benchmark() {
+            pi3d_layout::Benchmark::WideIo => TimingParams::wide_io_200(),
+            pi3d_layout::Benchmark::Hmc => TimingParams::hmc_2500(),
+            _ => TimingParams::ddr3_1600(),
+        };
+        let mut workload = WorkloadSpec::paper_ddr3();
+        workload.count = reads;
+        workload.dies = entry.design.dram_die_count();
+        workload.banks_per_die = entry.design.banks_per_die();
+        workload.channels = spec.channels;
+        let requests = workload.generate();
+        let mut sim_config = sim_cfg_base;
+        sim_config.dies = entry.design.dram_die_count();
+        sim_config.banks_per_die = entry.design.banks_per_die();
+        sim_config.channels = spec.channels;
+        if let Some(j) = request.get("max_cycles") {
+            sim_config.max_cycles = u64_from_json(j)
+                .or_else(|| {
+                    f64_from_json(j)
+                        .filter(|v| v.fract() == 0.0 && *v > 0.0)
+                        .map(|v| v as u64)
+                })
+                .ok_or_else(|| Fail::bad_request("parse", "\"max_cycles\" must be an integer"))?;
+        }
+
+        let sim = MemorySimulator::new(timing, sim_config, policy, (*lut).clone())
+            .with_cancel(self.options.cancel.clone());
+        let stats = sim.run(&requests).map_err(|e| Fail::of("simulate", &e))?;
+        Ok(sim_stats_to_json(&policy, &stats))
+    }
+
+    /// `optimize`: the Section 6 co-optimization at a given alpha,
+    /// reusing the cached design-space characterization (the expensive
+    /// part — the per-alpha optimum and its verification solve run
+    /// fresh).
+    fn optimize(&self, request: &Json) -> Result<Json, Fail> {
+        let ctx = self.request_ctx(request)?;
+        self.check_budget(&ctx, "optimize")?;
+        let benchmark =
+            config::parse_benchmark(request.get("benchmark").and_then(Json::as_str).ok_or_else(
+                || Fail::bad_request("parse", "optimize needs a \"benchmark\" string"),
+            )?)
+            .map_err(|e| Fail::of("parse", &e))?;
+        let alpha = match request.get("alpha") {
+            Some(j) => f64_from_json(j)
+                .filter(|v| (0.0..=1.0).contains(v))
+                .ok_or_else(|| Fail::bad_request("parse", "\"alpha\" must be in [0, 1]"))?,
+            None => 0.3,
+        };
+        // The CLI's optimize sweeps at the coarse mesh; the daemon
+        // matches that default (its own default mesh may be finer).
+        let base = MeshOptions {
+            threads: self.options.mesh.threads,
+            ..MeshOptions::coarse()
+        };
+        let options = self.request_mesh(request, base, None)?;
+        let platform = Platform::new(options.clone());
+
+        let key = config_fingerprint(&[
+            "serve.characterize",
+            &benchmark.to_string(),
+            &Self::mesh_key_part(&options),
+        ]);
+        let threads = options.threads;
+        let value = self.cache.get_or_build(key, || {
+            let characterization = characterize_with(&platform, benchmark, threads, &ctx)
+                .map_err(|e| Fail::of("characterize", &e))?;
+            Ok((
+                CacheValue::Characterization(Arc::new(characterization)),
+                CHARACTERIZATION_BYTES,
+            ))
+        })?;
+        let characterization = match value {
+            CacheValue::Characterization(c) => c,
+            _ => return Err(Fail::bad_request("cache", "cache kind mismatch")),
+        };
+        let ctx = self.request_ctx(request)?;
+        self.check_budget(&ctx, "optimize")?;
+
+        let best = characterization
+            .optimize(alpha, &platform)
+            .map_err(|e| Fail::of("optimize", &e))?;
+        Ok(Json::obj([
+            ("benchmark", Json::str(benchmark.to_string())),
+            ("alpha", f64_to_json(alpha)),
+            ("m2", f64_to_json(best.point.m2)),
+            ("m3", f64_to_json(best.point.m3)),
+            ("tc", f64_to_json(best.point.tc as f64)),
+            ("combo", Json::str(best.point.combo.label())),
+            ("predicted_ir_mv", f64_to_json(best.predicted_ir_mv)),
+            ("measured_ir_mv", f64_to_json(best.measured_ir_mv)),
+            ("cost", f64_to_json(best.cost)),
+            ("objective", f64_to_json(best.objective)),
+        ]))
+    }
+
+    fn stats_result(&self) -> Json {
+        let cache = self.cache.stats();
+        Json::obj([
+            (
+                "uptime_s",
+                f64_to_json(self.started.elapsed().as_secs_f64()),
+            ),
+            ("served", u64_to_json(self.served.load(Ordering::Relaxed))),
+            (
+                "cache",
+                Json::obj([
+                    ("entries", Json::num(cache.entries as f64)),
+                    ("bytes", Json::num(cache.bytes as f64)),
+                    ("hits", u64_to_json(cache.hits)),
+                    ("misses", u64_to_json(cache.misses)),
+                    ("evictions", u64_to_json(cache.evictions)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    const QUICK_CFG: &str = "benchmark = ddr3-off\n";
+
+    fn quick_state(cache_bytes: usize) -> ServeState {
+        let mut mesh = MeshOptions::coarse();
+        mesh.dram_nx = 8;
+        mesh.dram_ny = 8;
+        mesh.logic_nx = 10;
+        mesh.logic_ny = 8;
+        ServeState::new(ServeOptions {
+            mesh,
+            cache_bytes,
+            ..ServeOptions::default()
+        })
+    }
+
+    fn solve_request(cfg: &str) -> Json {
+        Json::obj([
+            ("cmd", Json::str("solve")),
+            ("id", Json::num(1.0)),
+            ("config", Json::str(cfg)),
+        ])
+    }
+
+    #[test]
+    fn ping_round_trips() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        let response = state.handle_request(&Json::obj([("cmd", Json::str("ping"))]));
+        assert_eq!(response.get("schema").unwrap().as_str(), Some(SERVE_SCHEMA));
+        assert_eq!(
+            response
+                .get("outcome")
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str(),
+            Some("ok")
+        );
+        assert_eq!(
+            response.get("result").unwrap().get("pong"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn unknown_cmd_reports_error_outcome() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        let response = state.handle_request(&Json::obj([("cmd", Json::str("frobnicate"))]));
+        let outcome = response.get("outcome").unwrap();
+        assert_eq!(outcome.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(outcome.get("exit_code").unwrap().as_num(), Some(1.0));
+        assert!(outcome
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_config_maps_to_parse_stage() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        let response = state.handle_request(&solve_request("benchmark = dram9000\n"));
+        let outcome = response.get("outcome").unwrap();
+        assert_eq!(outcome.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(outcome.get("stage").unwrap().as_str(), Some("parse"));
+        assert_eq!(
+            state.cache_stats().misses,
+            0,
+            "bad configs never reach the cache"
+        );
+    }
+
+    #[test]
+    fn cold_and_warm_solves_are_byte_identical() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        let cold = state
+            .handle_request(&solve_request(QUICK_CFG))
+            .to_compact_string();
+        let warm = state
+            .handle_request(&solve_request(QUICK_CFG))
+            .to_compact_string();
+        assert_eq!(cold, warm);
+        let stats = state.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!(cold.contains("\"max_dram_mv\""), "{cold}");
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_exit_124() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        let mut request = solve_request(QUICK_CFG);
+        if let Json::Obj(pairs) = &mut request {
+            pairs.push(("deadline".into(), Json::num(1e-9)));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        let response = state.handle_request(&request);
+        let outcome = response.get("outcome").unwrap();
+        assert_eq!(outcome.get("status").unwrap().as_str(), Some("deadline"));
+        assert_eq!(outcome.get("exit_code").unwrap().as_num(), Some(124.0));
+    }
+
+    #[test]
+    fn cancelled_server_maps_to_exit_130() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        state.options().cancel.cancel();
+        let response = state.handle_request(&solve_request(QUICK_CFG));
+        let outcome = response.get("outcome").unwrap();
+        assert_eq!(outcome.get("status").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(outcome.get("exit_code").unwrap().as_num(), Some(130.0));
+    }
+
+    #[test]
+    fn tiny_budget_evicts_oldest_and_rebuilds() {
+        // A 1-byte budget holds exactly one artifact: alternating two
+        // designs must evict on every other request yet keep answers
+        // identical to a roomy cache.
+        let tiny = quick_state(1);
+        let roomy = quick_state(DEFAULT_CACHE_BYTES);
+        let cfg_a = "benchmark = ddr3-off\n";
+        let cfg_b = "benchmark = ddr3-off\ntsv_count = 60\n";
+        let mut tiny_responses = Vec::new();
+        let mut roomy_responses = Vec::new();
+        for cfg in [cfg_a, cfg_b, cfg_a, cfg_b] {
+            tiny_responses.push(tiny.handle_request(&solve_request(cfg)).to_compact_string());
+            roomy_responses.push(
+                roomy
+                    .handle_request(&solve_request(cfg))
+                    .to_compact_string(),
+            );
+        }
+        assert_eq!(tiny_responses, roomy_responses);
+        let stats = tiny.cache_stats();
+        assert_eq!(stats.entries, 1, "budget holds one entry");
+        assert_eq!(stats.misses, 4, "every alternation rebuilds");
+        assert_eq!(stats.evictions, 3);
+        assert_eq!(
+            roomy.cache_stats().misses,
+            2,
+            "roomy cache builds each design once"
+        );
+        assert_eq!(roomy.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn queue_is_fifo_bounded_and_closable() {
+        let queue: RequestQueue<u32> = RequestQueue::new(2);
+        assert!(queue.push(1).is_ok());
+        assert!(queue.push(2).is_ok());
+        assert_eq!(
+            queue.push(3),
+            Err(3),
+            "admission beyond the bound is rejected"
+        );
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        queue.close();
+        assert_eq!(queue.push(4), Err(4), "closed queue rejects new work");
+        assert_eq!(queue.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn queue_drains_remaining_items_after_close() {
+        let queue: RequestQueue<u32> = RequestQueue::new(8);
+        queue.push(7).unwrap();
+        queue.close();
+        assert_eq!(
+            queue.pop(),
+            Some(7),
+            "in-flight work drains before shutdown"
+        );
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let queue: Arc<RequestQueue<u32>> = Arc::new(RequestQueue::new(8));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn shutdown_request_sets_the_flag() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        assert!(!state.shutdown_requested());
+        let response = state.handle_request(&Json::obj([("cmd", Json::str("shutdown"))]));
+        assert_eq!(
+            response
+                .get("outcome")
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str(),
+            Some("ok")
+        );
+        assert!(state.shutdown_requested());
+    }
+
+    #[test]
+    fn stats_reports_cache_counters() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        state.handle_request(&solve_request(QUICK_CFG));
+        state.handle_request(&solve_request(QUICK_CFG));
+        let response = state.handle_request(&Json::obj([("cmd", Json::str("stats"))]));
+        let cache = response.get("result").unwrap().get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_str(), Some("1"));
+        assert_eq!(cache.get("misses").unwrap().as_str(), Some("1"));
+        assert_eq!(cache.get("entries").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn exit_codes_walk_error_chains() {
+        assert_eq!(
+            exit_code_for(&CoreError::Cancelled {
+                completed: 1,
+                total: 2
+            }),
+            EXIT_CANCELLED
+        );
+        assert_eq!(
+            exit_code_for(&CoreError::DeadlineExceeded {
+                completed: 1,
+                total: 2
+            }),
+            EXIT_DEADLINE
+        );
+        assert_eq!(exit_code_for(&std::io::Error::other("disk on fire")), 1);
+        assert_eq!(status_label(EXIT_CANCELLED), "cancelled");
+        assert_eq!(status_label(EXIT_DEADLINE), "deadline");
+        assert_eq!(status_label(0), "ok");
+        assert_eq!(status_label(1), "error");
+    }
+}

@@ -188,11 +188,16 @@ impl IrAnalysis {
     /// for the threading and determinism contract. Reports come back in
     /// input order.
     ///
+    /// Takes `&self`: the batch path runs cold (no warm-start cache), so
+    /// a shared analysis — e.g. one held in the serve daemon's cache and
+    /// hit from many worker threads — yields bit-identical reports
+    /// regardless of what was solved before or concurrently.
+    ///
     /// # Errors
     ///
     /// Returns the first (by input index) solver failure, if any.
     pub fn run_batch(
-        &mut self,
+        &self,
         cases: &[(MemoryState, f64)],
         op: pi3d_layout::OpKind,
     ) -> Result<Vec<IrDropReport>, SolverError> {

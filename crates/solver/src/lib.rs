@@ -68,7 +68,10 @@ pub use error::SolverError;
 pub use multigrid::Multigrid;
 pub use parallel::parallel_map;
 pub use precond::{AppliedPreconditioner, IncompleteCholesky, JacobiScaling, Preconditioner};
-pub use prepared::{calibrated_spmv_min_dim, PreparedSystem};
+pub use prepared::{
+    calibrated_spmv_min_dim, load_spmv_calibration, prime_spmv_calibration, recalibrate_spmv,
+    store_spmv_calibration, PreparedSystem, SPMV_CALIBRATION_SCHEMA,
+};
 pub use stencil::{Operator, StencilGrid, StencilOperator};
 
 /// Minimum matrix dimension for the chunked-parallel SpMV path of

@@ -411,8 +411,77 @@ impl PreparedSystem {
 /// cannot run. The calibration (total ≈ a millisecond) affects only which
 /// code path runs, never result bits, so solves stay deterministic.
 pub fn calibrated_spmv_min_dim() -> usize {
-    static CACHED: OnceLock<usize> = OnceLock::new();
-    *CACHED.get_or_init(measure_spmv_min_dim)
+    *SPMV_CALIBRATION.get_or_init(measure_spmv_min_dim)
+}
+
+/// Process-wide cutover calibration. Module-level (not function-local) so
+/// [`prime_spmv_calibration`] can seed it from a persisted value before
+/// the first solve would otherwise trigger the probe.
+static SPMV_CALIBRATION: OnceLock<usize> = OnceLock::new();
+
+/// Range the cutover is clamped to, probe or no probe: below 2048 rows the
+/// fan-out can never pay for itself; above 2^20 the probe result is noise.
+const SPMV_CALIBRATION_RANGE: (usize, usize) = (2_048, 1 << 20);
+
+/// Schema tag of the persisted calibration file.
+pub const SPMV_CALIBRATION_SCHEMA: &str = "pi3d.spmv_calibration.v1";
+
+/// Seeds the process-wide SpMV cutover with a previously measured value
+/// (clamped to the probe's own `[2048, 2^20]` range), skipping the startup
+/// probe. First writer wins: if the probe (or an earlier prime) already
+/// ran, the existing value stays. Returns the effective cutover either
+/// way. Calibration affects only which code path runs, never result bits.
+pub fn prime_spmv_calibration(min_dim: usize) -> usize {
+    let (lo, hi) = SPMV_CALIBRATION_RANGE;
+    let clamped = min_dim.clamp(lo, hi);
+    *SPMV_CALIBRATION.get_or_init(|| clamped)
+}
+
+/// Runs the startup probe *now*, seeds the process-wide cutover with the
+/// fresh measurement (first writer wins, so call before any solve), and
+/// returns it — the `--recalibrate` path.
+pub fn recalibrate_spmv() -> usize {
+    let measured = measure_spmv_min_dim();
+    prime_spmv_calibration(measured)
+}
+
+/// Loads a persisted cutover calibration written by
+/// [`store_spmv_calibration`]. Returns `None` for a missing file, a
+/// schema mismatch, or an out-of-range value — callers fall back to the
+/// probe, so a stale or corrupt cache file costs a millisecond, never
+/// correctness.
+pub fn load_spmv_calibration(path: &std::path::Path) -> Option<usize> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = pi3d_telemetry::Json::parse(&text).ok()?;
+    if doc.get("schema")?.as_str()? != SPMV_CALIBRATION_SCHEMA {
+        return None;
+    }
+    let v = doc.get("spmv_min_dim")?.as_num()?;
+    let (lo, hi) = SPMV_CALIBRATION_RANGE;
+    if v.fract() != 0.0 || v < lo as f64 || v > hi as f64 {
+        return None;
+    }
+    Some(v as usize)
+}
+
+/// Persists a measured cutover so later invocations (and daemon restarts)
+/// can [`prime_spmv_calibration`] instead of re-probing. Creates the
+/// parent directory and writes atomically (tmp + fsync + rename).
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn store_spmv_calibration(path: &std::path::Path, min_dim: usize) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let doc = pi3d_telemetry::Json::obj([
+        ("schema", pi3d_telemetry::Json::str(SPMV_CALIBRATION_SCHEMA)),
+        ("spmv_min_dim", pi3d_telemetry::Json::num(min_dim as f64)),
+    ]);
+    pi3d_telemetry::fsio::atomic_write(path, doc.to_compact_string().as_bytes())
 }
 
 fn measure_spmv_min_dim() -> usize {
@@ -765,5 +834,40 @@ mod tests {
         let first = calibrated_spmv_min_dim();
         assert!((2_048..=1 << 20).contains(&first));
         assert_eq!(calibrated_spmv_min_dim(), first);
+    }
+
+    #[test]
+    fn primed_cutover_is_clamped_and_agrees_with_calibrated() {
+        // First writer wins process-wide, and tests share a process, so
+        // assert the invariants that hold regardless of ordering: the
+        // effective value is in range and every reader sees the same one.
+        let effective = prime_spmv_calibration(1);
+        assert!((2_048..=1 << 20).contains(&effective));
+        assert_eq!(calibrated_spmv_min_dim(), effective);
+        assert_eq!(prime_spmv_calibration(usize::MAX), effective);
+    }
+
+    #[test]
+    fn spmv_calibration_file_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("pi3d-calibration-test-{}", std::process::id()));
+        let path = dir.join("nested").join("spmv_calibration.json");
+        store_spmv_calibration(&path, 40_000).unwrap();
+        assert_eq!(load_spmv_calibration(&path), Some(40_000));
+
+        // Corrupt, wrong-schema, and out-of-range files are all "no
+        // calibration" — the caller re-probes instead of erroring.
+        std::fs::write(&path, b"not json").unwrap();
+        assert_eq!(load_spmv_calibration(&path), None);
+        std::fs::write(&path, br#"{"schema":"other.v1","spmv_min_dim":4096}"#).unwrap();
+        assert_eq!(load_spmv_calibration(&path), None);
+        std::fs::write(
+            &path,
+            format!(r#"{{"schema":"{SPMV_CALIBRATION_SCHEMA}","spmv_min_dim":17}}"#),
+        )
+        .unwrap();
+        assert_eq!(load_spmv_calibration(&path), None);
+        assert_eq!(load_spmv_calibration(&dir.join("missing.json")), None);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

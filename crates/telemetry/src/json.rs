@@ -208,6 +208,50 @@ impl Json {
     }
 }
 
+/// Writes one newline-delimited JSON frame: the document in compact form
+/// followed by `\n`, flushed. Compact form never contains raw newlines
+/// (strings escape them), so one line is always one document — the wire
+/// framing of the `pi3d serve` protocol.
+///
+/// # Errors
+///
+/// Propagates write/flush failures.
+pub fn write_json_line<W: std::io::Write>(writer: &mut W, value: &Json) -> std::io::Result<()> {
+    let mut line = value.to_compact_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads the next newline-delimited JSON frame. Blank lines are skipped
+/// (a tolerant peer may keep-alive with bare newlines); end of stream
+/// yields `Ok(None)`; a non-empty line that is not valid JSON is an
+/// `InvalidData` error carrying the parse diagnostic.
+///
+/// # Errors
+///
+/// Propagates read failures and malformed frames as above.
+pub fn read_json_line<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<Option<Json>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return match Json::parse(trimmed) {
+            Ok(value) => Ok(Some(value)),
+            Err(e) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed json line: {e}"),
+            )),
+        };
+    }
+}
+
 fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
@@ -516,5 +560,34 @@ mod tests {
         assert_eq!(items[0].as_num(), Some(-0.0015));
         assert_eq!(items[1].as_num(), Some(200.0));
         assert_eq!(items[2].as_num(), Some(-7.0));
+    }
+
+    #[test]
+    fn json_lines_round_trip_including_embedded_newlines() {
+        let docs = [
+            Json::obj([("cmd", Json::str("solve")), ("id", Json::num(1.0))]),
+            Json::str("config with\nnewlines\tand \"quotes\""),
+            Json::arr([Json::Bool(false), Json::Null]),
+        ];
+        let mut wire = Vec::new();
+        for doc in &docs {
+            write_json_line(&mut wire, doc).unwrap();
+        }
+        assert_eq!(wire.iter().filter(|&&b| b == b'\n').count(), docs.len());
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        for doc in &docs {
+            assert_eq!(read_json_line(&mut reader).unwrap().as_ref(), Some(doc));
+        }
+        assert_eq!(read_json_line(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn json_lines_skip_blanks_and_reject_garbage() {
+        let wire = b"\n   \n{\"ok\":true}\nnot json\n";
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let first = read_json_line(&mut reader).unwrap().unwrap();
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        let err = read_json_line(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }
