@@ -167,6 +167,55 @@ diff "$jobdir/clean.out" "$jobdir/resumed2.out"
 diff "$jobdir/clean.out" "$jobdir/resumed8.out"
 echo "kill-and-resume OK: interrupted after $interrupted_units units, resumed reports byte-identical"
 
+echo "==> SIGTERM drain smoke (journaled fault sweep, TERM mid-sweep)"
+# Same shape as the SIGINT smoke above, but via SIGTERM: the shim latches
+# the signal, the sweep drains cooperatively, the exit code is 143, and
+# the partial report's outcome block says "terminated" (DESIGN.md §18).
+./target/release/pi3d faults "$cfg" $sweep_flags --threads 2 \
+    --journal "$jobdir/term.journal" --metrics-out "$jobdir/term.json" \
+    > "$jobdir/term.out" 2> "$jobdir/term.err" &
+term_pid=$!
+i=0
+while [ "$( (wc -l < "$jobdir/term.journal") 2>/dev/null || echo 0)" -lt 3 ]; do
+    i=$((i+1))
+    if [ "$i" -gt 1200 ]; then
+        echo "FAIL: journal never reached two records" >&2
+        kill "$term_pid" 2>/dev/null || true
+        exit 1
+    fi
+    if ! kill -0 "$term_pid" 2>/dev/null; then
+        echo "FAIL: sweep finished before SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -TERM "$term_pid"
+term_status=0
+wait "$term_pid" || term_status=$?
+if [ "$term_status" -ne 143 ]; then
+    echo "FAIL: terminated sweep exited $term_status, expected 143" >&2
+    cat "$jobdir/term.err" >&2
+    exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$jobdir/term.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema"] == "pi3d.run_report.v1", r["schema"]
+o = r["outcome"]
+assert o["status"] == "terminated", o
+assert o["exit_code"] == 143, o
+assert o["stage"] == "faults", o
+print("SIGTERM partial report OK:", o["error"])
+PY
+else
+    grep -q '"status": "terminated"' "$jobdir/term.json"
+    grep -q '"exit_code": 143' "$jobdir/term.json"
+    echo "SIGTERM partial report OK (grep check)"
+fi
+echo "SIGTERM drain OK: exit 143, partial report terminated"
+
 echo "==> trace smoke run (--trace-out + --progress on the optimize path)"
 trace_out="$(mktemp /tmp/pi3d-trace.XXXXXX.json)"
 trace_err="$(mktemp /tmp/pi3d-trace-err.XXXXXX.log)"
@@ -400,6 +449,69 @@ if [ -S "$sock" ]; then
     exit 1
 fi
 echo "serve smoke OK: warm batch byte-identical, SIGINT exit 130"
+
+echo "==> serve chaos smoke (frame cap, health, call retries, SIGTERM drain)"
+chaos_dir="$(mktemp -d /tmp/pi3d-chaos.XXXXXX)"
+trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err" "$trace_out" "$trace_err"; rm -rf "$jobdir" "$mg_dir" "$serve_dir" "$chaos_dir"' EXIT
+chaos_sock="$chaos_dir/serve.sock"
+./target/release/pi3d serve --listen "unix:$chaos_sock" --grid 8 \
+    --workers 2 --max-frame-bytes 4096 \
+    > "$chaos_dir/serve.out" 2> "$chaos_dir/serve.err" &
+chaos_pid=$!
+# No sleep-and-hope socket polling here: `pi3d call --retries` owns the
+# race with seeded jittered backoff and connects once the daemon binds.
+pad="xxxxxxxx"
+for _ in 1 2 3 4 5 6 7 8 9 10; do pad="$pad$pad"; done # 8 KiB of padding
+if ./target/release/pi3d call "unix:$chaos_sock" --retries 10 \
+    "{\"cmd\":\"ping\",\"pad\":\"$pad\"}" \
+    > "$chaos_dir/big.out" 2> "$chaos_dir/big.err"; then
+    echo "FAIL: oversized frame was accepted past --max-frame-bytes" >&2
+    exit 1
+fi
+grep -q '"stage":"frame"' "$chaos_dir/big.out"
+grep -q '"exit_code":1' "$chaos_dir/big.out"
+# The oversized frame killed that connection, not the server: a fresh
+# connection still gets answers, and health reports ready.
+./target/release/pi3d call "unix:$chaos_sock" --retries 5 \
+    '{"cmd":"ping"}' '{"cmd":"health"}' > "$chaos_dir/health.out"
+grep -q '"status":"ok"' "$chaos_dir/health.out"
+grep -q '"state":"ready"' "$chaos_dir/health.out"
+./target/release/pi3d call "unix:$chaos_sock" '{"cmd":"stats"}' \
+    > "$chaos_dir/cstats.out"
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$chaos_dir/cstats.out" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.loads(f.read())
+assert r["outcome"]["status"] == "ok", r["outcome"]
+result = r["result"]
+breaker = result["breaker"]
+assert int(breaker["opens"]) == 0, breaker
+assert breaker["open_now"] == 0, breaker
+shed = result["shed"]
+assert shed["shedding"] is False, shed
+assert int(result["panics_caught"]) == 0, result
+print("chaos stats OK: breaker", breaker, "shed", shed)
+PY
+else
+    grep -q '"breaker"' "$chaos_dir/cstats.out"
+    grep -q '"shed"' "$chaos_dir/cstats.out"
+    echo "chaos stats OK (grep check)"
+fi
+# SIGTERM mirrors the SIGINT drain but exits 143.
+kill -TERM "$chaos_pid"
+chaos_status=0
+wait "$chaos_pid" || chaos_status=$?
+if [ "$chaos_status" -ne 143 ]; then
+    echo "FAIL: terminated daemon exited $chaos_status, expected 143" >&2
+    cat "$chaos_dir/serve.err" >&2
+    exit 1
+fi
+if [ -S "$chaos_sock" ]; then
+    echo "FAIL: socket file left behind after SIGTERM" >&2
+    exit 1
+fi
+echo "serve chaos smoke OK: frame cap enforced, server survived, SIGTERM exit 143"
 
 echo "==> serve bench guard (warm cache must beat cold by >= 10x)"
 # A fast re-run of the serve bench; the cold/warm ratio is structural

@@ -16,15 +16,21 @@
 //! pi3d trace    <trace.json> [--top N]
 //! pi3d serve    [--listen unix:PATH|tcp:host:port] [--workers N] [--cache-bytes N]
 //!                            [--queue-limit N] [--deadline SECS] [--grid N] [--threads N]
-//! pi3d call     <addr> [REQUEST_JSON ...]
+//!                            [--max-frame-bytes N] [--idle-timeout SECS]
+//! pi3d call     <addr> [REQUEST_JSON ...] [--retries N] [--retry-base-ms MS]
+//!                            [--retry-seed N] [--timeout SECS]
 //! ```
 //!
 //! `pi3d serve` runs a long-lived warm-cache analysis daemon speaking
 //! newline-delimited JSON (`{"cmd":"solve","config":"..."}` per line);
-//! `pi3d call` is its minimal client. Prepared systems, IR LUTs, and
+//! `pi3d call` is its client, with bounded seeded-backoff retries for
+//! connects and transport failures. Prepared systems, IR LUTs, and
 //! design-space characterizations are cached across requests in a
 //! size-accounted LRU, and responses are byte-identical whether served
-//! warm or cold — see DESIGN.md §17.
+//! warm or cold — see DESIGN.md §17. The daemon's failure defenses —
+//! frame caps, idle reaping, panic isolation, per-config circuit
+//! breaking, load shedding, `health` probes, graceful SIGTERM drain —
+//! are catalogued in DESIGN.md §18.
 //!
 //! Global flags (any command): `--log-level off|error|warn|info|debug|trace`
 //! sets the stderr log threshold (overrides `PI3D_LOG`), and
@@ -44,11 +50,14 @@
 //! `--journal FILE` records each completed work unit to an fsync'd
 //! append-only journal; `--resume FILE` continues an interrupted run,
 //! skipping journaled units and reproducing the uninterrupted output
-//! bit-identically. `--deadline SECS` bounds wall-clock time, Ctrl-C
-//! (or `--cancel-file FILE` appearing) requests a cooperative stop.
+//! bit-identically. `--deadline SECS` bounds wall-clock time, Ctrl-C,
+//! SIGTERM, (or `--cancel-file FILE` appearing) request a cooperative
+//! stop.
 //!
-//! Exit codes: `0` success, `1` error, `124` deadline or cycle budget
-//! exceeded (matching `timeout(1)`), `130` cancelled (128 + SIGINT).
+//! Exit codes: `0` success, `1` error, `101` handler panic (confined to
+//! one serve response), `124` deadline or cycle budget exceeded
+//! (matching `timeout(1)`), `130` cancelled (128 + SIGINT), `143`
+//! terminated (128 + SIGTERM).
 
 // User-reachable failures must surface as typed errors, not panics.
 #![warn(clippy::unwrap_used)]
@@ -228,10 +237,12 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             pi3d_telemetry::progress::set_mode(mode);
         }
     }
-    // Ctrl-C requests a cooperative stop (long loops flush their journal
-    // and return typed Cancelled errors); a second Ctrl-C kills outright.
+    // Ctrl-C and SIGTERM request a cooperative stop (long loops flush
+    // their journal and return typed Cancelled errors; the latched
+    // signal picks exit 130 vs 143); a second delivery kills outright.
     // The flag-file watcher is the scriptable/portable alternative.
     pi3d_telemetry::cancel::install_sigint();
+    pi3d_telemetry::cancel::install_sigterm();
     if let Some(path) = args.flag("cancel-file") {
         pi3d_telemetry::cancel::watch_flag_file(path.into(), Duration::from_millis(100));
     }
@@ -361,14 +372,18 @@ fn print_usage() {
          pi3d trace    <trace.json> [--top N]\n  \
          pi3d serve    [--listen unix:PATH|tcp:host:port] [--workers N]\n  \
                        [--cache-bytes N] [--queue-limit N] [--deadline SECS]\n  \
-         pi3d call     <addr> [REQUEST_JSON ...]   (reads stdin lines if no args)\n\
+                       [--max-frame-bytes N] [--idle-timeout SECS]\n  \
+         pi3d call     <addr> [REQUEST_JSON ...]   (reads stdin lines if no args)\n  \
+                       [--retries N] [--retry-base-ms MS] [--retry-seed N]\n  \
+                       [--timeout SECS]\n\
          global flags: [--threads N] [--precond jacobi|ic|mg|identity]\n\
                        [--log-level off|error|warn|info|debug|trace]\n\
                        [--metrics-out FILE] [--trace-out FILE] [--trace-capacity N]\n\
                        [--progress [json]] [--recalibrate] [--calibration-file FILE]\n\
          durable runs (faults/optimize/simulate): [--journal FILE] [--resume FILE]\n\
                        [--deadline SECS] [--cancel-file FILE]\n\
-         exit codes:   0 ok, 1 error, 124 deadline/cycle budget, 130 cancelled"
+         exit codes:   0 ok, 1 error, 101 panic (serve outcome), 124 deadline,\n\
+                       130 cancelled (SIGINT), 143 terminated (SIGTERM)"
     );
 }
 

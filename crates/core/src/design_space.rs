@@ -214,6 +214,7 @@ impl DesignSpace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -164,6 +164,7 @@ impl From<SimulateError> for CoreError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

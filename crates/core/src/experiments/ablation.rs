@@ -101,6 +101,7 @@ pub fn run(base: &MeshOptions) -> Result<Ablation, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

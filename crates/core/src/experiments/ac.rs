@@ -84,6 +84,7 @@ pub fn run(options: &MeshOptions) -> Result<AcStudy, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -79,6 +79,7 @@ pub fn run(options: &MeshOptions) -> Result<Calibration, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

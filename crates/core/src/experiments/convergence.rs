@@ -94,6 +94,7 @@ pub fn run(grids: &[usize]) -> Result<Convergence, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -70,6 +70,7 @@ pub fn run(options: &MeshOptions) -> Result<Fig4, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -113,6 +113,7 @@ pub fn run_counts(options: &MeshOptions, counts: &[usize]) -> Result<Fig5, CoreE
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

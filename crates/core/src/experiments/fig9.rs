@@ -126,6 +126,7 @@ pub fn run_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

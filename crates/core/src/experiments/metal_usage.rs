@@ -77,6 +77,7 @@ pub fn run(options: &MeshOptions) -> Result<MetalUsage, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

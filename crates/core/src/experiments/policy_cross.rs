@@ -146,6 +146,7 @@ pub fn run(options: &MeshOptions, reads: usize) -> Result<PolicyCross, CoreError
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

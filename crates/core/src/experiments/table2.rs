@@ -104,6 +104,7 @@ pub fn run(options: &MeshOptions) -> Result<Table2, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

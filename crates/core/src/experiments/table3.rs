@@ -102,6 +102,7 @@ pub fn run(options: &MeshOptions) -> Result<Table3, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -112,6 +112,7 @@ pub fn run(options: &MeshOptions) -> Result<Table4, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

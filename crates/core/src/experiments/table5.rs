@@ -119,6 +119,7 @@ pub fn run(options: &MeshOptions) -> Result<Table5, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

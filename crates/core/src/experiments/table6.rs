@@ -217,6 +217,7 @@ pub fn run_policy(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -69,6 +69,7 @@ pub fn run(options: &MeshOptions) -> Result<Table7, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

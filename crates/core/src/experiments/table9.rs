@@ -193,6 +193,7 @@ pub fn run(options: &MeshOptions, threads: usize) -> Result<Table9, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -666,6 +666,7 @@ pub fn run_fault_sweep_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -2,9 +2,15 @@
 //! budgets, cooperative cancellation, and panic-isolated fan-out.
 //!
 //! A multi-hour Monte Carlo fault sweep or design-space characterization
-//! should survive a SIGINT, a wall-clock budget, or one poisoned work
-//! item without losing the trials it already finished. This module makes
-//! every such sweep *resumable*: each completed work unit is appended to
+//! should survive a SIGINT or SIGTERM, a wall-clock budget, or one
+//! poisoned work item without losing the trials it already finished.
+//! Both signals latch the same global [`CancelToken`] (via the std-only
+//! shims in `pi3d_telemetry::cancel`), so a sweep interrupted by either
+//! drains cooperatively, flushes its journal, and writes a partial run
+//! report; the recorded latched signal then maps the process exit to 130
+//! (SIGINT) or 143 (SIGTERM) via `pi3d_core::serve::exit_code_for`. This
+//! module makes every such sweep *resumable*: each completed work unit is
+//! appended to
 //! an fsync'd [`Journal`] line keyed by a content hash of the run
 //! configuration, and a rerun with the same journal skips the journaled
 //! units and reproduces the uninterrupted result bit-identically (unit
@@ -664,6 +670,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;

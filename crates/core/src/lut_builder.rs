@@ -172,6 +172,7 @@ pub(crate) fn enumerate_states(dies: usize, max: usize) -> Vec<Vec<u8>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::platform::Platform;

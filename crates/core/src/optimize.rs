@@ -358,6 +358,7 @@ pub struct ParetoPoint {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

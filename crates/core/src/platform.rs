@@ -152,6 +152,7 @@ impl DesignEvaluation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pi3d_layout::Benchmark;

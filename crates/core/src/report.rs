@@ -92,6 +92,7 @@ pub fn pct(new: f64, old: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -31,7 +31,16 @@
 //! each request runs under a [`JobContext`] carrying the server's
 //! [`CancelToken`] plus an optional per-request deadline from
 //! [`RunBudget`](crate::RunBudget)-style wall-clock budgets; a SIGINT
-//! drains in-flight requests and the daemon exits 130.
+//! drains in-flight requests and the daemon exits 130, a SIGTERM does
+//! the same but exits 143 (see [`pi3d_telemetry::cancel::latched_signal`]).
+//!
+//! Robustness (PR 9) is engine-level so it is testable without sockets:
+//! [`FaultPlan`] injects seeded worker panics and build failures,
+//! [`ServeState::handle_request`] converts panics into typed `outcome`
+//! blocks ([`EXIT_PANIC`]), a per-fingerprint circuit [`BreakerStats`]
+//! short-circuits doomed builds, queue-depth watermarks flip the server
+//! into load-shedding mode ([`ServeState::note_queue_depth`]), and
+//! [`WorkerPool`] isolates and respawns panicked workers.
 
 use crate::config;
 use crate::error::CoreError;
@@ -47,9 +56,11 @@ use pi3d_memsim::{
 };
 use pi3d_mesh::{IrAnalysis, MeshOptions};
 use pi3d_solver::SolverError;
+use pi3d_telemetry::cancel::{latched_signal, SIGTERM};
+use pi3d_telemetry::rng::SplitMix64;
 use pi3d_telemetry::{CancelToken, Json};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -59,9 +70,15 @@ pub const SERVE_SCHEMA: &str = "pi3d.serve.v1";
 /// Exit code for cooperative cancellation: 128 + SIGINT, the shell
 /// convention for "killed by Ctrl-C".
 pub const EXIT_CANCELLED: u8 = 130;
+/// Exit code for a graceful drain after SIGTERM: 128 + SIGTERM, what a
+/// supervisor expects from a politely killed service.
+pub const EXIT_TERMINATED: u8 = 143;
 /// Exit code for an exhausted deadline or cycle budget, matching
 /// `timeout(1)`.
 pub const EXIT_DEADLINE: u8 = 124;
+/// Exit code for a request whose handler panicked — the same 101 a
+/// panicking Rust process exits with, here confined to one response.
+pub const EXIT_PANIC: u8 = 101;
 
 /// Default cache budget: enough for a handful of coarse meshes plus
 /// their LUTs without letting a design sweep grow without bound.
@@ -71,26 +88,37 @@ pub const DEFAULT_CACHE_BYTES: usize = 256 * 1024 * 1024;
 /// `source()` links for the typed interruption variants of any layer.
 /// Shared by the CLI's process exit path and the per-request outcome
 /// blocks of serve responses.
+///
+/// Cancellation is signal-aware: when the global flag was latched by
+/// SIGTERM the cancelled exit code is [`EXIT_TERMINATED`] (143) instead
+/// of [`EXIT_CANCELLED`] (130), so the process exit status, the run
+/// report outcome, and per-request serve outcomes all agree on which
+/// signal ended the run.
 pub fn exit_code_for(error: &(dyn std::error::Error + 'static)) -> u8 {
+    let cancelled_code = if latched_signal() == Some(SIGTERM) {
+        EXIT_TERMINATED
+    } else {
+        EXIT_CANCELLED
+    };
     let mut current = Some(error);
     while let Some(e) = current {
         if let Some(core) = e.downcast_ref::<CoreError>() {
             match core {
-                CoreError::Cancelled { .. } => return EXIT_CANCELLED,
+                CoreError::Cancelled { .. } => return cancelled_code,
                 CoreError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
                 _ => {}
             }
         }
         if let Some(solver) = e.downcast_ref::<SolverError>() {
             match solver {
-                SolverError::Cancelled { .. } => return EXIT_CANCELLED,
+                SolverError::Cancelled { .. } => return cancelled_code,
                 SolverError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
                 _ => {}
             }
         }
         if let Some(sim) = e.downcast_ref::<SimulateError>() {
             match sim {
-                SimulateError::Cancelled { .. } => return EXIT_CANCELLED,
+                SimulateError::Cancelled { .. } => return cancelled_code,
                 SimulateError::CycleBudgetExceeded { .. } => return EXIT_DEADLINE,
                 _ => {}
             }
@@ -106,7 +134,9 @@ pub fn status_label(exit_code: u8) -> &'static str {
     match exit_code {
         0 => "ok",
         EXIT_CANCELLED => "cancelled",
+        EXIT_TERMINATED => "terminated",
         EXIT_DEADLINE => "deadline",
+        EXIT_PANIC => "panic",
         _ => "error",
     }
 }
@@ -312,6 +342,399 @@ impl<T> RequestQueue<T> {
         match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool with panic isolation and respawn.
+// ---------------------------------------------------------------------------
+
+/// A fixed-size pool of worker threads draining a [`RequestQueue`].
+///
+/// Each worker runs `handler` on every popped item. A handler panic
+/// kills only its own thread; [`maintain`](Self::maintain) — called
+/// periodically from the accept loop — detects dead workers and respawns
+/// replacements so the pool returns to its configured size. The engine's
+/// own panic confinement ([`ServeState::handle_request`] catches unwinds
+/// into typed outcomes) makes this a second line of defense: it covers
+/// panics in the transport glue around the engine call.
+pub struct WorkerPool<T: Send + 'static> {
+    queue: Arc<RequestQueue<T>>,
+    handler: Arc<dyn Fn(T) + Send + Sync>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+    respawned: u64,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for WorkerPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .field("respawned", &self.respawned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `size` workers that pop from `queue` and run `handler`
+    /// until the queue is closed and drained.
+    pub fn new(
+        size: usize,
+        queue: Arc<RequestQueue<T>>,
+        handler: impl Fn(T) + Send + Sync + 'static,
+    ) -> WorkerPool<T> {
+        let mut pool = WorkerPool {
+            queue,
+            handler: Arc::new(handler),
+            workers: Vec::new(),
+            size: size.max(1),
+            respawned: 0,
+        };
+        for i in 0..pool.size {
+            pool.spawn_worker(i);
+        }
+        pool
+    }
+
+    fn spawn_worker(&mut self, index: usize) {
+        let queue = Arc::clone(&self.queue);
+        let handler = Arc::clone(&self.handler);
+        let handle = std::thread::Builder::new()
+            .name(format!("pi3d-serve-worker-{index}"))
+            .spawn(move || {
+                while let Some(item) = queue.pop() {
+                    handler(item);
+                }
+            });
+        // Spawn fails only on resource exhaustion; a short pool still
+        // serves, so degrade rather than abort.
+        if let Ok(h) = handle {
+            self.workers.push(h);
+        }
+    }
+
+    /// Reaps workers whose threads have died (a panic escaped the
+    /// handler) and respawns replacements up to the configured size.
+    /// Returns the number of workers respawned by this call.
+    pub fn maintain(&mut self) -> usize {
+        let before = self.workers.len();
+        let mut live = Vec::with_capacity(before);
+        for worker in self.workers.drain(..) {
+            if worker.is_finished() {
+                // Surface the panic payload (if any) and drop the
+                // corpse; join on a finished thread cannot block.
+                if let Err(panic) = worker.join() {
+                    #[cfg(feature = "telemetry")]
+                    pi3d_telemetry::warn!(
+                        "serve worker panicked: {}",
+                        panic_message(panic.as_ref())
+                    );
+                    #[cfg(not(feature = "telemetry"))]
+                    drop(panic);
+                }
+            } else {
+                live.push(worker);
+            }
+        }
+        self.workers = live;
+        let mut respawned = 0;
+        while self.workers.len() < self.size {
+            self.spawn_worker(self.workers.len());
+            respawned += 1;
+        }
+        self.respawned += respawned as u64;
+        #[cfg(feature = "telemetry")]
+        if respawned > 0 {
+            pi3d_telemetry::metrics::counter("serve.workers.respawned").incr(respawned as u64);
+        }
+        respawned
+    }
+
+    /// Total workers respawned over the pool's lifetime.
+    pub fn respawned(&self) -> u64 {
+        self.respawned
+    }
+
+    /// Joins all workers. Call after closing the queue; panicked workers
+    /// are absorbed (their requests already got typed panic outcomes or
+    /// died with the connection).
+    pub fn join(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload: panics carry `&str` or `String`
+/// almost always; anything else gets a placeholder.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic chaos injection.
+// ---------------------------------------------------------------------------
+
+/// A seeded fault-injection plan for chaos tests.
+///
+/// The plan is probed at fixed injection points inside the engine — the
+/// top of [`ServeState::handle_request`] (worker panic) and the cache
+/// build closure (forced build failure) — and decides deterministically
+/// from its SplitMix64 stream whether to inject. Production servers run
+/// with no plan ([`ServeOptions::fault_plan`] is `None`); tests attach
+/// one and replay identical fault schedules from identical seeds.
+///
+/// # Examples
+///
+/// ```
+/// use pi3d_core::serve::FaultPlan;
+///
+/// let plan = FaultPlan::new(7).with_build_failures(1.0).with_budget(2);
+/// assert!(plan.should_fail_build());
+/// assert!(plan.should_fail_build());
+/// assert!(!plan.should_fail_build(), "budget exhausted");
+/// assert_eq!(plan.injected_build_failures(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    state: Mutex<FaultPlanState>,
+    injected_panics: AtomicU64,
+    injected_build_failures: AtomicU64,
+}
+
+#[derive(Debug)]
+struct FaultPlanState {
+    rng: SplitMix64,
+    panic_prob: f64,
+    build_fail_prob: f64,
+    budget: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Creates an inert plan (no faults until probabilities are set).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            state: Mutex::new(FaultPlanState {
+                rng: SplitMix64::new(seed),
+                panic_prob: 0.0,
+                build_fail_prob: 0.0,
+                budget: None,
+            }),
+            injected_panics: AtomicU64::new(0),
+            injected_build_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Injects a worker panic with probability `prob` per request.
+    pub fn with_worker_panics(self, prob: f64) -> FaultPlan {
+        self.lock().panic_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fails cache builds with probability `prob` per build.
+    pub fn with_build_failures(self, prob: f64) -> FaultPlan {
+        self.lock().build_fail_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Caps the total number of injected faults (across kinds); after
+    /// the budget is spent the plan goes inert, letting a chaos test end
+    /// with a clean convergence phase.
+    pub fn with_budget(self, budget: u64) -> FaultPlan {
+        self.lock().budget = Some(budget);
+        self
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultPlanState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn roll(&self, pick: impl Fn(&FaultPlanState) -> f64) -> bool {
+        let mut state = self.lock();
+        if state.budget == Some(0) {
+            return false;
+        }
+        let prob = pick(&state);
+        if prob <= 0.0 || !state.rng.chance(prob) {
+            return false;
+        }
+        if let Some(budget) = state.budget.as_mut() {
+            *budget -= 1;
+        }
+        true
+    }
+
+    /// Probed once per request by [`ServeState::handle_request`].
+    pub fn should_panic(&self) -> bool {
+        let inject = self.roll(|s| s.panic_prob);
+        if inject {
+            self.injected_panics.fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// Probed once per cache build by the design build closure.
+    pub fn should_fail_build(&self) -> bool {
+        let inject = self.roll(|s| s.build_fail_prob);
+        if inject {
+            self.injected_build_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        inject
+    }
+
+    /// Worker panics injected so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.injected_panics.load(Ordering::Relaxed)
+    }
+
+    /// Build failures injected so far.
+    pub fn injected_build_failures(&self) -> u64 {
+        self.injected_build_failures.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-fingerprint circuit breaker.
+// ---------------------------------------------------------------------------
+
+/// Aggregate circuit-breaker statistics for `stats` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerStats {
+    /// Times any fingerprint's breaker transitioned to open.
+    pub opens: u64,
+    /// Requests answered by an open breaker without running the build.
+    pub short_circuits: u64,
+    /// Fingerprints whose breaker is open right now.
+    pub open_now: usize,
+}
+
+/// Per-fingerprint circuit breaker: N consecutive *real* build failures
+/// (exit code 1 — cancellations and deadlines are the caller's fault,
+/// not the config's) open the circuit for a cooldown, during which
+/// requests for that fingerprint short-circuit with a breaker-open
+/// outcome instead of re-running a doomed factorization. After the
+/// cooldown one probe build is allowed through (half-open); success
+/// resets the breaker, failure re-opens it immediately.
+#[derive(Debug)]
+struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    entries: Mutex<HashMap<u64, BreakerEntry>>,
+    /// Fingerprints currently tracked; lets the warm hit path skip the
+    /// map lock entirely while no failures are outstanding.
+    tracked: AtomicUsize,
+    opens: AtomicU64,
+    short_circuits: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BreakerEntry {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+impl Breaker {
+    fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            entries: Mutex::new(HashMap::new()),
+            tracked: AtomicUsize::new(0),
+            opens: AtomicU64::new(0),
+            short_circuits: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, BreakerEntry>> {
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Admission check before a cache lookup/build for `key`.
+    fn check(&self, key: u64) -> Result<(), Fail> {
+        if self.tracked.load(Ordering::Acquire) == 0 {
+            return Ok(()); // hot path: no failing fingerprints anywhere
+        }
+        let mut entries = self.lock();
+        let Some(entry) = entries.get_mut(&key) else {
+            return Ok(());
+        };
+        let Some(open_until) = entry.open_until else {
+            return Ok(());
+        };
+        let now = Instant::now();
+        if now < open_until {
+            self.short_circuits.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            pi3d_telemetry::metrics::counter("serve.breaker.short_circuits").incr(1);
+            let retry_ms = open_until.saturating_duration_since(now).as_millis();
+            return Err(Fail::bad_request(
+                "breaker",
+                format!(
+                    "circuit breaker open for config fingerprint {key:016x} after {} consecutive \
+                     build failures; retry in {retry_ms}ms",
+                    entry.consecutive_failures
+                ),
+            ));
+        }
+        // Cooldown elapsed: half-open. Clear the deadline but keep the
+        // failure count at the threshold so one more failure re-opens
+        // the breaker immediately, while a success resets it.
+        entry.open_until = None;
+        Ok(())
+    }
+
+    fn record_success(&self, key: u64) {
+        if self.tracked.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut entries = self.lock();
+        if entries.remove(&key).is_some() {
+            self.tracked.store(entries.len(), Ordering::Release);
+        }
+    }
+
+    fn record_failure(&self, key: u64, exit_code: u8) {
+        if exit_code != 1 {
+            return; // cancelled/deadline/panic: not evidence of a doomed config
+        }
+        let mut entries = self.lock();
+        let entry = entries.entry(key).or_insert(BreakerEntry {
+            consecutive_failures: 0,
+            open_until: None,
+        });
+        entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        if entry.consecutive_failures >= self.threshold && entry.open_until.is_none() {
+            entry.open_until = Some(Instant::now() + self.cooldown);
+            self.opens.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            pi3d_telemetry::metrics::counter("serve.breaker.opens").incr(1);
+        }
+        self.tracked.store(entries.len(), Ordering::Release);
+    }
+
+    fn stats(&self) -> BreakerStats {
+        let now = Instant::now();
+        let entries = self.lock();
+        BreakerStats {
+            opens: self.opens.load(Ordering::Relaxed),
+            short_circuits: self.short_circuits.load(Ordering::Relaxed),
+            open_now: entries
+                .values()
+                .filter(|e| e.open_until.is_some_and(|t| now < t))
+                .count(),
         }
     }
 }
@@ -556,6 +979,21 @@ pub struct ServeOptions {
     /// Cooperative cancellation shared with the daemon's signal
     /// handling: in-flight requests observe it via their [`JobContext`].
     pub cancel: CancelToken,
+    /// Consecutive real build failures (exit code 1) for one fingerprint
+    /// before its circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker short-circuits before allowing a
+    /// half-open probe build.
+    pub breaker_cooldown: Duration,
+    /// Queue depth at which the server flips into load-shedding mode.
+    pub shed_high_watermark: usize,
+    /// Queue depth at which a shedding server recovers (hysteresis:
+    /// strictly below the high watermark so the mode does not flap).
+    pub shed_low_watermark: usize,
+    /// The `retry_after_ms` hint carried by shed responses.
+    pub shed_retry_after: Duration,
+    /// Chaos-injection plan; `None` (the default) disables injection.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeOptions {
@@ -565,6 +1003,12 @@ impl Default for ServeOptions {
             cache_bytes: DEFAULT_CACHE_BYTES,
             deadline: None,
             cancel: CancelToken::new(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(10),
+            shed_high_watermark: 48,
+            shed_low_watermark: 16,
+            shed_retry_after: Duration::from_millis(250),
+            fault_plan: None,
         }
     }
 }
@@ -575,8 +1019,13 @@ impl Default for ServeOptions {
 pub struct ServeState {
     options: ServeOptions,
     cache: ServeCache,
+    breaker: Breaker,
     served: AtomicU64,
     shutdown: AtomicBool,
+    shedding: AtomicBool,
+    shed_count: AtomicU64,
+    last_queue_depth: AtomicUsize,
+    panics_caught: AtomicU64,
     started: Instant,
 }
 
@@ -593,11 +1042,17 @@ impl ServeState {
     /// Creates the server state.
     pub fn new(options: ServeOptions) -> ServeState {
         let cache = ServeCache::new(options.cache_bytes);
+        let breaker = Breaker::new(options.breaker_threshold, options.breaker_cooldown);
         ServeState {
             options,
             cache,
+            breaker,
             served: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            shedding: AtomicBool::new(false),
+            shed_count: AtomicU64::new(0),
+            last_queue_depth: AtomicUsize::new(0),
+            panics_caught: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -631,8 +1086,11 @@ impl ServeState {
     /// ```
     ///
     /// Never panics and never refuses: malformed requests come back with
-    /// an error outcome. The `id` field is echoed verbatim so clients
-    /// can pipeline requests over one connection.
+    /// an error outcome, and a panic anywhere in a handler is caught and
+    /// rendered as a typed `outcome` with stage `panic` and exit code
+    /// [`EXIT_PANIC`] — one bad request cannot take down the worker. The
+    /// `id` field is echoed verbatim so clients can pipeline requests
+    /// over one connection.
     pub fn handle_request(&self, request: &Json) -> Json {
         let id = request.get("id").cloned().unwrap_or(Json::Null);
         let cmd = request
@@ -645,9 +1103,65 @@ impl ServeState {
         #[cfg(feature = "telemetry")]
         pi3d_telemetry::metrics::counter("serve.requests").incr(1);
 
-        let (stage, outcome) = match cmd.as_str() {
+        // Shared state is unwind-safe by construction: every mutex in
+        // the engine recovers from poisoning, failed builds are never
+        // cached, and counters are atomics.
+        let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch(&cmd, request)
+        }));
+        let (stage, outcome) = match dispatched {
+            Ok(result) => result,
+            Err(panic) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "telemetry")]
+                pi3d_telemetry::metrics::counter("serve.panics_caught").incr(1);
+                (
+                    "panic",
+                    Err(Fail {
+                        stage: "panic".to_owned(),
+                        error: format!(
+                            "request handler panicked: {}",
+                            panic_message(panic.as_ref())
+                        ),
+                        exit_code: EXIT_PANIC,
+                    }),
+                )
+            }
+        };
+        self.served.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(result) => Json::obj([
+                ("schema", Json::str(SERVE_SCHEMA)),
+                ("id", id),
+                ("cmd", Json::str(&cmd)),
+                ("outcome", outcome_json(stage, 0, "")),
+                ("result", result),
+            ]),
+            Err(fail) => Json::obj([
+                ("schema", Json::str(SERVE_SCHEMA)),
+                ("id", id),
+                ("cmd", Json::str(&cmd)),
+                (
+                    "outcome",
+                    outcome_json(&fail.stage, fail.exit_code, &fail.error),
+                ),
+                ("result", Json::Null),
+            ]),
+        }
+    }
+
+    /// Command dispatch, separated from [`handle_request`](Self::handle_request)
+    /// so the panic guard wraps every handler uniformly.
+    fn dispatch(&self, cmd: &str, request: &Json) -> (&'static str, Result<Json, Fail>) {
+        if let Some(plan) = &self.options.fault_plan {
+            if plan.should_panic() {
+                panic!("injected worker panic (chaos plan)");
+            }
+        }
+        match cmd {
             "ping" => ("ping", Ok(Json::obj([("pong", Json::Bool(true))]))),
             "stats" => ("stats", Ok(self.stats_result())),
+            "health" => ("health", Ok(self.health_result())),
             "shutdown" => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (
@@ -671,31 +1185,135 @@ impl ServeState {
                     "request",
                     format!(
                         "unknown cmd {other:?} (use solve, simulate, optimize, ping, stats, \
-                         shutdown)"
+                         health, shutdown)"
                     ),
                 )),
             ),
-        };
-        self.served.fetch_add(1, Ordering::Relaxed);
-        match outcome {
-            Ok(result) => Json::obj([
-                ("schema", Json::str(SERVE_SCHEMA)),
-                ("id", id),
-                ("cmd", Json::str(&cmd)),
-                ("outcome", outcome_json(stage, 0, "")),
-                ("result", result),
-            ]),
-            Err(fail) => Json::obj([
-                ("schema", Json::str(SERVE_SCHEMA)),
-                ("id", id),
-                ("cmd", Json::str(&cmd)),
-                (
-                    "outcome",
-                    outcome_json(&fail.stage, fail.exit_code, &fail.error),
-                ),
-                ("result", Json::Null),
-            ]),
         }
+    }
+
+    // -- load shedding ------------------------------------------------------
+
+    /// Reports the admission-queue depth observed by the transport.
+    /// Crossing the high watermark flips the server into shedding mode;
+    /// dropping back to the low watermark recovers it (hysteresis).
+    pub fn note_queue_depth(&self, depth: usize) {
+        self.last_queue_depth.store(depth, Ordering::Relaxed);
+        if depth >= self.options.shed_high_watermark.max(1) {
+            if !self.shedding.swap(true, Ordering::AcqRel) {
+                #[cfg(feature = "telemetry")]
+                pi3d_telemetry::warn!(
+                    "serve: queue depth {depth} crossed high watermark, shedding load"
+                );
+            }
+        } else if depth <= self.options.shed_low_watermark && self.shedding.load(Ordering::Acquire)
+        {
+            self.shedding.store(false, Ordering::Release);
+        }
+    }
+
+    /// Whether the server is currently shedding load.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding.load(Ordering::Acquire)
+    }
+
+    /// Whether `request` should be shed right now. Cheap control-plane
+    /// commands (`ping`, `stats`, `health`, `shutdown`) always pass so a
+    /// saturated server stays observable and stoppable.
+    pub fn should_shed(&self, request: &Json) -> bool {
+        if !self.is_shedding() {
+            return false;
+        }
+        !matches!(
+            request.get("cmd").and_then(Json::as_str).unwrap_or(""),
+            "ping" | "stats" | "health" | "shutdown"
+        )
+    }
+
+    /// Builds the backpressure response for a shed request: an
+    /// `admission`-stage error outcome whose result carries the
+    /// `retry_after_ms` hint clients feed into their backoff.
+    pub fn shed_response(&self, request: &Json) -> Json {
+        self.shed_count.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "telemetry")]
+        pi3d_telemetry::metrics::counter("serve.shed").incr(1);
+        let retry_ms = self.options.shed_retry_after.as_millis() as f64;
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or("");
+        Json::obj([
+            ("schema", Json::str(SERVE_SCHEMA)),
+            ("id", id),
+            ("cmd", Json::str(cmd)),
+            (
+                "outcome",
+                outcome_json(
+                    "admission",
+                    1,
+                    "server is shedding load (queue past high watermark); retry later",
+                ),
+            ),
+            (
+                "result",
+                Json::obj([("retry_after_ms", Json::num(retry_ms))]),
+            ),
+        ])
+    }
+
+    /// Circuit-breaker statistics (also surfaced in `stats` responses).
+    pub fn breaker_stats(&self) -> BreakerStats {
+        self.breaker.stats()
+    }
+
+    /// Requests shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed_count.load(Ordering::Relaxed)
+    }
+
+    /// Handler panics confined to typed outcomes so far.
+    pub fn panics_caught(&self) -> u64 {
+        self.panics_caught.load(Ordering::Relaxed)
+    }
+
+    fn health_result(&self) -> Json {
+        let breaker = self.breaker.stats();
+        let draining = self.shutdown_requested() || self.options.cancel.is_cancelled();
+        let state = if draining {
+            "draining"
+        } else if self.is_shedding() || breaker.open_now > 0 {
+            "degraded"
+        } else {
+            "ready"
+        };
+        Json::obj([
+            ("state", Json::str(state)),
+            ("shedding", Json::Bool(self.is_shedding())),
+            ("breaker_open", Json::num(breaker.open_now as f64)),
+            (
+                "queue_depth",
+                Json::num(self.last_queue_depth.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "uptime_s",
+                f64_to_json(self.started.elapsed().as_secs_f64()),
+            ),
+        ])
+    }
+
+    /// Runs `build` through the cache under the per-fingerprint circuit
+    /// breaker: an open breaker short-circuits before touching the
+    /// cache, real failures (exit code 1) trip it, successes reset it.
+    fn cached_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<(CacheValue, usize), Fail>,
+    ) -> Result<CacheValue, Fail> {
+        self.breaker.check(key)?;
+        let result = self.cache.get_or_build(key, build);
+        match &result {
+            Ok(_) => self.breaker.record_success(key),
+            Err(fail) => self.breaker.record_failure(key, fail.exit_code),
+        }
+        result
     }
 
     // -- request plumbing ---------------------------------------------------
@@ -814,7 +1432,15 @@ impl ServeState {
         let mut options = self.request_mesh(request, self.options.mesh.clone(), config_precond)?;
         options.faults = faults;
         let key = config_fingerprint(&["serve.design", &text, &Self::mesh_key_part(&options)]);
-        let value = self.cache.get_or_build(key, || {
+        let value = self.cached_build(key, || {
+            if let Some(plan) = &self.options.fault_plan {
+                if plan.should_fail_build() {
+                    return Err(Fail::bad_request(
+                        "mesh",
+                        "injected build failure (chaos plan)",
+                    ));
+                }
+            }
             let analysis =
                 IrAnalysis::new(&design, options.clone()).map_err(|e| Fail::of("mesh", &e))?;
             let entry = Arc::new(DesignEntry { design, analysis });
@@ -840,7 +1466,7 @@ impl ServeState {
             &max_banks.to_string(),
         ]);
         let entry = Arc::clone(entry);
-        let value = self.cache.get_or_build(key, move || {
+        let value = self.cached_build(key, move || {
             let lut = build_ir_lut_from_mesh(entry.analysis.mesh(), max_banks)
                 .map_err(|e| Fail::of("lut", &e))?;
             let bytes = lut_bytes(&lut);
@@ -1012,7 +1638,7 @@ impl ServeState {
             &Self::mesh_key_part(&options),
         ]);
         let threads = options.threads;
-        let value = self.cache.get_or_build(key, || {
+        let value = self.cached_build(key, || {
             let characterization = characterize_with(&platform, benchmark, threads, &ctx)
                 .map_err(|e| Fail::of("characterize", &e))?;
             Ok((
@@ -1046,6 +1672,7 @@ impl ServeState {
 
     fn stats_result(&self) -> Json {
         let cache = self.cache.stats();
+        let breaker = self.breaker.stats();
         Json::obj([
             (
                 "uptime_s",
@@ -1061,6 +1688,29 @@ impl ServeState {
                     ("misses", u64_to_json(cache.misses)),
                     ("evictions", u64_to_json(cache.evictions)),
                 ]),
+            ),
+            (
+                "breaker",
+                Json::obj([
+                    ("opens", u64_to_json(breaker.opens)),
+                    ("short_circuits", u64_to_json(breaker.short_circuits)),
+                    ("open_now", Json::num(breaker.open_now as f64)),
+                ]),
+            ),
+            (
+                "shed",
+                Json::obj([
+                    ("count", u64_to_json(self.shed_count())),
+                    ("shedding", Json::Bool(self.is_shedding())),
+                    (
+                        "queue_depth",
+                        Json::num(self.last_queue_depth.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "panics_caught",
+                u64_to_json(self.panics_caught.load(Ordering::Relaxed)),
             ),
         ])
     }
@@ -1092,6 +1742,21 @@ mod tests {
             ("id", Json::num(1.0)),
             ("config", Json::str(cfg)),
         ])
+    }
+
+    /// Runs `f` with the process panic hook muted (and serialized, since
+    /// the hook is process-global) so expected panics don't spam stderr.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = match HOOK_LOCK.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = f();
+        std::panic::set_hook(hook);
+        result
     }
 
     #[test]
@@ -1305,8 +1970,226 @@ mod tests {
         );
         assert_eq!(exit_code_for(&std::io::Error::other("disk on fire")), 1);
         assert_eq!(status_label(EXIT_CANCELLED), "cancelled");
+        assert_eq!(status_label(EXIT_TERMINATED), "terminated");
         assert_eq!(status_label(EXIT_DEADLINE), "deadline");
+        assert_eq!(status_label(EXIT_PANIC), "panic");
         assert_eq!(status_label(0), "ok");
         assert_eq!(status_label(1), "error");
+    }
+
+    #[test]
+    fn injected_panic_becomes_a_typed_outcome() {
+        let plan = Arc::new(FaultPlan::new(1).with_worker_panics(1.0).with_budget(1));
+        let state = ServeState::new(ServeOptions {
+            fault_plan: Some(Arc::clone(&plan)),
+            ..ServeOptions::default()
+        });
+        let response =
+            with_quiet_panics(|| state.handle_request(&Json::obj([("cmd", Json::str("ping"))])));
+        let outcome = response.get("outcome").unwrap();
+        assert_eq!(outcome.get("status").unwrap().as_str(), Some("panic"));
+        assert_eq!(outcome.get("stage").unwrap().as_str(), Some("panic"));
+        assert_eq!(outcome.get("exit_code").unwrap().as_num(), Some(101.0));
+        assert!(outcome
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("injected worker panic"));
+        assert_eq!(plan.injected_panics(), 1);
+        assert_eq!(state.panics_caught(), 1);
+        // Budget spent: the next request is served normally.
+        let ok = state.handle_request(&Json::obj([("cmd", Json::str("ping"))]));
+        assert_eq!(
+            ok.get("outcome").unwrap().get("status").unwrap().as_str(),
+            Some("ok")
+        );
+    }
+
+    #[test]
+    fn fault_plans_replay_identically_from_one_seed() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed).with_build_failures(0.5);
+            (0..64).map(|_| plan.should_fail_build()).collect()
+        };
+        assert_eq!(schedule(42), schedule(42), "same seed, same faults");
+        assert_ne!(schedule(42), schedule(43), "different seed diverges");
+        let fired = schedule(42).iter().filter(|&&b| b).count();
+        assert!((10..=54).contains(&fired), "p=0.5 should fire roughly half");
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers_half_open() {
+        let plan = Arc::new(FaultPlan::new(3).with_build_failures(1.0).with_budget(3));
+        let mut mesh = MeshOptions::coarse();
+        mesh.dram_nx = 8;
+        mesh.dram_ny = 8;
+        mesh.logic_nx = 10;
+        mesh.logic_ny = 8;
+        let state = ServeState::new(ServeOptions {
+            mesh,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(40),
+            fault_plan: Some(plan),
+            ..ServeOptions::default()
+        });
+        // Three consecutive injected build failures trip the breaker.
+        for _ in 0..3 {
+            let response = state.handle_request(&solve_request(QUICK_CFG));
+            let outcome = response.get("outcome").unwrap();
+            assert_eq!(outcome.get("stage").unwrap().as_str(), Some("mesh"));
+        }
+        let stats = state.breaker_stats();
+        assert_eq!(stats.opens, 1, "third failure opens the breaker");
+        assert_eq!(stats.open_now, 1);
+        // While open: short-circuit without touching the cache.
+        let misses_before = state.cache_stats().misses;
+        let response = state.handle_request(&solve_request(QUICK_CFG));
+        let outcome = response.get("outcome").unwrap();
+        assert_eq!(outcome.get("stage").unwrap().as_str(), Some("breaker"));
+        assert!(outcome
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("circuit breaker open"));
+        assert_eq!(state.cache_stats().misses, misses_before, "no build ran");
+        assert_eq!(state.breaker_stats().short_circuits, 1);
+        // After the cooldown the half-open probe runs for real (fault
+        // budget exhausted), succeeds, and the breaker resets.
+        std::thread::sleep(Duration::from_millis(60));
+        let response = state.handle_request(&solve_request(QUICK_CFG));
+        assert_eq!(
+            response
+                .get("outcome")
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str(),
+            Some("ok"),
+            "half-open probe should succeed"
+        );
+        let stats = state.breaker_stats();
+        assert_eq!(stats.open_now, 0, "success resets the breaker");
+        // A healthy fingerprint keeps serving warm hits.
+        let warm = state.handle_request(&solve_request(QUICK_CFG));
+        assert_eq!(
+            warm.get("outcome").unwrap().get("status").unwrap().as_str(),
+            Some("ok")
+        );
+    }
+
+    #[test]
+    fn breaker_ignores_cancelled_and_deadline_failures() {
+        let breaker = Breaker::new(2, Duration::from_secs(10));
+        breaker.record_failure(9, EXIT_CANCELLED);
+        breaker.record_failure(9, EXIT_DEADLINE);
+        breaker.record_failure(9, EXIT_PANIC);
+        assert_eq!(breaker.stats().opens, 0, "only real errors count");
+        breaker.record_failure(9, 1);
+        breaker.record_failure(9, 1);
+        assert_eq!(breaker.stats().opens, 1);
+        assert!(breaker.check(9).is_err(), "open breaker short-circuits");
+        assert!(breaker.check(10).is_ok(), "other fingerprints unaffected");
+    }
+
+    #[test]
+    fn shedding_follows_watermarks_with_hysteresis() {
+        let state = ServeState::new(ServeOptions {
+            shed_high_watermark: 4,
+            shed_low_watermark: 1,
+            shed_retry_after: Duration::from_millis(120),
+            ..ServeOptions::default()
+        });
+        assert!(!state.is_shedding());
+        state.note_queue_depth(4);
+        assert!(state.is_shedding(), "high watermark flips shedding on");
+        state.note_queue_depth(3);
+        assert!(state.is_shedding(), "between watermarks: still shedding");
+        let work = solve_request(QUICK_CFG);
+        assert!(state.should_shed(&work));
+        let cheap = Json::obj([("cmd", Json::str("health")), ("id", Json::num(9.0))]);
+        assert!(!state.should_shed(&cheap), "control plane is never shed");
+        let shed = state.shed_response(&work);
+        let outcome = shed.get("outcome").unwrap();
+        assert_eq!(outcome.get("stage").unwrap().as_str(), Some("admission"));
+        assert_eq!(outcome.get("exit_code").unwrap().as_num(), Some(1.0));
+        assert_eq!(
+            shed.get("result").unwrap().get("retry_after_ms"),
+            Some(&Json::num(120.0))
+        );
+        assert_eq!(state.shed_count(), 1);
+        // Health reports degraded while shedding, ready after recovery.
+        let health = state.handle_request(&cheap);
+        assert_eq!(
+            health.get("result").unwrap().get("state").unwrap().as_str(),
+            Some("degraded")
+        );
+        state.note_queue_depth(1);
+        assert!(!state.is_shedding(), "low watermark recovers");
+        let health = state.handle_request(&cheap);
+        assert_eq!(
+            health.get("result").unwrap().get("state").unwrap().as_str(),
+            Some("ready")
+        );
+    }
+
+    #[test]
+    fn health_reports_draining_after_shutdown() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        state.handle_request(&Json::obj([("cmd", Json::str("shutdown"))]));
+        let health = state.handle_request(&Json::obj([("cmd", Json::str("health"))]));
+        assert_eq!(
+            health.get("result").unwrap().get("state").unwrap().as_str(),
+            Some("draining")
+        );
+    }
+
+    #[test]
+    fn stats_reports_breaker_and_shed_sections() {
+        let state = quick_state(DEFAULT_CACHE_BYTES);
+        let response = state.handle_request(&Json::obj([("cmd", Json::str("stats"))]));
+        let result = response.get("result").unwrap();
+        let breaker = result.get("breaker").unwrap();
+        assert_eq!(breaker.get("opens").unwrap().as_str(), Some("0"));
+        assert_eq!(breaker.get("short_circuits").unwrap().as_str(), Some("0"));
+        let shed = result.get("shed").unwrap();
+        assert_eq!(shed.get("count").unwrap().as_str(), Some("0"));
+        assert_eq!(shed.get("shedding"), Some(&Json::Bool(false)));
+        assert_eq!(result.get("panics_caught").unwrap().as_str(), Some("0"));
+    }
+
+    #[test]
+    fn worker_pool_respawns_after_a_panicking_item() {
+        with_quiet_panics(|| {
+            let queue: Arc<RequestQueue<i32>> = Arc::new(RequestQueue::new(64));
+            let handled = Arc::new(AtomicU64::new(0));
+            let mut pool = {
+                let handled = Arc::clone(&handled);
+                WorkerPool::new(2, Arc::clone(&queue), move |item: i32| {
+                    if item < 0 {
+                        panic!("poison item {item}");
+                    }
+                    handled.fetch_add(1, Ordering::Relaxed);
+                })
+            };
+            queue.push(-1).unwrap();
+            queue.push(-2).unwrap();
+            // Wait for both poison items to kill their workers;
+            // maintain() may observe the deaths across several sweeps.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while pool.respawned() < 2 && Instant::now() < deadline {
+                pool.maintain();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(pool.respawned(), 2, "both dead workers replaced");
+            // The refilled pool still drains work.
+            for i in 0..8 {
+                queue.push(i).unwrap();
+            }
+            queue.close();
+            pool.join();
+            assert_eq!(handled.load(Ordering::Relaxed), 8);
+        });
     }
 }

@@ -11,21 +11,34 @@
 //!
 //! * [`CancelToken::new`] — a private flag for tests and embedded use.
 //! * [`CancelToken::global`] — the process-wide flag, set by the std-only
-//!   SIGINT shim ([`install_sigint`]) or by a polling flag-file watcher
-//!   ([`watch_flag_file`]) on platforms without the `signal` shim.
+//!   signal shims ([`install_sigint`], [`install_sigterm`]) or by a
+//!   polling flag-file watcher ([`watch_flag_file`]) on platforms without
+//!   the `signal` shim.
 //!
-//! The SIGINT handler is async-signal-safe by construction: it performs
-//! one atomic store and then restores the default disposition, so a
-//! second interrupt kills the process immediately (the documented escape
-//! hatch when a run ignores the first request).
+//! The signal handlers are async-signal-safe by construction: each
+//! performs two atomic stores and then restores the default disposition,
+//! so a second delivery kills the process immediately (the documented
+//! escape hatch when a run ignores the first request). Which signal
+//! latched the flag is recorded and exposed via [`latched_signal`] so the
+//! process can exit 130 for SIGINT and 143 for SIGTERM, matching shell
+//! conventions.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Process-wide cancellation flag backing [`CancelToken::global`].
 static GLOBAL_CANCELLED: AtomicBool = AtomicBool::new(false);
+
+/// Signal number that latched [`GLOBAL_CANCELLED`], or 0 when the flag
+/// was set programmatically (flag file, `CancelToken::cancel`).
+static GLOBAL_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+/// POSIX SIGINT (interactive interrupt, Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// POSIX SIGTERM (polite termination request, `kill <pid>`'s default).
+pub const SIGTERM: i32 = 15;
 
 /// A cloneable handle to a shared cancellation flag.
 ///
@@ -105,22 +118,35 @@ impl PartialEq for CancelToken {
     }
 }
 
-/// Resets the process-wide flag. Test-only escape hatch: real runs treat
-/// cancellation as one-way.
+/// Returns the signal that latched the global cancellation flag, if any.
+///
+/// `Some(SIGINT)` after Ctrl-C, `Some(SIGTERM)` after a polite kill,
+/// `None` when cancellation came from a flag file or an explicit
+/// [`CancelToken::cancel`] (or has not happened at all). Exit-code
+/// mapping consults this to distinguish 130 from 143.
+pub fn latched_signal() -> Option<i32> {
+    match GLOBAL_SIGNAL.load(Ordering::Acquire) {
+        0 => None,
+        signum => Some(signum),
+    }
+}
+
+/// Resets the process-wide flag and latched-signal record. Test-only
+/// escape hatch: real runs treat cancellation as one-way.
 pub fn reset_global_for_tests() {
     GLOBAL_CANCELLED.store(false, Ordering::Release);
+    GLOBAL_SIGNAL.store(0, Ordering::Release);
 }
 
 #[cfg(unix)]
-mod sigint_shim {
-    //! Std-only SIGINT hook. `std` already links libc, so declaring the
-    //! C89 `signal` entry point adds no dependency; we deliberately avoid
-    //! `sigaction` (struct layout varies per platform) since `signal`'s
-    //! semantics are sufficient for a one-shot latch.
+mod signal_shim {
+    //! Std-only SIGINT/SIGTERM hook. `std` already links libc, so
+    //! declaring the C89 `signal` entry point adds no dependency; we
+    //! deliberately avoid `sigaction` (struct layout varies per platform)
+    //! since `signal`'s semantics are sufficient for a one-shot latch.
 
     use std::sync::atomic::Ordering;
 
-    const SIGINT: i32 = 2;
     const SIG_DFL: usize = 0;
     const SIG_ERR: usize = usize::MAX;
 
@@ -128,19 +154,22 @@ mod sigint_shim {
         fn signal(signum: i32, handler: usize) -> usize;
     }
 
-    extern "C" fn on_sigint(_signum: i32) {
-        // Async-signal-safe: one atomic store, then restore the default
-        // disposition so a second Ctrl-C terminates the process.
+    extern "C" fn on_signal(signum: i32) {
+        // Async-signal-safe: two atomic stores, then restore the default
+        // disposition so a second delivery terminates the process. The
+        // signal number is recorded first so any observer that sees the
+        // cancelled flag also sees which signal latched it.
+        super::GLOBAL_SIGNAL.store(signum, Ordering::Release);
         super::GLOBAL_CANCELLED.store(true, Ordering::Release);
         unsafe {
-            signal(SIGINT, SIG_DFL);
+            signal(signum, SIG_DFL);
         }
     }
 
     #[allow(clippy::fn_to_numeric_cast_any, clippy::fn_to_numeric_cast)]
-    pub(super) fn install() -> bool {
-        let handler = on_sigint as extern "C" fn(i32) as usize;
-        let prev = unsafe { signal(SIGINT, handler) };
+    pub(super) fn install(signum: i32) -> bool {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        let prev = unsafe { signal(signum, handler) };
         prev != SIG_ERR
     }
 }
@@ -153,12 +182,24 @@ mod sigint_shim {
 /// this is a no-op returning `false`; callers should fall back to
 /// [`watch_flag_file`].
 pub fn install_sigint() -> bool {
+    install_signal(SIGINT)
+}
+
+/// Installs a SIGTERM handler mirroring [`install_sigint`]: the same
+/// one-shot latch and SIG_DFL restore discipline, but [`latched_signal`]
+/// reports [`SIGTERM`] so the process exits 143 instead of 130.
+pub fn install_sigterm() -> bool {
+    install_signal(SIGTERM)
+}
+
+fn install_signal(signum: i32) -> bool {
     #[cfg(unix)]
     {
-        sigint_shim::install()
+        signal_shim::install(signum)
     }
     #[cfg(not(unix))]
     {
+        let _ = signum;
         false
     }
 }
@@ -191,6 +232,7 @@ pub fn watch_flag_file(path: PathBuf, interval: Duration) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -238,6 +280,34 @@ mod tests {
         }
         assert!(token.is_cancelled(), "watcher never fired");
         let _ = std::fs::remove_file(&path);
+        assert_eq!(latched_signal(), None, "flag file is not a signal");
         reset_global_for_tests();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sigterm_latches_global_flag_and_records_signum() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        let _guard = crate::test_support::serial();
+        reset_global_for_tests();
+        assert!(install_sigterm(), "shim must install on unix");
+        // Safe to raise exactly once: the handler latches the flag and
+        // restores SIG_DFL, so this delivery is absorbed and the *next*
+        // one would kill the process.
+        let rc = unsafe { raise(SIGTERM) };
+        assert_eq!(rc, 0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !CancelToken::global().is_cancelled() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            CancelToken::global().is_cancelled(),
+            "SIGTERM never latched"
+        );
+        assert_eq!(latched_signal(), Some(SIGTERM));
+        reset_global_for_tests();
+        assert_eq!(latched_signal(), None);
     }
 }

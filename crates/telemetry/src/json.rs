@@ -211,7 +211,9 @@ impl Json {
 /// Writes one newline-delimited JSON frame: the document in compact form
 /// followed by `\n`, flushed. Compact form never contains raw newlines
 /// (strings escape them), so one line is always one document — the wire
-/// framing of the `pi3d serve` protocol.
+/// framing of the `pi3d serve` protocol. The line goes out through
+/// `write_all`, which retries `Interrupted` writes, so a peer injecting
+/// partial writes still observes whole frames.
 ///
 /// # Errors
 ///
@@ -223,33 +225,184 @@ pub fn write_json_line<W: std::io::Write>(writer: &mut W, value: &Json) -> std::
     writer.flush()
 }
 
-/// Reads the next newline-delimited JSON frame. Blank lines are skipped
-/// (a tolerant peer may keep-alive with bare newlines); end of stream
-/// yields `Ok(None)`; a non-empty line that is not valid JSON is an
-/// `InvalidData` error carrying the parse diagnostic.
+/// Default cap on one NDJSON frame: 16 MiB. Large enough for any inline
+/// design config by orders of magnitude, small enough that one hostile
+/// (or buggy) connection cannot exhaust server memory with a single
+/// unterminated line.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Typed payload of the oversized-frame error: a frame exceeded the
+/// reader's byte cap before its `\n` terminator arrived. Carried inside
+/// an `InvalidData` [`std::io::Error`]; recover it with
+/// [`frame_too_large`]. After this error the stream's framing is lost
+/// (the tail of the oversized line is still in flight), so the only safe
+/// response is to answer once and close the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The configured cap that was exceeded.
+    pub limit: usize,
+    /// Bytes buffered when the reader gave up (> `limit`).
+    pub buffered: usize,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame exceeds the {}-byte cap ({} bytes buffered without a newline)",
+            self.limit, self.buffered
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+/// Extracts the typed [`FrameTooLarge`] payload from an I/O error, if
+/// that is what it carries.
+pub fn frame_too_large(error: &std::io::Error) -> Option<&FrameTooLarge> {
+    error
+        .get_ref()
+        .and_then(|inner| inner.downcast_ref::<FrameTooLarge>())
+}
+
+/// A stateful NDJSON frame reader with a byte cap.
 ///
-/// # Errors
-///
-/// Propagates read failures and malformed frames as above.
-pub fn read_json_line<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<Option<Json>> {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(None);
+/// Unlike the one-shot [`read_json_line`], a `FrameReader` keeps the
+/// partial frame it has accumulated across calls, so a read timeout
+/// (`WouldBlock` / `TimedOut` from a socket with a read deadline)
+/// surfaces as a retryable error *without losing the bytes already
+/// received* — the transport shell polls, checks its idle budget, and
+/// calls [`read_frame`](Self::read_frame) again. This is what lets
+/// `pi3d serve` reap idle connections without ever tearing a frame that
+/// is merely arriving slowly.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: std::io::BufRead> FrameReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
+    }
+
+    /// Bytes of the current partial frame received so far. Non-zero
+    /// after a timeout means the peer stalled *mid-frame* — the signal
+    /// the per-connection read deadline keys on.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads the next frame, buffering at most `max_frame_bytes` before
+    /// giving up on an unterminated line.
+    ///
+    /// Blank lines are skipped; end of stream with nothing buffered
+    /// yields `Ok(None)`. A torn final frame (EOF without the `\n`
+    /// terminator) is parsed as-is, matching [`read_json_line`]: a valid
+    /// prefix is accepted, anything else is `InvalidData`.
+    ///
+    /// # Errors
+    ///
+    /// * `InvalidData` carrying [`FrameTooLarge`] once the cap is hit —
+    ///   framing is lost, close the connection.
+    /// * `InvalidData` with a parse diagnostic for a malformed line.
+    /// * Any other read error, verbatim. `WouldBlock` / `TimedOut` are
+    ///   retryable: buffered bytes are kept for the next call.
+    pub fn read_frame(&mut self, max_frame_bytes: usize) -> std::io::Result<Option<Json>> {
+        loop {
+            let (consumed, newline) = {
+                let available = match self.inner.fill_buf() {
+                    Ok(available) => available,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                if available.is_empty() {
+                    // EOF. Whitespace-only residue is a clean end of
+                    // stream; anything else is a torn final frame.
+                    if self.buf.iter().all(u8::is_ascii_whitespace) {
+                        self.buf.clear();
+                        return Ok(None);
+                    }
+                    return self.take_line();
+                }
+                match available.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        self.buf.extend_from_slice(&available[..pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        self.buf.extend_from_slice(available);
+                        (available.len(), false)
+                    }
+                }
+            };
+            self.inner.consume(consumed);
+            if self.buf.len() > max_frame_bytes {
+                let oversized = FrameTooLarge {
+                    limit: max_frame_bytes,
+                    buffered: self.buf.len(),
+                };
+                self.buf.clear();
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    oversized,
+                ));
+            }
+            if !newline {
+                continue;
+            }
+            if self.buf.iter().all(u8::is_ascii_whitespace) {
+                self.buf.clear();
+                continue; // blank keep-alive line
+            }
+            return self.take_line();
         }
-        return match Json::parse(trimmed) {
+    }
+
+    /// Parses (and clears) the buffered line as one frame.
+    fn take_line(&mut self) -> std::io::Result<Option<Json>> {
+        let line = std::mem::take(&mut self.buf);
+        let text = String::from_utf8_lossy(&line);
+        match Json::parse(text.trim()) {
             Ok(value) => Ok(Some(value)),
             Err(e) => Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 format!("malformed json line: {e}"),
             )),
-        };
+        }
     }
+}
+
+/// Reads the next newline-delimited JSON frame, capped at
+/// `max_frame_bytes`. Blank lines are skipped (a tolerant peer may
+/// keep-alive with bare newlines); end of stream yields `Ok(None)`; a
+/// non-empty line that is not valid JSON is an `InvalidData` error
+/// carrying the parse diagnostic.
+///
+/// # Errors
+///
+/// Propagates read failures, malformed frames as above, and frames over
+/// the cap as an `InvalidData` error carrying [`FrameTooLarge`].
+pub fn read_json_line_capped<R: std::io::BufRead>(
+    reader: &mut R,
+    max_frame_bytes: usize,
+) -> std::io::Result<Option<Json>> {
+    FrameReader::new(reader).read_frame(max_frame_bytes)
+}
+
+/// Reads the next newline-delimited JSON frame with the
+/// [default frame cap](DEFAULT_MAX_FRAME_BYTES). See
+/// [`read_json_line_capped`].
+///
+/// # Errors
+///
+/// As [`read_json_line_capped`].
+pub fn read_json_line<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<Option<Json>> {
+    read_json_line_capped(reader, DEFAULT_MAX_FRAME_BYTES)
 }
 
 fn push_indent(out: &mut String, indent: usize) {
@@ -475,6 +628,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -589,5 +743,112 @@ mod tests {
         assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
         let err = read_json_line(&mut reader).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_over_the_cap_is_a_typed_oversized_error() {
+        // A frame one byte over the cap trips the typed error; the same
+        // frame under a roomier cap parses fine.
+        let doc = Json::obj([
+            ("cmd", Json::str("ping")),
+            ("pad", Json::str("x".repeat(64))),
+        ]);
+        let mut wire = Vec::new();
+        write_json_line(&mut wire, &doc).unwrap();
+        let cap = wire.len() - 2; // line minus '\n' is cap+1 bytes
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let err = read_json_line_capped(&mut reader, cap).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let typed = frame_too_large(&err).expect("typed oversized-frame payload");
+        assert_eq!(typed.limit, cap);
+        assert!(typed.buffered > cap, "{typed:?}");
+        let mut reader = std::io::BufReader::new(wire.as_slice());
+        let back = read_json_line_capped(&mut reader, cap + 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, doc);
+        // Malformed (but under-cap) frames are not tagged as oversized.
+        let mut reader = std::io::BufReader::new(b"not json\n".as_slice());
+        let err = read_json_line(&mut reader).unwrap_err();
+        assert!(frame_too_large(&err).is_none());
+    }
+
+    #[test]
+    fn frame_reader_keeps_partial_frames_across_timeouts() {
+        /// Yields the wire in fixed-size chunks with a timeout between
+        /// each — the shape of a slow peer behind a socket read deadline.
+        struct Trickle<'a> {
+            wire: &'a [u8],
+            pos: usize,
+            chunk: usize,
+            ready: bool,
+        }
+        impl std::io::Read for Trickle<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if !self.ready {
+                    self.ready = true;
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                self.ready = false;
+                let n = self.chunk.min(self.wire.len() - self.pos).min(out.len());
+                out[..n].copy_from_slice(&self.wire[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+
+        let doc = Json::obj([("cmd", Json::str("solve")), ("id", Json::num(7.0))]);
+        let mut wire = Vec::new();
+        write_json_line(&mut wire, &doc).unwrap();
+        let trickle = Trickle {
+            wire: &wire,
+            pos: 0,
+            chunk: 3,
+            ready: false,
+        };
+        let mut frames = FrameReader::new(std::io::BufReader::with_capacity(4, trickle));
+        let mut timeouts = 0;
+        let got = loop {
+            match frames.read_frame(DEFAULT_MAX_FRAME_BYTES) {
+                Ok(frame) => break frame,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(got, Some(doc));
+        assert!(timeouts > 2, "trickle should time out repeatedly");
+        assert_eq!(frames.buffered(), 0, "complete frame drains the buffer");
+        let eof = loop {
+            match frames.read_frame(DEFAULT_MAX_FRAME_BYTES) {
+                Ok(frame) => break frame,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(eof, None);
+    }
+
+    #[test]
+    fn frame_reader_handles_torn_final_frames_and_invalid_utf8() {
+        // A torn final frame (EOF before the newline) surfaces as
+        // InvalidData, not a panic or a hang.
+        let mut reader = std::io::BufReader::new(b"{\"cmd\":\"so".as_slice());
+        let err = FrameReader::new(&mut reader)
+            .read_frame(DEFAULT_MAX_FRAME_BYTES)
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Invalid UTF-8 and embedded NULs never panic: lossy decoding
+        // either yields a parseable document or a typed parse error.
+        let mut reader = std::io::BufReader::new(b"\xff\xfe{\"a\":1}\n".as_slice());
+        let err = FrameReader::new(&mut reader)
+            .read_frame(DEFAULT_MAX_FRAME_BYTES)
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let mut reader = std::io::BufReader::new(b"{\"a\":\"\x00\"}\n".as_slice());
+        let frame = FrameReader::new(&mut reader)
+            .read_frame(DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.get("a").and_then(Json::as_str), Some("\x00"));
     }
 }

@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
 
 pub mod cancel;
 pub mod fsio;

@@ -203,6 +203,7 @@ macro_rules! trace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

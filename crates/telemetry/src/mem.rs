@@ -60,6 +60,7 @@ pub fn record_process_peak() {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -295,6 +295,7 @@ pub fn reset() {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::test_support::serial;

@@ -250,6 +250,7 @@ impl Drop for ProgressTracker {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::test_support::serial;

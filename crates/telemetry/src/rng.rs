@@ -76,6 +76,7 @@ impl SplitMix64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -477,6 +477,7 @@ impl TraceSnapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::test_support::serial;
