@@ -216,6 +216,74 @@ else
 fi
 echo "SIGTERM drain OK: exit 143, partial report terminated"
 
+echo "==> shard smoke (--shards 3, SIGKILL a worker mid-sweep, byte-identical merge)"
+shard_dir="$(mktemp -d /tmp/pi3d-shard.XXXXXX)"
+trap 'rm -f "$report" "$cfg" "$fault_report" "$dead_cfg" "$fault_err"; rm -rf "$jobdir" "$shard_dir"' EXIT
+shard_flags="--levels 0.5,1.0 --trials 30 --grid 12 --reads 0"
+# Clean --shards 1 run: the reference report.
+./target/release/pi3d faults "$cfg" $shard_flags --threads 2 \
+    --shards 1 --journal "$shard_dir/one.journal" > "$shard_dir/one.out"
+# Three shards with one worker SIGKILLed mid-sweep: the supervisor must
+# reclaim its lease, respawn it (resuming from the shard journal), and
+# still merge a report byte-identical to the clean run (DESIGN.md §19).
+./target/release/pi3d faults "$cfg" $shard_flags --threads 2 \
+    --shards 3 --journal "$shard_dir/three.journal" \
+    > "$shard_dir/three.out" 2> "$shard_dir/three.err" &
+shard_pid=$!
+worker_pid=""
+i=0
+while [ -z "$worker_pid" ]; do
+    i=$((i+1))
+    if [ "$i" -gt 1200 ]; then
+        echo "FAIL: no worker lease appeared" >&2
+        kill "$shard_pid" 2>/dev/null || true
+        exit 1
+    fi
+    if ! kill -0 "$shard_pid" 2>/dev/null; then
+        echo "FAIL: sharded sweep finished before the SIGKILL" >&2
+        exit 1
+    fi
+    for lease in "$shard_dir"/three.journal.shard*.lease; do
+        [ -e "$lease" ] || continue
+        worker_pid="$(sed -n 's/.*"pid":\([0-9]*\).*/\1/p' "$lease" | head -1)"
+        [ -n "$worker_pid" ] && break
+    done
+    sleep 0.01
+done
+kill -9 "$worker_pid" 2>/dev/null || true
+shard_status=0
+wait "$shard_pid" || shard_status=$?
+if [ "$shard_status" -ne 0 ]; then
+    echo "FAIL: sharded sweep exited $shard_status" >&2
+    cat "$shard_dir/three.err" >&2
+    exit 1
+fi
+grep -q 'respawn' "$shard_dir/three.err"
+diff "$shard_dir/one.out" "$shard_dir/three.out"
+echo "shard smoke OK: worker $worker_pid SIGKILLed, respawned, reports byte-identical"
+
+echo "==> quarantine smoke (poison unit kills its worker repeatedly, exit 75)"
+# The seeded chaos hook panics the worker that owns unit 5; after K
+# deaths the unit is quarantined and every healthy unit still completes.
+poison_status=0
+PI3D_CHAOS_PANIC_UNITS="fault_sweep:5" \
+    ./target/release/pi3d faults "$cfg" --levels 0.5 --trials 8 --grid 8 \
+    --reads 0 --threads 2 --shards 2 --journal "$shard_dir/poison.journal" \
+    > "$shard_dir/poison.out" 2> "$shard_dir/poison.err" || poison_status=$?
+if [ "$poison_status" -ne 75 ]; then
+    echo "FAIL: poisoned sweep exited $poison_status, expected 75" >&2
+    cat "$shard_dir/poison.err" >&2
+    exit 1
+fi
+grep -q 'quarantined units' "$shard_dir/poison.err"
+records=$(( $(wc -l < "$shard_dir/poison.journal") - 1 ))
+if [ "$records" -ne 7 ]; then
+    echo "FAIL: merged journal has $records healthy records, expected 7" >&2
+    exit 1
+fi
+rm -rf "$shard_dir"
+echo "quarantine smoke OK: unit 5 quarantined (exit 75), 7 healthy units merged"
+
 echo "==> trace smoke run (--trace-out + --progress on the optimize path)"
 trace_out="$(mktemp /tmp/pi3d-trace.XXXXXX.json)"
 trace_err="$(mktemp /tmp/pi3d-trace-err.XXXXXX.log)"

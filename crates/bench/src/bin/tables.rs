@@ -15,6 +15,8 @@
 //! mounting fig5 table2 table3 table4 table5 table6 table7 fig9 table9`,
 //! plus the extension studies `convergence ablation ac`.
 
+#![warn(clippy::unwrap_used)]
+
 use pi3d_core::experiments;
 use pi3d_layout::units::MilliVolts;
 use pi3d_memsim::WorkloadSpec;

@@ -216,6 +216,7 @@ fn fmt_time(secs: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -2,6 +2,10 @@
 //! `tables` binary (regenerating every table/figure) and the timing
 //! benches (timing the underlying computations).
 
+// Harness failures must surface as typed errors, not panics, so a long
+// table regeneration reports which row failed instead of aborting.
+#![warn(clippy::unwrap_used)]
+
 use pi3d_mesh::MeshOptions;
 
 pub mod harness;

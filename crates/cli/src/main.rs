@@ -54,7 +54,19 @@
 //! SIGTERM, (or `--cancel-file FILE` appearing) request a cooperative
 //! stop.
 //!
-//! Exit codes: `0` success, `1` error, `101` handler panic (confined to
+//! Fault-tolerant sharded sweeps (faults / optimize): `--shards N
+//! --journal FILE` runs the sweep as N supervised worker processes, each
+//! journaling its slice of the unit space under a heartbeated lease.
+//! Crashed workers are respawned with seeded backoff and resume from
+//! their own journals; units that repeatedly kill their worker are
+//! quarantined (exit 75, listed in the run report's `quarantined_units`
+//! section) while every other unit completes. The shard journals are
+//! verified and merged, and the final report is byte-identical to a
+//! single-process run. `pi3d merge-journals` exposes the verified merge
+//! standalone — see DESIGN.md §19.
+//!
+//! Exit codes: `0` success, `1` error, `75` quarantined units (healthy
+//! units completed and are journaled), `101` handler panic (confined to
 //! one serve response), `124` deadline or cycle budget exceeded
 //! (matching `timeout(1)`), `130` cancelled (128 + SIGINT), `143`
 //! terminated (128 + SIGTERM).
@@ -63,6 +75,7 @@
 #![warn(clippy::unwrap_used)]
 
 mod serve_cmd;
+mod shard_cmd;
 #[cfg(feature = "telemetry")]
 mod trace_cmd;
 
@@ -70,8 +83,9 @@ use pi3d_core::config;
 use pi3d_core::jobs::{config_hash_of, fnv1a64, journaled_sweep};
 use pi3d_core::serve::{exit_code_for, sim_stats_from_json, sim_stats_to_json, status_label};
 use pi3d_core::{
-    build_ir_lut, characterize_with, run_fault_sweep_with, CoreError, FaultSweepOptions,
-    JobContext, Platform,
+    build_ir_lut, characterize_plan, characterize_shard, characterize_with, fault_sweep_plan,
+    run_fault_sweep_shard, run_fault_sweep_with, CoreError, FaultSweepOptions, JobContext,
+    Platform,
 };
 use pi3d_layout::units::MilliVolts;
 use pi3d_layout::{render_design_svg, Benchmark, FaultSpec, MemoryState, StackDesign};
@@ -84,6 +98,7 @@ use pi3d_mesh::{
 };
 use pi3d_telemetry::fsio::atomic_write;
 use pi3d_telemetry::CancelToken;
+use shard_cmd::ShardMode;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -259,7 +274,10 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     // persisted calibration (probing and storing it on first use);
     // `--recalibrate` forces a fresh probe. Client-side and read-only
     // commands skip it.
-    if !matches!(command, "help" | "--help" | "trace" | "call") {
+    if !matches!(
+        command,
+        "help" | "--help" | "trace" | "call" | "merge-journals"
+    ) {
         init_spmv_calibration(args)?;
     }
 
@@ -274,6 +292,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "export" => export(args),
         "serve" => serve_cmd::serve_command(args),
         "call" => serve_cmd::call_command(args),
+        "merge-journals" => shard_cmd::merge_journals_command(args),
         #[cfg(feature = "telemetry")]
         "trace" => trace_cmd::trace_command(args),
         "help" | "--help" => {
@@ -368,6 +387,7 @@ fn print_usage() {
          pi3d faults   [design.cfg] [--seed N] [--tsv-open P] [--bump-open P]\n  \
                        [--via-void P] [--em-drift S] [--levels L1,L2,..]\n  \
                        [--trials N] [--reads N] [--grid N]\n  \
+         pi3d merge-journals --out FILE SHARD0 SHARD1 ..   (verified shard merge)\n  \
          pi3d export   <design.cfg> [--svg FILE] [--spice FILE] [--state S]\n  \
          pi3d trace    <trace.json> [--top N]\n  \
          pi3d serve    [--listen unix:PATH|tcp:host:port] [--workers N]\n  \
@@ -382,8 +402,11 @@ fn print_usage() {
                        [--progress [json]] [--recalibrate] [--calibration-file FILE]\n\
          durable runs (faults/optimize/simulate): [--journal FILE] [--resume FILE]\n\
                        [--deadline SECS] [--cancel-file FILE]\n\
-         exit codes:   0 ok, 1 error, 101 panic (serve outcome), 124 deadline,\n\
-                       130 cancelled (SIGINT), 143 terminated (SIGTERM)"
+         sharded runs (faults/optimize): --shards N --journal FILE\n\
+                       [--max-unit-attempts K]   (see DESIGN.md section 19)\n\
+         exit codes:   0 ok, 1 error, 75 units quarantined, 101 panic (serve\n\
+                       outcome), 124 deadline, 130 cancelled (SIGINT),\n\
+                       143 terminated (SIGTERM)"
     );
 }
 
@@ -714,8 +737,30 @@ fn optimize(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let platform = Platform::new(mesh_options_from(args, MeshOptions::coarse())?);
+    let ctx = match shard_cmd::shard_mode(args)? {
+        ShardMode::Worker {
+            index,
+            count,
+            skip,
+            defer,
+        } => {
+            let (ctx, _heartbeat) = shard_cmd::worker_context(args, index, count, skip, defer)?;
+            let (completed, in_scope) = characterize_shard(&platform, benchmark, threads, &ctx)?;
+            eprintln!("shard {index}/{count}: completed {completed} of {in_scope} units");
+            return Ok(());
+        }
+        ShardMode::Supervisor(shards) => {
+            let (config_hash, total_units) = characterize_plan(&platform, benchmark)?;
+            let journal =
+                shard_cmd::supervise(args, shards, "characterize", config_hash, total_units)?;
+            JobContext::new()
+                .with_cancel(CancelToken::global())
+                .with_resume(journal)
+        }
+        ShardMode::Single => job_context(args)?,
+    };
     eprintln!("characterizing {benchmark} ({threads} threads) ...");
-    let characterization = characterize_with(&platform, benchmark, threads, &job_context(args)?)?;
+    let characterization = characterize_with(&platform, benchmark, threads, &ctx)?;
     let best = characterization.optimize(alpha, &platform)?;
     println!(
         "best at alpha={alpha}: M2={:.0}% M3={:.0}% TC={} {}",
@@ -824,7 +869,34 @@ fn faults_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .map_err(|_| format!("--reads must be an integer, got {reads}"))?;
     }
 
-    let sweep = run_fault_sweep_with(&design, &options, &job_context(args)?)?;
+    // Sharded execution (DESIGN.md §19): a worker runs only its slice
+    // and exits; a supervisor farms the sweep out to worker processes,
+    // merges their journals, and falls through to a resume pass over the
+    // merged journal — zero recompute, so stdout stays byte-identical to
+    // a single-process run.
+    let ctx = match shard_cmd::shard_mode(args)? {
+        ShardMode::Worker {
+            index,
+            count,
+            skip,
+            defer,
+        } => {
+            let (ctx, _heartbeat) = shard_cmd::worker_context(args, index, count, skip, defer)?;
+            let (completed, in_scope) = run_fault_sweep_shard(&design, &options, &ctx)?;
+            eprintln!("shard {index}/{count}: completed {completed} of {in_scope} units");
+            return Ok(());
+        }
+        ShardMode::Supervisor(shards) => {
+            let (config_hash, total_units) = fault_sweep_plan(&design, &options);
+            let journal =
+                shard_cmd::supervise(args, shards, "fault_sweep", config_hash, total_units)?;
+            JobContext::new()
+                .with_cancel(CancelToken::global())
+                .with_resume(journal)
+        }
+        ShardMode::Single => job_context(args)?,
+    };
+    let sweep = run_fault_sweep_with(&design, &options, &ctx)?;
     println!("{sweep}");
 
     // A population this severe never yields a usable stack: surface the

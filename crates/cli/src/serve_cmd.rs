@@ -456,6 +456,26 @@ fn backoff_delay(base: Duration, attempt: u32, rng: &mut SplitMix64) -> Duration
     Duration::from_secs_f64(exp * (0.5 + 0.5 * rng.next_f64()))
 }
 
+/// The daemon's own retry hint on a load-shed response: an `admission`
+/// stage outcome carrying `result.retry_after_ms`. Such a response is
+/// not a transport failure — the connection stays valid — but the client
+/// honors the hint and retries instead of failing the request.
+fn shed_retry_hint(response: &Json) -> Option<Duration> {
+    let stage = response
+        .get("outcome")
+        .and_then(|o| o.get("stage"))
+        .and_then(Json::as_str);
+    if stage != Some("admission") {
+        return None;
+    }
+    response
+        .get("result")
+        .and_then(|r| r.get("retry_after_ms"))
+        .and_then(Json::as_num)
+        .filter(|ms| *ms >= 0.0 && ms.is_finite())
+        .map(|ms| Duration::from_secs_f64(ms / 1000.0))
+}
+
 /// Sends one request and reads one response over `conn`. Any transport
 /// error (including a read timeout) invalidates the connection.
 fn send_and_recv(conn: &mut Connection, request: &Json) -> std::io::Result<Json> {
@@ -536,7 +556,20 @@ pub fn call_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             };
             let error = match established {
                 Ok(c) => match send_and_recv(c, request) {
-                    Ok(response) => break response,
+                    Ok(response) => {
+                        // A shed response is a complete, well-framed reply:
+                        // keep the connection and retry after the daemon's
+                        // own hint (never sooner than our backoff would).
+                        if let Some(hint) = shed_retry_hint(&response) {
+                            if attempt < retries {
+                                let wait = hint.max(backoff_delay(retry_base, attempt, &mut rng));
+                                std::thread::sleep(wait);
+                                attempt += 1;
+                                continue;
+                            }
+                        }
+                        break response;
+                    }
                     Err(e) => {
                         conn = None; // framing is unknown; reconnect
                         e.to_string()
@@ -578,4 +611,53 @@ pub fn call_command(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .into());
     }
     Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn shed_response(retry_after_ms: f64) -> Json {
+        Json::obj([
+            (
+                "outcome",
+                Json::obj([
+                    ("stage", Json::str("admission")),
+                    ("exit_code", Json::num(11.0)),
+                ]),
+            ),
+            (
+                "result",
+                Json::obj([("retry_after_ms", Json::num(retry_after_ms))]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn shed_responses_carry_a_retry_hint() {
+        assert_eq!(
+            shed_retry_hint(&shed_response(250.0)),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(shed_retry_hint(&shed_response(0.0)), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn non_shed_responses_have_no_retry_hint() {
+        // Completed request: different stage, no retry_after_ms.
+        let done = Json::obj([(
+            "outcome",
+            Json::obj([("stage", Json::str("run")), ("exit_code", Json::num(0.0))]),
+        )]);
+        assert_eq!(shed_retry_hint(&done), None);
+
+        // Admission failure without a hint (e.g. breaker open with no ETA).
+        let bare = Json::obj([("outcome", Json::obj([("stage", Json::str("admission"))]))]);
+        assert_eq!(shed_retry_hint(&bare), None);
+
+        // A negative or non-finite hint is ignored rather than honored.
+        assert_eq!(shed_retry_hint(&shed_response(-5.0)), None);
+        assert_eq!(shed_retry_hint(&shed_response(f64::NAN)), None);
+    }
 }

@@ -68,6 +68,26 @@ pub enum CoreError {
         /// What went wrong.
         reason: String,
     },
+    /// A sharded sweep finished with poisoned units quarantined.
+    ///
+    /// Every healthy unit completed and is durable in the merged journal;
+    /// the quarantined units (each of which killed its worker process
+    /// repeatedly) are listed in the run report's `quarantined_units`
+    /// section and in the supervisor's quarantine file. The process exits
+    /// with the documented quarantine code instead of looping forever.
+    Quarantined {
+        /// Units quarantined.
+        units: usize,
+        /// Total work units in the sweep.
+        total: usize,
+    },
+    /// A shard-supervisor failure outside any single journal: a worker
+    /// that could not be spawned, a lease held by a live process, or a
+    /// shard that exhausted its bounded respawn budget.
+    Shard {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl CoreError {
@@ -123,6 +143,15 @@ impl fmt::Display for CoreError {
             CoreError::Journal { path, reason } => {
                 write!(f, "journal {path}: {reason}")
             }
+            CoreError::Quarantined { units, total } => {
+                write!(
+                    f,
+                    "{units} of {total} work units quarantined after repeatedly killing their \
+                     worker (healthy units are journaled; see the quarantined_units report \
+                     section)"
+                )
+            }
+            CoreError::Shard { reason } => write!(f, "shard supervisor: {reason}"),
         }
     }
 }

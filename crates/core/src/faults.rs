@@ -665,6 +665,71 @@ pub fn run_fault_sweep_with(
     })
 }
 
+/// The sharding plan of a fault sweep: its journal config hash and total
+/// unit (trial) count — what the shard supervisor needs to slice the
+/// unit space and verify the merge without running anything.
+pub fn fault_sweep_plan(design: &StackDesign, options: &FaultSweepOptions) -> (u64, usize) {
+    (
+        sweep_config_hash(design, options),
+        options.levels.len() * options.trials,
+    )
+}
+
+/// Shard-worker entry point of the fault sweep: runs only the trials in
+/// the scope of `ctx` (its shard slice, minus skipped units, deferred
+/// tail last), journaling each into the context's shard journal.
+///
+/// Returns `(completed, in_scope)` unit counts; the merged report is
+/// produced later by resuming the *merged* journal through
+/// [`run_fault_sweep_with`], which recomputes nothing.
+///
+/// # Errors
+///
+/// As [`run_fault_sweep_with`].
+pub fn run_fault_sweep_shard(
+    design: &StackDesign,
+    options: &FaultSweepOptions,
+    ctx: &JobContext,
+) -> Result<(usize, usize), CoreError> {
+    #[cfg(feature = "telemetry")]
+    let _span = pi3d_telemetry::span::span("fault_sweep_shard");
+    options.base.validate()?;
+    let mut descriptors = Vec::with_capacity(options.levels.len() * options.trials);
+    for (level_idx, &level) in options.levels.iter().enumerate() {
+        for trial in 0..options.trials {
+            descriptors.push((level_idx, level, trial));
+        }
+    }
+    let config_hash = sweep_config_hash(design, options);
+    let partial = crate::jobs::journaled_sweep_partial(
+        "fault_sweep",
+        config_hash,
+        &descriptors,
+        options.threads,
+        ctx,
+        |_, trial| trial_to_json(trial),
+        |unit, payload| {
+            let (idx, level, trial) = descriptors[unit];
+            trial_from_json(payload).filter(|t| {
+                t.level == level
+                    && t.trial == trial
+                    && t.seed == trial_seed(options.base.seed, idx, trial)
+            })
+        },
+        |_, &(idx, level, trial)| {
+            let seed = trial_seed(options.base.seed, idx, trial);
+            let spec = options.base.scaled(level).with_seed(seed);
+            run_trial(design, options, spec).map(|outcome| FaultTrial {
+                level,
+                trial,
+                seed,
+                outcome,
+            })
+        },
+    )?;
+    Ok((partial.completed, partial.in_scope))
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {

@@ -111,7 +111,12 @@ pub fn config_hash_of(parts: &[&str]) -> u64 {
 /// Per-entry key: ties a record to both the run configuration and its
 /// unit index, so mixing journals across configs is detected line by
 /// line, not just at the header.
-fn unit_key(config_hash: u64, unit: usize) -> u64 {
+///
+/// The shard layer reuses this keying for deterministic slice
+/// assignment: unit `u` belongs to shard `unit_key(hash, u) % shards`,
+/// so the partition is a pure function of the run configuration and the
+/// merge verifier can recompute it per record.
+pub fn unit_key(config_hash: u64, unit: usize) -> u64 {
     fnv1a64(format!("{config_hash:016x}:{unit}").as_bytes())
 }
 
@@ -166,6 +171,21 @@ impl Journal {
         config_hash: u64,
         mode: JournalMode,
     ) -> Result<(Journal, Vec<(usize, Json)>), CoreError> {
+        Self::open_with_shard(path, kind, config_hash, mode, None)
+    }
+
+    /// [`Journal::open`] for a shard journal: the header additionally
+    /// records which slice of the unit space (`shard_index` of
+    /// `shard_count`) this file owns, and resuming cross-checks those
+    /// fields, so a shard journal can never silently masquerade as a
+    /// whole-sweep journal (or vice versa, or as another shard's).
+    pub fn open_with_shard(
+        path: &Path,
+        kind: &str,
+        config_hash: u64,
+        mode: JournalMode,
+        shard: Option<(usize, usize)>,
+    ) -> Result<(Journal, Vec<(usize, Json)>), CoreError> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => Some(text),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
@@ -176,27 +196,37 @@ impl Journal {
                 path,
                 "cannot resume: journal does not exist (use --journal to start one)",
             )),
-            None => Self::create(path, kind, config_hash).map(|j| (j, Vec::new())),
+            None => Self::create(path, kind, config_hash, shard).map(|j| (j, Vec::new())),
             Some(text) if text.is_empty() => {
-                Self::create(path, kind, config_hash).map(|j| (j, Vec::new()))
+                Self::create(path, kind, config_hash, shard).map(|j| (j, Vec::new()))
             }
-            Some(text) => Self::resume(path, kind, config_hash, &text),
+            Some(text) => Self::resume(path, kind, config_hash, shard, &text),
         }
     }
 
     /// Writes a fresh journal containing only the fsync'd header line.
-    fn create(path: &Path, kind: &str, config_hash: u64) -> Result<Journal, CoreError> {
+    fn create(
+        path: &Path,
+        kind: &str,
+        config_hash: u64,
+        shard: Option<(usize, usize)>,
+    ) -> Result<Journal, CoreError> {
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)
             .map_err(|e| journal_error(path, format!("cannot create: {e}")))?;
-        let header = Json::obj([
+        let mut fields = vec![
             ("journal", Json::str(JOURNAL_SCHEMA)),
             ("kind", Json::str(kind)),
             ("config_hash", Json::str(format!("{config_hash:016x}"))),
-        ]);
+        ];
+        if let Some((index, count)) = shard {
+            fields.push(("shard_index", Json::num(index as f64)));
+            fields.push(("shard_count", Json::num(count as f64)));
+        }
+        let header = Json::obj(fields);
         let line = format!("{}\n", header.to_compact_string());
         file.write_all(line.as_bytes())
             .and_then(|()| file.sync_all())
@@ -212,6 +242,7 @@ impl Journal {
         path: &Path,
         kind: &str,
         config_hash: u64,
+        shard: Option<(usize, usize)>,
         text: &str,
     ) -> Result<(Journal, Vec<(usize, Json)>), CoreError> {
         // Complete lines are newline-terminated; a trailing fragment
@@ -258,6 +289,31 @@ impl Journal {
                 ),
             ));
         }
+        // Shard identity must match in *both* directions: a shard journal
+        // cannot resume as a whole-sweep journal (it is missing most
+        // units), and a whole-sweep journal cannot resume as a shard (its
+        // records fall outside the slice).
+        let found_shard = match (
+            header.get("shard_index").and_then(Json::as_num),
+            header.get("shard_count").and_then(Json::as_num),
+        ) {
+            (Some(i), Some(n)) => Some((i as usize, n as usize)),
+            _ => None,
+        };
+        if found_shard != shard {
+            let describe = |s: Option<(usize, usize)>| match s {
+                Some((i, n)) => format!("shard {i} of {n}"),
+                None => "a whole (unsharded) sweep".to_owned(),
+            };
+            return Err(journal_error(
+                path,
+                format!(
+                    "journal covers {}, this run expects {}",
+                    describe(found_shard),
+                    describe(shard)
+                ),
+            ));
+        }
 
         let mut entries = Vec::new();
         for (line_no, line) in lines.enumerate() {
@@ -277,8 +333,24 @@ impl Journal {
             if key != expected_key {
                 return Err(journal_error(
                     path,
-                    format!("record for unit {unit} carries key {key}, expected {expected_key}"),
+                    format!(
+                        "record on line {} for unit {unit} carries key {key}, \
+                         expected {expected_key}",
+                        line_no + 2
+                    ),
                 ));
+            }
+            if let Some((index, count)) = shard {
+                if unit_key(config_hash, unit) % count as u64 != index as u64 {
+                    return Err(journal_error(
+                        path,
+                        format!(
+                            "record on line {} for unit {unit} is outside shard {index} \
+                             of {count}",
+                            line_no + 2
+                        ),
+                    ));
+                }
             }
             let payload = record.get("payload").ok_or_else(|| {
                 journal_error(
@@ -413,6 +485,10 @@ pub struct JobContext {
     journal: Option<JournalSpec>,
     cancel: Option<CancelToken>,
     deadline: Option<Instant>,
+    shard: Option<(usize, usize)>,
+    skip: Vec<usize>,
+    defer: Vec<usize>,
+    attempts: Option<PathBuf>,
 }
 
 impl JobContext {
@@ -458,6 +534,49 @@ impl JobContext {
         self
     }
 
+    /// Restricts the sweep to shard `index` of `count`: only units whose
+    /// [`unit_key`] lands in this slice are computed, and the journal
+    /// header records the shard identity so cross-shard mixups are
+    /// detected on resume.
+    #[must_use]
+    pub fn with_shard(mut self, index: usize, count: usize) -> Self {
+        self.shard = Some((index, count));
+        self
+    }
+
+    /// Excludes specific units from the sweep entirely (quarantined
+    /// units: they are neither computed nor waited for).
+    #[must_use]
+    pub fn with_skip_units(mut self, units: Vec<usize>) -> Self {
+        self.skip = units;
+        self
+    }
+
+    /// Defers specific units to a serial tail batch run after the
+    /// parallel batch, so a crash during one of them blames exactly one
+    /// unit (used by the shard supervisor for crash suspects).
+    #[must_use]
+    pub fn with_defer_units(mut self, units: Vec<usize>) -> Self {
+        self.defer = units;
+        self
+    }
+
+    /// Attaches an attempts log: before each unit is computed, its index
+    /// is fsync'd to this file, so a supervisor can diff attempted
+    /// against journaled units to blame a crash.
+    #[must_use]
+    pub fn with_attempts_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.attempts = Some(path.into());
+        self
+    }
+
+    /// True when this context restricts the unit scope (a shard slice,
+    /// skipped units, or deferred units) and therefore cannot produce a
+    /// complete result vector.
+    pub fn is_scoped(&self) -> bool {
+        self.shard.is_some() || !self.skip.is_empty() || !self.defer.is_empty()
+    }
+
     /// The cancellation token, if one is attached.
     pub fn cancel_token(&self) -> Option<&CancelToken> {
         self.cancel.as_ref()
@@ -492,31 +611,146 @@ impl JobContext {
     }
 }
 
-/// Runs `compute` over every item, journaling each completed unit and
-/// skipping units already journaled, with cooperative cancellation, a
-/// wall-clock deadline, and panic isolation per unit.
+/// Fsync'd unit-attempt log: one `{"unit":N}` line *before* each compute.
 ///
-/// * Work fans across `threads` panic-isolated workers
-///   ([`parallel_map_catch`](pi3d_telemetry::par::parallel_map_catch));
-///   results merge back in unit order, so output is bit-identical for
-///   every thread count *and* for every resume point.
-/// * When `ctx` carries a journal, units recorded in it are decoded
-///   instead of recomputed, and each fresh unit is fsync'd to it the
-///   moment it completes — even when the sweep later fails.
-/// * The cancel token and deadline are polled before each unit starts;
-///   units already running finish (and are journaled) normally.
+/// Diffing attempted against journaled units tells the shard supervisor
+/// which unit(s) a crashed worker was holding — the crash-blame input
+/// for poison-unit quarantine. Truncated at every worker start so the
+/// suspect set always reflects the latest generation.
+#[derive(Debug)]
+struct AttemptsLog {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl AttemptsLog {
+    fn create(path: &Path) -> Result<AttemptsLog, CoreError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| journal_error(path, format!("cannot create attempts log: {e}")))?;
+        Ok(AttemptsLog {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    fn record(&self, unit: usize) -> Result<(), CoreError> {
+        let line = format!("{{\"unit\":{unit}}}\n");
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| {
+                journal_error(
+                    &self.path,
+                    format!("cannot record attempt of unit {unit}: {e}"),
+                )
+            })
+    }
+}
+
+/// Reads the unit indices recorded in an attempts log written via
+/// [`JobContext::with_attempts_log`].
+///
+/// A missing file means no unit was ever attempted (the worker died
+/// before its first unit) and yields an empty list. A torn final
+/// fragment is tolerated exactly as in a journal: a crash mid-append can
+/// only leave an unterminated tail, which is dropped.
 ///
 /// # Errors
 ///
-/// With strict priority (a real failure is never masked by the shutdown
-/// it triggered): a `compute` error for the lowest unit, then
-/// [`CoreError::WorkerPanic`] for the lowest panicked unit, then
-/// [`CoreError::Cancelled`], then [`CoreError::DeadlineExceeded`] —
-/// matching [`pi3d_solver::SolveBudget::interruption`], where an explicit
-/// cancel outranks a deadline. Journal failures surface as
-/// [`CoreError::Journal`].
+/// Returns [`CoreError::Journal`] on I/O failure or a corrupt
+/// newline-terminated line.
+pub fn read_attempted_units(path: &Path) -> Result<Vec<usize>, CoreError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(journal_error(
+                path,
+                format!("cannot read attempts log: {e}"),
+            ))
+        }
+    };
+    let complete = match text.rfind('\n') {
+        Some(last) => &text[..last],
+        None => "",
+    };
+    let mut units = Vec::new();
+    for (line_no, line) in complete.lines().enumerate() {
+        let unit = Json::parse(line)
+            .ok()
+            .as_ref()
+            .and_then(|record| record.get("unit"))
+            .and_then(Json::as_num)
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .ok_or_else(|| {
+                journal_error(
+                    path,
+                    format!("corrupt attempt record on line {}", line_no + 1),
+                )
+            })?;
+        units.push(unit as usize);
+    }
+    Ok(units)
+}
+
+/// Environment variable holding chaos-injected poison units for sweep
+/// testing: a comma-separated list of `unit` or `kind:unit` entries.
+/// A matching unit panics (after its attempt is logged, before compute),
+/// exercising the quarantine path end-to-end with a real worker death.
+pub const CHAOS_PANIC_UNITS_ENV: &str = "PI3D_CHAOS_PANIC_UNITS";
+
+fn chaos_panic_units(kind: &str) -> Vec<usize> {
+    let Ok(spec) = std::env::var(CHAOS_PANIC_UNITS_ENV) else {
+        return Vec::new();
+    };
+    let mut units = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let unit = match entry.split_once(':') {
+            Some((k, u)) => (k == kind).then_some(u),
+            None => Some(entry),
+        };
+        if let Some(u) = unit.and_then(|u| u.parse::<usize>().ok()) {
+            units.push(u);
+        }
+    }
+    units
+}
+
+/// A unit-indexed view of a (possibly scope-restricted) journaled sweep,
+/// returned by [`journaled_sweep_partial`].
+#[derive(Debug)]
+pub struct PartialSweep<R> {
+    /// Unit-indexed result slots; `None` marks out-of-scope units (other
+    /// shards' slices and skipped units).
+    pub slots: Vec<Option<R>>,
+    /// Number of units inside this context's scope.
+    pub in_scope: usize,
+    /// Number of in-scope units completed (resumed or freshly computed).
+    pub completed: usize,
+}
+
+/// [`journaled_sweep`] generalized to scope-restricted contexts: the
+/// shard-worker entry point.
+///
+/// When `ctx` carries a shard slice ([`JobContext::with_shard`]), only
+/// units whose [`unit_key`] lands in the slice are computed, and the
+/// journal header records the shard identity. Skipped units
+/// ([`JobContext::with_skip_units`], quarantined elsewhere) are excluded
+/// entirely; deferred units ([`JobContext::with_defer_units`], crash
+/// suspects) run in a *serial* tail batch after the parallel batch, so a
+/// repeat crash blames exactly one unit. Interruption totals
+/// ([`CoreError::Cancelled`]/[`CoreError::DeadlineExceeded`]) count
+/// in-scope units only.
+///
+/// # Errors
+///
+/// As [`journaled_sweep`], with the same strict priority.
 #[allow(clippy::too_many_arguments)]
-pub fn journaled_sweep<T, R, E, D, C>(
+pub fn journaled_sweep_partial<T, R, E, D, C>(
     kind: &str,
     config_hash: u64,
     items: &[T],
@@ -525,7 +759,7 @@ pub fn journaled_sweep<T, R, E, D, C>(
     encode: E,
     decode: D,
     compute: C,
-) -> Result<Vec<R>, CoreError>
+) -> Result<PartialSweep<R>, CoreError>
 where
     T: Sync,
     R: Send,
@@ -535,11 +769,23 @@ where
 {
     let (journal, preloaded) = match &ctx.journal {
         Some(spec) => {
-            let (journal, entries) = Journal::open(&spec.path, kind, config_hash, spec.mode)?;
+            let (journal, entries) =
+                Journal::open_with_shard(&spec.path, kind, config_hash, spec.mode, ctx.shard)?;
             (Some(journal), entries)
         }
         None => (None, Vec::new()),
     };
+    let attempts = match &ctx.attempts {
+        Some(path) => Some(AttemptsLog::create(path)?),
+        None => None,
+    };
+    let chaos = chaos_panic_units(kind);
+
+    let in_slice = |unit: usize| match ctx.shard {
+        Some((index, count)) => unit_key(config_hash, unit) % count as u64 == index as u64,
+        None => true,
+    };
+    let in_scope = |unit: usize| in_slice(unit) && !ctx.skip.contains(&unit);
 
     let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(items.len(), || None);
@@ -554,6 +800,12 @@ where
                     items.len()
                 ),
             ));
+        }
+        if !in_scope(unit) {
+            // A previously-journaled unit that this generation skips
+            // (e.g. quarantined after it was recorded) is simply ignored;
+            // the merged journal still carries it.
+            continue;
         }
         let decoded = decode(unit, &payload).ok_or_else(|| {
             let journal = journal.as_ref().map_or(Path::new("<none>"), Journal::path);
@@ -570,19 +822,28 @@ where
     }
     let _ = resumed;
 
-    let pending: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.is_none().then_some(i))
+    let scope_count = (0..items.len()).filter(|&u| in_scope(u)).count();
+    // Deferred (crash-suspect) units run serially *after* the parallel
+    // batch so the attempts log pins a repeat crash to exactly one unit.
+    let pending: Vec<usize> = (0..items.len())
+        .filter(|&u| in_scope(u) && slots[u].is_none() && !ctx.defer.contains(&u))
+        .collect();
+    let deferred: Vec<usize> = (0..items.len())
+        .filter(|&u| in_scope(u) && slots[u].is_none() && ctx.defer.contains(&u))
         .collect();
     let cancelled = AtomicBool::new(false);
     let deadline_hit = AtomicBool::new(false);
     let journal_ref = journal.as_ref();
+    let attempts_ref = attempts.as_ref();
     #[cfg(feature = "telemetry")]
-    let progress = pi3d_telemetry::progress::start(kind, items.len(), items.len() - pending.len());
+    let progress = pi3d_telemetry::progress::start(
+        kind,
+        scope_count,
+        scope_count - pending.len() - deferred.len(),
+    );
     #[cfg(feature = "telemetry")]
     let unit_hist = pi3d_telemetry::metrics::histogram(&format!("jobs.{kind}.unit_ms"));
-    let results = pi3d_telemetry::par::parallel_map_catch(&pending, threads, |_, &unit| {
+    let run_unit = |unit: usize| -> Result<Option<R>, CoreError> {
         if ctx.is_cancelled() {
             cancelled.store(true, Ordering::Relaxed);
             return Ok(None);
@@ -597,6 +858,13 @@ where
         let _unit_slice = pi3d_telemetry::trace::span_with("jobs", || format!("{kind}[{unit}]"));
         #[cfg(feature = "telemetry")]
         let unit_started = Instant::now();
+        if let Some(attempts) = attempts_ref {
+            attempts.record(unit)?;
+        }
+        assert!(
+            !chaos.contains(&unit),
+            "chaos: unit {unit} poisoned via {CHAOS_PANIC_UNITS_ENV}"
+        );
         let result = compute(unit, &items[unit])?;
         if let Some(journal) = journal_ref {
             #[cfg(feature = "telemetry")]
@@ -609,13 +877,21 @@ where
             progress.unit_done();
         }
         Ok(Some(result))
-    });
+    };
+    let mut results =
+        pi3d_telemetry::par::parallel_map_catch(&pending, threads, |_, &unit| run_unit(unit));
+    results.extend(pi3d_telemetry::par::parallel_map_catch(
+        &deferred,
+        1,
+        |_, &unit| run_unit(unit),
+    ));
     #[cfg(feature = "telemetry")]
     drop(progress);
 
     let mut first_error: Option<CoreError> = None;
     let mut first_panic: Option<(usize, String)> = None;
-    for (slot, result) in pending.iter().zip(results) {
+    let batches = pending.iter().chain(deferred.iter());
+    for (slot, result) in batches.zip(results) {
         match result {
             Ok(Ok(Some(r))) => slots[*slot] = Some(r),
             Ok(Ok(None)) => {} // interrupted before this unit started
@@ -652,7 +928,7 @@ where
         pi3d_telemetry::metrics::counter("jobs.sweeps_cancelled").incr(1);
         return Err(CoreError::Cancelled {
             completed,
-            total: items.len(),
+            total: scope_count,
         });
     }
     if deadline_hit.load(Ordering::Relaxed) {
@@ -660,12 +936,80 @@ where
         pi3d_telemetry::metrics::counter("jobs.sweeps_deadline_exceeded").incr(1);
         return Err(CoreError::DeadlineExceeded {
             completed,
-            total: items.len(),
+            total: scope_count,
         });
     }
-    Ok(slots
+    Ok(PartialSweep {
+        slots,
+        in_scope: scope_count,
+        completed,
+    })
+}
+
+/// Runs `compute` over every item, journaling each completed unit and
+/// skipping units already journaled, with cooperative cancellation, a
+/// wall-clock deadline, and panic isolation per unit.
+///
+/// * Work fans across `threads` panic-isolated workers
+///   ([`parallel_map_catch`](pi3d_telemetry::par::parallel_map_catch));
+///   results merge back in unit order, so output is bit-identical for
+///   every thread count *and* for every resume point.
+/// * When `ctx` carries a journal, units recorded in it are decoded
+///   instead of recomputed, and each fresh unit is fsync'd to it the
+///   moment it completes — even when the sweep later fails.
+/// * The cancel token and deadline are polled before each unit starts;
+///   units already running finish (and are journaled) normally.
+///
+/// # Errors
+///
+/// With strict priority (a real failure is never masked by the shutdown
+/// it triggered): a `compute` error for the lowest unit, then
+/// [`CoreError::WorkerPanic`] for the lowest panicked unit, then
+/// [`CoreError::Cancelled`], then [`CoreError::DeadlineExceeded`] —
+/// matching [`pi3d_solver::SolveBudget::interruption`], where an explicit
+/// cancel outranks a deadline. Journal failures surface as
+/// [`CoreError::Journal`]. A scope-restricted context (shard slice, skip
+/// or defer lists) is rejected with [`CoreError::Shard`] — scoped sweeps
+/// go through [`journaled_sweep_partial`].
+#[allow(clippy::too_many_arguments)]
+pub fn journaled_sweep<T, R, E, D, C>(
+    kind: &str,
+    config_hash: u64,
+    items: &[T],
+    threads: usize,
+    ctx: &JobContext,
+    encode: E,
+    decode: D,
+    compute: C,
+) -> Result<Vec<R>, CoreError>
+where
+    T: Sync,
+    R: Send,
+    E: Fn(usize, &R) -> Json + Sync,
+    D: Fn(usize, &Json) -> Option<R>,
+    C: Fn(usize, &T) -> Result<R, CoreError> + Sync,
+{
+    if ctx.is_scoped() {
+        return Err(CoreError::Shard {
+            reason: "journaled_sweep requires a full-scope context \
+                     (use journaled_sweep_partial for shard workers)"
+                .to_owned(),
+        });
+    }
+    let partial = journaled_sweep_partial(
+        kind,
+        config_hash,
+        items,
+        threads,
+        ctx,
+        encode,
+        decode,
+        compute,
+    )?;
+    Ok(partial
+        .slots
         .into_iter()
-        .map(|s| s.expect("uninterrupted sweep fills every slot"))
+        .map(|s| s.expect("uninterrupted full-scope sweep fills every slot"))
         .collect())
 }
 
@@ -815,7 +1159,169 @@ mod tests {
         let err = sweep_squares(&ctx, &items, 2, &AtomicUsize::new(0)).unwrap_err();
         assert!(matches!(err, CoreError::Journal { .. }), "{err}");
         assert!(err.to_string().contains("corrupt record"), "{err}");
+        // The error pins the corrupt line: lines[2] is file line 3.
+        assert!(err.to_string().contains("line 3"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn midfile_key_mismatch_reports_line_number() {
+        let path = temp_path("key-mismatch");
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<u64> = (0..4).collect();
+        let ctx = JobContext::new().with_journal(&path);
+        sweep_squares(&ctx, &items, 1, &AtomicUsize::new(0)).unwrap();
+
+        // Swap one interior record's key for another unit's: the record
+        // is well-formed JSON, so only the key check can catch it — and
+        // it must say which line.
+        let mut lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        let hash = config_hash_of(&["squares"]);
+        let record = Json::parse(&lines[2]).unwrap();
+        let unit = record.get("unit").and_then(Json::as_num).unwrap() as usize;
+        let wrong_key = format!("{:016x}", unit_key(hash, unit + 1));
+        lines[2] = Json::obj([
+            ("unit", Json::num(unit as f64)),
+            ("key", Json::str(wrong_key)),
+            ("payload", record.get("payload").unwrap().clone()),
+        ])
+        .to_compact_string();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = sweep_squares(&ctx, &items, 1, &AtomicUsize::new(0)).unwrap_err();
+        assert!(matches!(err, CoreError::Journal { .. }), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(err.to_string().contains("carries key"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scoped_context_is_rejected_by_journaled_sweep() {
+        let ctx = JobContext::new().with_shard(0, 2);
+        let err = sweep_squares(&ctx, &[1, 2, 3], 1, &AtomicUsize::new(0)).unwrap_err();
+        assert!(matches!(err, CoreError::Shard { .. }), "{err}");
+    }
+
+    fn partial_squares(
+        ctx: &JobContext,
+        items: &[u64],
+        threads: usize,
+        calls: &AtomicUsize,
+    ) -> Result<PartialSweep<u64>, CoreError> {
+        journaled_sweep_partial(
+            "squares",
+            config_hash_of(&["squares"]),
+            items,
+            threads,
+            ctx,
+            |_, &r| Json::num(r as f64),
+            |_, payload| payload.as_num().map(|v| v as u64),
+            |_, &v| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(v * v)
+            },
+        )
+    }
+
+    #[test]
+    fn shard_slices_partition_the_unit_space() {
+        let items: Vec<u64> = (0..20).collect();
+        let hash = config_hash_of(&["squares"]);
+        for shards in [1usize, 2, 3, 4] {
+            let mut seen = vec![0usize; items.len()];
+            let mut total_scope = 0;
+            for index in 0..shards {
+                let ctx = JobContext::new().with_shard(index, shards);
+                let calls = AtomicUsize::new(0);
+                let partial = partial_squares(&ctx, &items, 2, &calls).unwrap();
+                assert_eq!(partial.completed, partial.in_scope);
+                total_scope += partial.in_scope;
+                for (unit, slot) in partial.slots.iter().enumerate() {
+                    if let Some(r) = slot {
+                        assert_eq!(*r, items[unit] * items[unit]);
+                        assert_eq!(unit_key(hash, unit) % shards as u64, index as u64);
+                        seen[unit] += 1;
+                    }
+                }
+            }
+            assert_eq!(total_scope, items.len(), "shards={shards}");
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "each unit in exactly one slice"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_journal_identity_is_checked_both_ways() {
+        let path = temp_path("shard-identity");
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<u64> = (0..8).collect();
+
+        // Written as shard 0 of 2 …
+        let sharded = JobContext::new().with_journal(&path).with_shard(0, 2);
+        partial_squares(&sharded, &items, 1, &AtomicUsize::new(0)).unwrap();
+
+        // … cannot resume as a whole sweep,
+        let whole = JobContext::new().with_journal(&path);
+        let err = sweep_squares(&whole, &items, 1, &AtomicUsize::new(0)).unwrap_err();
+        assert!(err.to_string().contains("shard 0 of 2"), "{err}");
+
+        // … nor as a different slice.
+        let other = JobContext::new().with_journal(&path).with_shard(1, 2);
+        let err = partial_squares(&other, &items, 1, &AtomicUsize::new(0)).unwrap_err();
+        assert!(err.to_string().contains("shard 1 of 2"), "{err}");
+
+        // The matching slice resumes with zero recompute.
+        let calls = AtomicUsize::new(0);
+        let again = partial_squares(&sharded, &items, 1, &calls).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert_eq!(again.completed, again.in_scope);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn skip_and_defer_scope_the_sweep() {
+        let attempts = temp_path("skip-defer-attempts");
+        let _ = std::fs::remove_file(&attempts);
+        let items: Vec<u64> = (0..6).collect();
+        let ctx = JobContext::new()
+            .with_skip_units(vec![2])
+            .with_defer_units(vec![1])
+            .with_attempts_log(&attempts);
+        let calls = AtomicUsize::new(0);
+        let partial = partial_squares(&ctx, &items, 1, &calls).unwrap();
+        assert_eq!(partial.in_scope, 5);
+        assert_eq!(partial.completed, 5);
+        assert!(partial.slots[2].is_none(), "skipped unit stays empty");
+        assert_eq!(partial.slots[1], Some(1), "deferred unit still computed");
+
+        // The attempts log saw every computed unit, deferred one last.
+        let attempted = read_attempted_units(&attempts).unwrap();
+        assert_eq!(attempted, vec![0, 3, 4, 5, 1]);
+        let _ = std::fs::remove_file(&attempts);
+    }
+
+    #[test]
+    fn attempts_log_tolerates_torn_tail_and_rejects_corruption() {
+        let path = temp_path("attempts-torn");
+        std::fs::write(&path, "{\"unit\":0}\n{\"unit\":7}\n{\"uni").unwrap();
+        assert_eq!(read_attempted_units(&path).unwrap(), vec![0, 7]);
+        std::fs::write(&path, "{\"unit\":0}\nnot json\n").unwrap();
+        let err = read_attempted_units(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read_attempted_units(&path).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn chaos_env_parsing_matches_kind() {
+        // Pure parser check (no env mutation): exercised end-to-end by
+        // the CLI quarantine tests, which set the variable per process.
+        assert!(chaos_panic_units("anything").is_empty());
     }
 
     #[test]

@@ -47,21 +47,27 @@ mod platform;
 mod regression;
 pub mod report;
 pub mod serve;
+pub mod shard;
 
 pub use design_space::{CategoricalCombo, DesignPoint, DesignSpace};
 pub use error::CoreError;
 pub use faults::{
-    run_fault_sweep, run_fault_sweep_with, FaultLevelSummary, FaultSweepOptions, FaultSweepReport,
-    FaultTrial, PolicyUnderFaults, TrialOutcome,
+    fault_sweep_plan, run_fault_sweep, run_fault_sweep_shard, run_fault_sweep_with,
+    FaultLevelSummary, FaultSweepOptions, FaultSweepReport, FaultTrial, PolicyUnderFaults,
+    TrialOutcome,
 };
-pub use jobs::{config_fingerprint, JobContext, Journal, JournalMode, RunBudget};
+pub use jobs::{config_fingerprint, unit_key, JobContext, Journal, JournalMode, RunBudget};
 pub use lut_builder::{build_ir_lut, build_ir_lut_from_mesh, LUT_ACTIVITIES};
 pub use optimize::{
-    characterize, characterize_with, ir_cost, BestSolution, Characterization, ComboModel,
-    ParetoPoint,
+    characterize, characterize_plan, characterize_shard, characterize_with, ir_cost, BestSolution,
+    Characterization, ComboModel, ParetoPoint,
 };
 pub use platform::{DesignEvaluation, Platform};
 pub use regression::{ir_features, LogIrModel, RegressionModel};
+pub use shard::{
+    merge_shard_journals, run_sharded, HeartbeatGuard, MergeStats, QuarantinedUnit, ShardOptions,
+    ShardReport, WorkerCommand,
+};
 
 // Memory-state types live in `pi3d-layout` (the power-map generator needs
 // them); re-export them here since they are conceptually part of the

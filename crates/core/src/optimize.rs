@@ -186,6 +186,67 @@ pub fn characterize_with(
     })
 }
 
+/// The sharding plan of a characterization: its journal config hash and
+/// total unit (combo) count — what the shard supervisor needs to slice
+/// the unit space and verify the merge without fitting anything.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyDesignSpace`] when the benchmark has no
+/// categorical combination to fit.
+pub fn characterize_plan(
+    platform: &Platform,
+    benchmark: Benchmark,
+) -> Result<(u64, usize), CoreError> {
+    let combos = DesignSpace::new(benchmark).categorical_combos();
+    if combos.is_empty() {
+        return Err(CoreError::EmptyDesignSpace {
+            benchmark: benchmark.to_string(),
+        });
+    }
+    Ok((characterize_config_hash(platform, benchmark), combos.len()))
+}
+
+/// Shard-worker entry point of characterization: fits only the combos in
+/// the scope of `ctx` (its shard slice, minus skipped units, deferred
+/// tail last), journaling each into the context's shard journal.
+///
+/// Returns `(completed, in_scope)` unit counts; the merged
+/// characterization is produced later by resuming the *merged* journal
+/// through [`characterize_with`], which refits nothing.
+///
+/// # Errors
+///
+/// As [`characterize_with`].
+pub fn characterize_shard(
+    platform: &Platform,
+    benchmark: Benchmark,
+    threads: usize,
+    ctx: &JobContext,
+) -> Result<(usize, usize), CoreError> {
+    #[cfg(feature = "telemetry")]
+    let _span = pi3d_telemetry::span::span("characterize_shard");
+    let space = DesignSpace::new(benchmark);
+    let state = space.default_state();
+    let combos = space.categorical_combos();
+    if combos.is_empty() {
+        return Err(CoreError::EmptyDesignSpace {
+            benchmark: benchmark.to_string(),
+        });
+    }
+    let partial = crate::jobs::journaled_sweep_partial(
+        "characterize",
+        characterize_config_hash(platform, benchmark),
+        &combos,
+        threads,
+        ctx,
+        |_, model| combo_to_json(model),
+        |unit, payload| combo_from_json(combos[unit], payload),
+        |_, &combo| fit_combo(platform, benchmark, &space, combo, &state),
+    )?;
+    Ok((partial.completed, partial.in_scope))
+}
+
 fn fit_combo(
     platform: &Platform,
     benchmark: Benchmark,

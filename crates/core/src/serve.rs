@@ -79,6 +79,11 @@ pub const EXIT_DEADLINE: u8 = 124;
 /// Exit code for a request whose handler panicked — the same 101 a
 /// panicking Rust process exits with, here confined to one response.
 pub const EXIT_PANIC: u8 = 101;
+/// Exit code for a sharded sweep that quarantined poisoned units:
+/// sysexits' `EX_TEMPFAIL` (75), the "partial result, retry after
+/// investigating" convention. Healthy units are durable in the merged
+/// journal; the quarantined ones are listed in the run report.
+pub const EXIT_QUARANTINED: u8 = 75;
 
 /// Default cache budget: enough for a handful of coarse meshes plus
 /// their LUTs without letting a design sweep grow without bound.
@@ -106,6 +111,7 @@ pub fn exit_code_for(error: &(dyn std::error::Error + 'static)) -> u8 {
             match core {
                 CoreError::Cancelled { .. } => return cancelled_code,
                 CoreError::DeadlineExceeded { .. } => return EXIT_DEADLINE,
+                CoreError::Quarantined { .. } => return EXIT_QUARANTINED,
                 _ => {}
             }
         }
@@ -137,6 +143,7 @@ pub fn status_label(exit_code: u8) -> &'static str {
         EXIT_TERMINATED => "terminated",
         EXIT_DEADLINE => "deadline",
         EXIT_PANIC => "panic",
+        EXIT_QUARANTINED => "quarantined",
         _ => "error",
     }
 }

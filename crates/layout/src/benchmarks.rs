@@ -148,6 +148,7 @@ impl BenchmarkSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -86,6 +86,7 @@ impl fmt::Display for Mounting {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

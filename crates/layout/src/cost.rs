@@ -156,6 +156,7 @@ impl fmt::Display for CostBreakdown {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::benchmarks::Benchmark;

@@ -76,6 +76,7 @@ impl fmt::Display for LayoutError {
 impl Error for LayoutError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

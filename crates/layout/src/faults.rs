@@ -163,6 +163,7 @@ impl Default for FaultSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

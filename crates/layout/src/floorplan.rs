@@ -314,6 +314,7 @@ impl Floorplan {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -23,6 +23,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 #![warn(missing_debug_implementations)]
 
 mod benchmarks;

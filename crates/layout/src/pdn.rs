@@ -186,6 +186,7 @@ impl Default for PdnSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

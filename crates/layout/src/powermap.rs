@@ -451,6 +451,7 @@ impl PowerMap {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::state::{BankGroup, DieState};

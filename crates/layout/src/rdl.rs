@@ -80,6 +80,7 @@ impl fmt::Display for RdlConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

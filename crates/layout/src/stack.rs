@@ -331,6 +331,7 @@ impl StackDesignBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::rdl::RdlScope;

@@ -279,6 +279,7 @@ impl FromStr for MemoryState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -141,6 +141,7 @@ fn xml_escape(text: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::benchmarks::Benchmark;

@@ -208,6 +208,7 @@ impl Default for Technology {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

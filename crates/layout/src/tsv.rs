@@ -251,6 +251,7 @@ pub fn bump_grid(width: f64, height: f64, pitch_mm: f64) -> Vec<(f64, f64)> {
 pub const C4_PITCH_MM: f64 = 2.4;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -133,6 +133,7 @@ impl MilliWatts {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

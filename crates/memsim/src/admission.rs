@@ -137,6 +137,7 @@ impl AdmissionCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -200,6 +200,7 @@ impl Default for Bank {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

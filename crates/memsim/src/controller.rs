@@ -1227,6 +1227,7 @@ fn accumulated_stats(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::request::WorkloadSpec;

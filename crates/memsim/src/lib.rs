@@ -41,6 +41,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 // Index-based loops are the clearer idiom in the numeric kernels below
 // (parallel arrays with shared indices).
 #![allow(clippy::needless_range_loop)]

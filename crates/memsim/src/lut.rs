@@ -212,6 +212,7 @@ impl std::fmt::Display for ParseLutError {
 impl std::error::Error for ParseLutError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

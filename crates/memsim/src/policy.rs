@@ -95,6 +95,7 @@ impl ReadPolicy {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

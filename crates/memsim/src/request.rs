@@ -116,6 +116,7 @@ impl WorkloadSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

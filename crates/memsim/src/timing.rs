@@ -136,6 +136,7 @@ impl Default for TimingParams {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

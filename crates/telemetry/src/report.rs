@@ -35,6 +35,8 @@ pub const MAX_POLICY_RECORDS: usize = 256;
 pub const MAX_EXPERIMENTS: usize = 256;
 /// Most fault-sweep level records kept per run.
 pub const MAX_FAULT_RECORDS: usize = 64;
+/// Most quarantined-unit records kept per run.
+pub const MAX_QUARANTINED_RECORDS: usize = 256;
 
 /// One CG solve's convergence history.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +107,23 @@ pub struct FaultSweepRecord {
     pub worst_max_ir_mv: f64,
     /// Mean islanded-node count over degraded trials (0 when none).
     pub mean_islanded_nodes: f64,
+}
+
+/// One work unit quarantined by a shard supervisor after repeatedly
+/// killing its worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedUnitRecord {
+    /// Index of the poisoned work unit within its sweep.
+    pub unit: u64,
+    /// The unit's journal key (`hash(config:unit)`, 16 hex digits).
+    pub key: String,
+    /// Worker deaths attributed to the unit before quarantine.
+    pub attempts: u64,
+    /// How the last attempt's worker died (e.g. `"exit code 1"`,
+    /// `"signal 9"`).
+    pub last_exit: String,
+    /// Pipeline stage the unit belonged to (the sweep kind).
+    pub stage: String,
 }
 
 /// How a run ended: success, typed failure, cooperative cancellation, or
@@ -184,6 +203,7 @@ fn sinks() -> &'static Sinks {
         policies: Sink::new(MAX_POLICY_RECORDS),
         experiments: Sink::new(MAX_EXPERIMENTS),
         faults: Sink::new(MAX_FAULT_RECORDS),
+        quarantined: Sink::new(MAX_QUARANTINED_RECORDS),
     })
 }
 
@@ -193,6 +213,7 @@ struct Sinks {
     policies: Sink<PolicyStatsRecord>,
     experiments: Sink<ExperimentRecord>,
     faults: Sink<FaultSweepRecord>,
+    quarantined: Sink<QuarantinedUnitRecord>,
 }
 
 fn outcome_slot() -> &'static Mutex<Option<RunOutcome>> {
@@ -242,6 +263,11 @@ pub fn record_fault_sweep(record: FaultSweepRecord) {
     sinks().faults.push(|| record);
 }
 
+/// Records one unit quarantined by a shard supervisor.
+pub fn record_quarantined_unit(record: QuarantinedUnitRecord) {
+    sinks().quarantined.push(|| record);
+}
+
 /// Clears every sink, the metrics registry, the span tree, the trace
 /// rings, and progress state — call at the start of a run (the CLIs do)
 /// so reports cover exactly one run and back-to-back runs in one process
@@ -253,6 +279,7 @@ pub fn reset_run() {
     s.policies.reset();
     s.experiments.reset();
     s.faults.reset();
+    s.quarantined.reset();
     *outcome_slot().lock().expect("outcome slot poisoned") = None;
     metrics::reset();
     span::reset();
@@ -279,6 +306,9 @@ pub struct RunReport {
     pub experiments: Vec<ExperimentRecord>,
     /// Fault-sweep survival statistics, one record per severity level.
     pub fault_sweep: Vec<FaultSweepRecord>,
+    /// Units quarantined by a shard supervisor (empty for non-sharded
+    /// runs).
+    pub quarantined_units: Vec<QuarantinedUnitRecord>,
     /// How the run ended, when the CLI recorded it ([`set_outcome`]).
     pub outcome: Option<RunOutcome>,
 }
@@ -299,6 +329,7 @@ impl RunReport {
             memsim: s.policies.lock().clone(),
             experiments: s.experiments.lock().clone(),
             fault_sweep: s.faults.lock().clone(),
+            quarantined_units: s.quarantined.lock().clone(),
             outcome: outcome_slot()
                 .lock()
                 .expect("outcome slot poisoned")
@@ -390,6 +421,15 @@ impl RunReport {
                 ("mean_islanded_nodes", Json::num(r.mean_islanded_nodes)),
             ])
         });
+        let quarantined = self.quarantined_units.iter().map(|q| {
+            Json::obj([
+                ("unit", Json::num(q.unit as f64)),
+                ("key", Json::str(q.key.clone())),
+                ("attempts", Json::num(q.attempts as f64)),
+                ("last_exit", Json::str(q.last_exit.clone())),
+                ("stage", Json::str(q.stage.clone())),
+            ])
+        });
         let experiments = self.experiments.iter().map(|e| {
             Json::obj([
                 ("name", Json::str(e.name.clone())),
@@ -411,6 +451,7 @@ impl RunReport {
             ("mesh", Json::Arr(mesh.collect())),
             ("memsim", Json::Arr(memsim.collect())),
             ("fault_sweep", Json::Arr(fault_sweep.collect())),
+            ("quarantined_units", Json::Arr(quarantined.collect())),
             ("experiments", Json::Arr(experiments.collect())),
             (
                 "outcome",

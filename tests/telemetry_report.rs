@@ -86,6 +86,7 @@ fn run_report_json_matches_the_documented_schema() {
             "mesh",
             "memsim",
             "fault_sweep",
+            "quarantined_units",
             "experiments",
             "outcome",
         ],
